@@ -1,0 +1,165 @@
+"""ABLATION — robustness of the reproduced shapes to calibration choices.
+
+DESIGN.md §6 commits to showing which conclusions depend on the
+simulator's cost constants.  Each ablation perturbs one key constant by
+±2x and re-checks the *shape* (who wins / direction of the trend), not
+the absolute numbers:
+
+- context-switch cost: batched vs individual ratio must survive;
+- send-path cost: the throughput-rises-with-buffer-size shape must
+  survive;
+- garbage volume: the reuse-vs-no-reuse GC gap must survive;
+- Storm per-tuple cost: NEPTUNE's small-message win must survive.
+"""
+
+from repro.sim.calibration import Calibration
+from repro.sim.experiments import format_rows
+from repro.sim.relay import RelayParams, run_relay
+
+BASE = Calibration()
+
+
+def _relay(cal, **kw):
+    defaults = dict(duration=0.8, max_events=50_000, cal=cal)
+    defaults.update(kw)
+    return run_relay(RelayParams(**defaults))
+
+
+def test_ablation_context_switch_cost(benchmark):
+    def run():
+        rows = []
+        for factor in (0.5, 1.0, 2.0):
+            cal = BASE.with_overrides(context_switch=BASE.context_switch * factor)
+            batched = _relay(cal, batched=True, duration=1.5)
+            individual = _relay(cal, batched=False, duration=1.5)
+            rows.append(
+                {
+                    "ctx_switch_x": factor,
+                    "batched_per5s": batched.context_switches_per_5s_relay,
+                    "individual_per5s": individual.context_switches_per_5s_relay,
+                    "ratio": individual.context_switches_per_5s_relay
+                    / batched.context_switches_per_5s_relay,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_rows(rows, title="ABLATION: context-switch cost"))
+    # The batching advantage is structural: it holds at every cost level.
+    assert all(r["ratio"] > 5 for r in rows)
+
+
+def test_ablation_send_path_cost(benchmark):
+    def run():
+        rows = []
+        for factor in (0.5, 1.0, 2.0):
+            cal = BASE.with_overrides(send_call_cpu=BASE.send_call_cpu * factor)
+            small = _relay(cal, buffer_size=1024)
+            large = _relay(cal, buffer_size=1 << 20, duration=1.5)
+            rows.append(
+                {
+                    "send_cost_x": factor,
+                    "thr_1KB_buffer": small.throughput,
+                    "thr_1MB_buffer": large.throughput,
+                    "gain": large.throughput / max(small.throughput, 1),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_rows(rows, title="ABLATION: send-path cost"))
+    # Buffering always wins; bigger per-send cost → bigger win.
+    assert all(r["gain"] > 1.2 for r in rows)
+    assert rows[-1]["gain"] > rows[0]["gain"]
+
+
+def test_ablation_garbage_volume(benchmark):
+    def run():
+        rows = []
+        for factor in (0.5, 1.0, 2.0):
+            cal = BASE.with_overrides(
+                garbage_per_message_no_reuse=int(
+                    BASE.garbage_per_message_no_reuse * factor
+                )
+            )
+            reuse = _relay(cal, object_reuse=True, duration=1.5)
+            no_reuse = _relay(cal, object_reuse=False, duration=1.5)
+            rows.append(
+                {
+                    "garbage_x": factor,
+                    "gc_pct_reuse": reuse.gc_fraction_relay * 100,
+                    "gc_pct_no_reuse": no_reuse.gc_fraction_relay * 100,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_rows(rows, title="ABLATION: garbage volume"))
+    assert all(r["gc_pct_no_reuse"] > 3 * r["gc_pct_reuse"] for r in rows)
+
+
+def test_ablation_10gbe_what_if(benchmark):
+    """What-if: the same cluster on 10 GbE.
+
+    On 1 GbE the small-message relay is wire-bound; at 10 GbE the
+    bottleneck moves to CPU (the send path / per-message costs), so
+    throughput rises but by far less than 10x — the paper's "holistic"
+    point that removing one resource constraint exposes the next.
+    """
+
+    def run():
+        rows = []
+        for rate, label in ((1e9, "1GbE"), (1e10, "10GbE")):
+            cal = BASE.with_overrides(link_rate_bps=rate)
+            r = _relay(cal, message_size=50, buffer_size=1 << 20, duration=1.5)
+            rows.append(
+                {
+                    "link": label,
+                    "throughput_msg_s": r.throughput,
+                    "link_utilization": r.link_utilization_ab,
+                    "relay_cpu_util": r.cpu_utilization_relay,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_rows(rows, title="ABLATION: 1 GbE vs 10 GbE"))
+    one, ten = rows
+    # At the default calibration the per-message CPU path sits just
+    # above the 1 GbE wire rate, so a 10x faster link buys only ~20%:
+    # the bottleneck instantly moves to CPU — the paper's "holistic"
+    # premise in one number.
+    assert ten["throughput_msg_s"] > 1.05 * one["throughput_msg_s"]
+    assert ten["throughput_msg_s"] < 3 * one["throughput_msg_s"]
+    assert ten["link_utilization"] < 0.5  # wire no longer saturated
+
+
+def test_ablation_storm_tuple_cost(benchmark):
+    def run():
+        rows = []
+        for factor in (0.5, 1.0, 2.0):
+            cal = BASE.with_overrides(
+                storm_tuple_send_cpu=BASE.storm_tuple_send_cpu * factor
+            )
+            n = _relay(cal, message_size=50, duration=1.0)
+            s = _relay(cal, framework="storm", message_size=50, duration=1.0)
+            rows.append(
+                {
+                    "storm_cost_x": factor,
+                    "neptune_msg_s": n.throughput,
+                    "storm_msg_s": s.throughput,
+                    "speedup": n.throughput / max(s.throughput, 1),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_rows(rows, title="ABLATION: Storm per-tuple cost"))
+    # Even charging Storm HALF its calibrated per-tuple cost, NEPTUNE's
+    # batching keeps a decisive small-message advantage.
+    assert all(r["speedup"] > 3 for r in rows)

@@ -1,0 +1,39 @@
+"""FIG5 — cumulative throughput & bandwidth vs concurrent jobs.
+
+Paper Fig. 5 (50-node cluster, two-stage all-pairs jobs): both
+cumulative metrics rise until the job count reaches the node count
+(adequate provisioning), then *drop* as the cluster becomes
+overprovisioned.  Headline (§VI): ~100 M msgs/s cumulative with
+near-optimal bandwidth at the peak.
+"""
+
+from repro.sim import experiments as exp
+
+
+def test_fig5_concurrent_jobs(benchmark):
+    rows = benchmark.pedantic(
+        lambda: exp.fig5_concurrent_jobs(), rounds=1, iterations=1
+    )
+    print()
+    print(exp.format_rows(rows, title="FIG5: cumulative throughput vs #jobs"))
+
+    by_jobs = {r["jobs"]: r for r in rows}
+    # Rising phase to 50 jobs.
+    assert (
+        by_jobs[10]["cumulative_throughput_msg_s"]
+        < by_jobs[30]["cumulative_throughput_msg_s"]
+        < by_jobs[50]["cumulative_throughput_msg_s"]
+    )
+    # Overprovisioned decline past the node count.
+    assert (
+        by_jobs[100]["cumulative_throughput_msg_s"]
+        < by_jobs[50]["cumulative_throughput_msg_s"]
+    )
+    assert (
+        by_jobs[150]["cumulative_throughput_msg_s"]
+        < by_jobs[100]["cumulative_throughput_msg_s"]
+    )
+    # Peak in the paper's ~100M regime with near-optimal bandwidth.
+    peak = by_jobs[50]
+    assert 8e7 < peak["cumulative_throughput_msg_s"] < 1.5e8
+    assert peak["cumulative_bandwidth_gbps"] > 40  # of 50 Gbps ceiling

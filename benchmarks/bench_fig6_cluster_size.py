@@ -1,0 +1,24 @@
+"""FIG6 — cumulative throughput & bandwidth vs cluster size.
+
+Paper Fig. 6 (50 jobs fixed, nodes varied): "Both these metrics
+linearly scale with the cluster size."
+"""
+
+from repro.sim import experiments as exp
+
+
+def test_fig6_cluster_size(benchmark):
+    rows = benchmark.pedantic(lambda: exp.fig6_cluster_size(), rounds=1, iterations=1)
+    print()
+    print(exp.format_rows(rows, title="FIG6: cumulative throughput vs #nodes"))
+
+    by_nodes = {r["nodes"]: r for r in rows}
+    t10 = by_nodes[10]["cumulative_throughput_msg_s"]
+    t20 = by_nodes[20]["cumulative_throughput_msg_s"]
+    t40 = by_nodes[40]["cumulative_throughput_msg_s"]
+    # Linear scaling within 15%.
+    assert abs(t20 - 2 * t10) / (2 * t10) < 0.15
+    assert abs(t40 - 4 * t10) / (4 * t10) < 0.15
+    # Monotone in cluster size throughout.
+    series = [r["cumulative_throughput_msg_s"] for r in rows]
+    assert series == sorted(series)

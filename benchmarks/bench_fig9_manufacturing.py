@@ -1,0 +1,25 @@
+"""FIG9 — manufacturing-monitoring cumulative throughput vs jobs.
+
+Paper Fig. 9 (the 4-stage Fig. 8 job on 50 nodes): "both systems scale
+linearly with the number of concurrent jobs.  But the throughput is
+higher in NEPTUNE.  With 32 jobs, NEPTUNE's throughput is 8 times
+higher than Storm."  Headline (§VI): ~15 M msgs/s cumulative.
+"""
+
+from repro.sim import experiments as exp
+
+
+def test_fig9_manufacturing(benchmark):
+    rows = benchmark.pedantic(lambda: exp.fig9_manufacturing(), rounds=1, iterations=1)
+    print()
+    print(exp.format_rows(rows, title="FIG9: manufacturing monitoring"))
+
+    by_jobs = {r["jobs"]: r for r in rows}
+    # ~8x at 32 jobs.
+    assert 5 < by_jobs[32]["speedup"] < 12
+    # Linear scaling for both systems (16 → 32 doubles within 20%).
+    for col in ("neptune_msg_s", "storm_msg_s"):
+        ratio = by_jobs[32][col] / by_jobs[16][col]
+        assert 1.6 < ratio < 2.4, col
+    # NEPTUNE's 50-job cumulative in the paper's ~15M regime.
+    assert 1.0e7 < by_jobs[50]["neptune_msg_s"] < 2.5e7

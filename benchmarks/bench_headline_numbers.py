@@ -1,0 +1,49 @@
+"""HEAD — the paper's §VI headline claims, regenerated in one pass.
+
+- ~2 M stream packets/s at a single pipeline with 93.7% bandwidth use;
+- ~100 M packets/s cumulative on the 50-node cluster;
+- p99 processing latency ≤ 87.8 ms for 10 KB packets at the
+  high-throughput configuration;
+- ~15 M msgs/s cumulative for the manufacturing application.
+"""
+
+from repro.sim import experiments as exp
+
+
+def test_headline_numbers(benchmark):
+    head = benchmark.pedantic(lambda: exp.headline_numbers(), rounds=1, iterations=1)
+    print()
+    rows = [
+        {
+            "claim": "single pipeline (M msg/s)",
+            "paper": 2.0,
+            "measured": head["single_pipeline_msg_s"] / 1e6,
+        },
+        {
+            "claim": "bandwidth (Gbps)",
+            "paper": 0.937,
+            "measured": head["single_pipeline_bandwidth_gbps"],
+        },
+        {
+            "claim": "50-node cluster (M msg/s)",
+            "paper": 100.0,
+            "measured": head["cluster_cumulative_msg_s"] / 1e6,
+        },
+        {
+            "claim": "p99 latency @10KB (ms)",
+            "paper": 87.8,
+            "measured": head["latency_p99_ms_10KB"],
+        },
+        {
+            "claim": "manufacturing app (M msg/s)",
+            "paper": 15.0,
+            "measured": head["manufacturing_cumulative_msg_s"] / 1e6,
+        },
+    ]
+    print(exp.format_rows(rows, title="HEADLINE: paper vs measured"))
+
+    assert 1.5 < head["single_pipeline_msg_s"] / 1e6 < 3.5
+    assert 0.85 < head["single_pipeline_bandwidth_gbps"] <= 1.0
+    assert 80 < head["cluster_cumulative_msg_s"] / 1e6 < 150
+    assert head["latency_p99_ms_10KB"] < 150
+    assert 10 < head["manufacturing_cumulative_msg_s"] / 1e6 < 25

@@ -1,0 +1,222 @@
+"""Microbenchmarks of the real runtime's hot paths (pytest-benchmark).
+
+These are the CPython costs behind the design choices the paper argues
+for: serde with codec reuse, object pooling vs allocation, the
+buffer-append path, partitioner routing, the LZ4 codec, entropy
+estimation, and a full in-process pipeline.
+"""
+
+import random
+
+from repro.compression import CompressionPolicy, sampled_entropy
+from repro.core import (
+    FieldsPartitioning,
+    NeptuneConfig,
+    NeptuneRuntime,
+    ObjectPool,
+    PacketCodec,
+    RoundRobinPartitioning,
+    ShufflePartitioning,
+    StreamProcessingGraph,
+)
+from repro.core.buffering import StreamBuffer
+from repro.core.packet import StreamPacket
+from repro.lz4 import compress, decompress
+from repro.workloads import RELAY_SCHEMA, CollectingSink, CountingSource
+from repro.workloads.debs import ManufacturingStream
+
+
+def make_packet(i=0, payload=bytes(50)):
+    return RELAY_SCHEMA.new_packet(seq=i, emitted_at=0.0, payload=payload)
+
+
+class TestSerde:
+    def test_encode_single_packet(self, benchmark):
+        codec = PacketCodec(RELAY_SCHEMA)
+        pkt = make_packet()
+        out = benchmark(codec.encode, pkt)
+        assert len(out) == 70
+
+    def test_encode_batch_1000(self, benchmark):
+        codec = PacketCodec(RELAY_SCHEMA)
+        pkts = [make_packet(i) for i in range(1000)]
+        body = benchmark(codec.encode_batch, pkts)
+        assert len(body) == 70_000
+
+    def test_decode_batch_1000_reuse(self, benchmark):
+        codec = PacketCodec(RELAY_SCHEMA)
+        body = codec.encode_batch([make_packet(i) for i in range(1000)])
+
+        def drain():
+            n = 0
+            for _pkt in codec.iter_decode(body, reuse=True):
+                n += 1
+            return n
+
+        assert benchmark(drain) == 1000
+
+    def test_decode_batch_1000_fresh(self, benchmark):
+        """Contrast: allocating a packet per message (no reuse)."""
+        codec = PacketCodec(RELAY_SCHEMA)
+        body = codec.encode_batch([make_packet(i) for i in range(1000)])
+
+        def drain():
+            return sum(1 for _ in codec.iter_decode(body, reuse=False))
+
+        assert benchmark(drain) == 1000
+
+
+class TestObjectPool:
+    def test_pool_acquire_release(self, benchmark):
+        pool = ObjectPool(
+            factory=lambda: StreamPacket(RELAY_SCHEMA),
+            reset=StreamPacket.reset,
+            max_size=32,
+            preallocate=8,
+        )
+
+        def cycle():
+            pkt = pool.acquire()
+            pool.release(pkt)
+
+        benchmark(cycle)
+        assert pool.reuse_ratio > 0.99
+
+    def test_fresh_allocation(self, benchmark):
+        benchmark(lambda: StreamPacket(RELAY_SCHEMA))
+
+
+class TestBuffering:
+    def test_append_until_flush(self, benchmark):
+        payload = bytes(70)
+        sink_counter = [0]
+
+        buf = StreamBuffer(
+            capacity=64 * 1024,
+            sink=lambda body, count: sink_counter.__setitem__(0, sink_counter[0] + 1),
+        )
+
+        benchmark(buf.append, payload)
+
+
+class TestPartitioning:
+    def test_round_robin(self, benchmark):
+        rr = RoundRobinPartitioning()
+        pkt = make_packet()
+        benchmark(rr.route, pkt, 8)
+
+    def test_shuffle(self, benchmark):
+        sh = ShufflePartitioning(seed=1)
+        pkt = make_packet()
+        benchmark(sh.route, pkt, 8)
+
+    def test_fields_hash(self, benchmark):
+        fp = FieldsPartitioning(["seq"])
+        pkt = make_packet(12345)
+        benchmark(fp.route, pkt, 8)
+
+
+class TestLz4:
+    def test_compress_sensor_64k(self, benchmark):
+        body = ManufacturingStream(seed=3).serialized_stream(400)[: 64 * 1024]
+        packed = benchmark(compress, body)
+        assert len(packed) < len(body) // 2
+
+    def test_decompress_sensor_64k(self, benchmark):
+        body = ManufacturingStream(seed=3).serialized_stream(400)[: 64 * 1024]
+        packed = compress(body)
+        out = benchmark(decompress, packed)
+        assert out == body
+
+    def test_entropy_estimate_64k(self, benchmark):
+        rng = random.Random(5)
+        body = bytes(rng.getrandbits(8) for _ in range(64 * 1024))
+        e = benchmark(sampled_entropy, body)
+        assert e > 7.5
+
+    def test_policy_gate_rejects_random(self, benchmark):
+        rng = random.Random(6)
+        body = bytes(rng.getrandbits(8) for _ in range(64 * 1024))
+        policy = CompressionPolicy(entropy_threshold=6.0)
+        out = benchmark(policy.encode, body)
+        assert out[0] == 0x00  # sent raw: only the entropy probe paid
+
+
+class TestEndToEnd:
+    def test_pipeline_10k_packets(self, benchmark):
+        """Full in-process pipeline throughput (source→relay→sink)."""
+
+        def run():
+            store = []
+            g = StreamProcessingGraph(
+                "bench-pipeline",
+                config=NeptuneConfig(buffer_capacity=64 * 1024, buffer_max_delay=0.005),
+            )
+            g.add_source("src", lambda: CountingSource(total=10_000))
+            g.add_processor("sink", lambda: CollectingSink(store))
+            g.link("src", "sink")
+            with NeptuneRuntime() as rt:
+                handle = rt.submit(g)
+                assert handle.await_completion(timeout=120)
+            return len(store)
+
+        assert benchmark.pedantic(run, rounds=1, iterations=1) == 10_000
+
+
+class TestBroker:
+    def test_publish_keyed(self, benchmark):
+        from repro.broker import MessageBroker
+
+        broker = MessageBroker()
+        broker.create_topic("bench", partitions=8)
+        payload = bytes(100)
+        keys = [f"sensor-{i}".encode() for i in range(32)]
+        counter = [0]
+
+        def publish():
+            counter[0] += 1
+            broker.publish("bench", payload, keys[counter[0] % 32])
+
+        benchmark(publish)
+
+    def test_poll_batch(self, benchmark):
+        from repro.broker import MessageBroker
+
+        broker = MessageBroker()
+        broker.create_topic("bench", partitions=1)
+        for _ in range(2048):
+            broker.publish("bench", bytes(100))
+        cg = broker.consumer_group("g", "bench")
+
+        def poll():
+            msgs = broker.poll("g", "bench", 0, max_messages=256)
+            cg.seek(0, 0)  # rewind: steady-state poll cost
+            return msgs
+
+        msgs = benchmark(poll)
+        assert len(msgs) == 256
+
+
+class TestDistributedTcp:
+    def test_distributed_relay_3k(self, benchmark):
+        """Real two-resource TCP relay throughput (informational)."""
+        from repro.core import NeptuneConfig, StreamProcessingGraph
+        from repro.core.distributed import DistributedJob
+        from repro.workloads import CollectingSink, CountingSource, RelayProcessor
+
+        def run():
+            store = []
+            g = StreamProcessingGraph(
+                "bench-dist",
+                config=NeptuneConfig(buffer_capacity=32 * 1024, buffer_max_delay=0.005),
+            )
+            g.add_source("src", lambda: CountingSource(total=3000, payload_size=100))
+            g.add_processor("relay", RelayProcessor)
+            g.add_processor("sink", lambda: CollectingSink(store))
+            g.link("src", "relay").link("relay", "sink")
+            job = DistributedJob(g, n_workers=2)
+            job.start()
+            assert job.await_completion(timeout=120)
+            return len(store)
+
+        assert benchmark.pedantic(run, rounds=1, iterations=1) == 3000

@@ -1,0 +1,27 @@
+"""TAB1 — context switches: batched vs individual message scheduling.
+
+Paper Table I (50 B messages, 1 MB buffer, buffering decoupled from
+batching): batched ≈ 4085 ± 92 switches per 5 s; individual ≈ 89952 ±
+1087 — a ~22x ratio.  The reproduction must land in the same regime.
+"""
+
+from repro.sim import experiments as exp
+
+
+def test_table1_context_switches(benchmark, sim_budget):
+    duration, _ = sim_budget
+
+    def run():
+        return exp.table1_context_switches(repeats=3, duration=duration)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(exp.format_rows(rows, title="TABLE I: context switches per 5 s"))
+
+    batched = rows[0]["ctx_switches_per_5s_mean"]
+    individual = rows[1]["ctx_switches_per_5s_mean"]
+    ratio = rows[2]["ctx_switches_per_5s_mean"]
+    # Paper regime: thousands vs ~1e5, ratio ~22x.
+    assert 1_000 < batched < 12_000
+    assert 40_000 < individual < 200_000
+    assert 10 < ratio < 40

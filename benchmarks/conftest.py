@@ -1,0 +1,38 @@
+"""Shared benchmark configuration.
+
+Every ``bench_*`` module regenerates one of the paper's tables or
+figures (see DESIGN.md §4).  Runs print their result tables; pass
+``-s`` to see them, e.g.::
+
+    pytest benchmarks/ --benchmark-only -s
+
+``--paper-full`` switches the sim experiments from the quick sweep
+(default, a few minutes total) to the full-resolution sweeps.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-full",
+        action="store_true",
+        default=False,
+        help="run full-resolution paper sweeps (slower)",
+    )
+
+
+@pytest.fixture(scope="session")
+def full_resolution(request):
+    return request.config.getoption("--paper-full")
+
+
+@pytest.fixture(scope="session")
+def sim_budget(full_resolution):
+    """(duration, max_events) for relay-sim based experiments."""
+    return (2.0, 150_000) if full_resolution else (1.0, 50_000)
+
+
+def pytest_collection_modifyitems(config, items):
+    # Benchmarks are ordered by experiment id for readable reports.
+    items.sort(key=lambda item: item.nodeid)

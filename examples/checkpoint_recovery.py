@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Fault recovery via checkpoints (the paper's §VI future work).
+
+A job computes running per-sensor statistics from a JSON-lines event
+file.  Mid-run we take a checkpoint and then "crash" the job (stop it
+hard).  A fresh runtime resubmits the same graph restored from the
+checkpoint: the file source resumes from its checkpointed byte
+position and the aggregator resumes from its checkpointed counts — no
+events are lost and none are double-counted.
+
+Run:  python examples/checkpoint_recovery.py
+"""
+
+import json
+import os
+import tempfile
+
+from repro.core import (
+    FieldType,
+    NeptuneConfig,
+    NeptuneRuntime,
+    PacketSchema,
+    StreamProcessingGraph,
+    StreamProcessor,
+)
+from repro.workloads.stdlib import JsonLinesFileSource, ThrottledSource
+
+EVENT = PacketSchema(
+    [("sensor", FieldType.STRING), ("value", FieldType.FLOAT64)]
+)
+N_EVENTS = 4000
+
+
+class RunningStats(StreamProcessor):
+    """Per-sensor count/sum — checkpointable state."""
+
+    def __init__(self, shared):
+        super().__init__()
+        self.counts = shared.setdefault("counts", {})
+        self.sums = shared.setdefault("sums", {})
+
+    def process(self, packet, ctx):
+        sensor = packet.get("sensor")
+        self.counts[sensor] = self.counts.get(sensor, 0) + 1
+        self.sums[sensor] = self.sums.get(sensor, 0.0) + packet.get("value")
+
+    def snapshot_state(self):
+        return {"counts": dict(self.counts), "sums": dict(self.sums)}
+
+    def restore_state(self, state):
+        self.counts.clear()
+        self.counts.update(state["counts"])
+        self.sums.clear()
+        self.sums.update(state["sums"])
+
+    def output_schema(self, stream):
+        raise KeyError(stream)
+
+
+def write_events(path):
+    with open(path, "w", encoding="utf-8") as fh:
+        for i in range(N_EVENTS):
+            fh.write(
+                json.dumps({"sensor": f"s{i % 4}", "value": float(i % 100)}) + "\n"
+            )
+
+
+def build_graph(path, shared, rate=None):
+    g = StreamProcessingGraph(
+        "recovery-demo",
+        config=NeptuneConfig(buffer_capacity=2048, buffer_max_delay=0.004),
+    )
+    src = JsonLinesFileSource(path, EVENT)
+    if rate:
+        g.add_source("events", lambda: ThrottledSource(src, rate=rate))
+    else:
+        g.add_source("events", lambda: src)
+    g.add_processor("stats", lambda: RunningStats(shared))
+    g.link("events", "stats")
+    return g
+
+
+def main():
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "events.jsonl")
+        write_events(path)
+
+        # Phase 1: run slowly, checkpoint mid-stream, crash.
+        shared = {}
+        import time
+
+        with NeptuneRuntime() as rt:
+            handle = rt.submit(build_graph(path, shared, rate=2000))
+            time.sleep(0.8)  # ~1600 of 4000 events processed
+            ckpt = handle.checkpoint()
+            ckpt_path = os.path.join(tmp, "job.ckpt")
+            ckpt.save(ckpt_path)
+            processed_at_ckpt = ckpt.state_for("stats", 0)
+            print(
+                "checkpoint taken at "
+                f"{sum(processed_at_ckpt['counts'].values())} events; "
+                "simulating a crash (hard stop, progress since the "
+                "checkpoint is discarded)"
+            )
+            # Hard crash: no graceful drain of this runtime's state.
+
+        # Phase 2: recover from the persisted checkpoint in a new runtime.
+        from repro.core.checkpoint import Checkpoint
+
+        restored = Checkpoint.load(ckpt_path)
+        shared2 = {}
+        with NeptuneRuntime() as rt:
+            handle = rt.submit(build_graph(path, shared2), restore_from=restored)
+            ok = handle.await_completion(timeout=120)
+        total = sum(shared2["counts"].values())
+        print(f"recovered run completed: {ok}")
+        print(f"total events accounted for: {total} (expected {N_EVENTS})")
+        for sensor in sorted(shared2["counts"]):
+            print(
+                f"  {sensor}: count={shared2['counts'][sensor]}, "
+                f"mean={shared2['sums'][sensor] / shared2['counts'][sensor]:.2f}"
+            )
+        assert total == N_EVENTS, (
+            "exactly-once recovery: restored counts + replay from the "
+            "checkpointed file position must cover every event exactly once"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Building a stream-processing graph from a JSON descriptor (§III-A7).
+
+"A stream processing graph can be created by directly invoking the
+NEPTUNE API or through a JSON descriptor file."  Operator classes are
+referenced by import path and constructed with the descriptor's kwargs;
+partitioning schemes resolve through the same registry custom schemes
+register with.
+
+Run:  python examples/graph_from_json.py
+"""
+
+import json
+
+from repro.core import NeptuneRuntime, StreamProcessingGraph
+from repro.workloads.operators import CollectingSink
+
+DESCRIPTOR = {
+    "name": "json-declared-relay",
+    "operators": [
+        {
+            "name": "sensor-feed",
+            "type": "source",
+            "class": "repro.workloads.operators:CountingSource",
+            "kwargs": {"total": 5000, "payload_size": 100},
+            "parallelism": 2,
+        },
+        {
+            "name": "relay",
+            "type": "processor",
+            "class": "repro.workloads.operators:RelayProcessor",
+            "parallelism": 2,
+        },
+        {
+            "name": "sink",
+            "type": "processor",
+            "class": "repro.workloads.operators:CollectingSink",
+            "kwargs": {"field": "seq"},
+        },
+    ],
+    "links": [
+        {"from": "sensor-feed", "to": "relay", "partitioning": "shuffle"},
+        {"from": "relay", "to": "sink", "partitioning": "round-robin"},
+    ],
+}
+
+
+def main():
+    text = json.dumps(DESCRIPTOR, indent=2)
+    print("descriptor:")
+    print(text)
+
+    graph = StreamProcessingGraph.from_json(text)
+    graph.validate()
+    print(f"\nstages: {graph.stages()}")
+    print(f"total operator instances: {graph.total_instances()}")
+
+    # Round-trip: the parsed graph re-serializes to an equivalent form.
+    again = StreamProcessingGraph.from_descriptor(graph.to_descriptor())
+    again.validate()
+
+    with NeptuneRuntime() as runtime:
+        handle = runtime.submit(graph)
+        ok = handle.await_completion(timeout=60)
+    metrics = handle.metrics()
+    print(f"\ncompleted: {ok}")
+    # Two source instances × 5000 packets each.
+    print(f"sink received {metrics['sink']['packets_in']} packets")
+    assert metrics["sink"]["packets_in"] == 10_000
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""An in-memory partitioned message broker (ingestion substrate).
+
+Paper §III-A2: "Typical implementations of stream sources may read data
+from message brokers and message queues.  A NEPTUNE stream source can
+ingest streams using a pull-based approach from an IoT gateway."
+Related work (§V) describes Samza's Kafka-based ingestion with
+partitioned topics and per-partition offsets.
+
+This package provides that substrate, built from scratch:
+
+- :class:`MessageBroker` — named topics, each split into partitions;
+- :class:`TopicPartition` — an append-only log with offset-addressed
+  reads (replayable: the broker retains messages, consumers track
+  positions);
+- consumer groups with committed offsets (pull model, at-least-once on
+  crash, exactly-once when offsets are committed with processing —
+  which :class:`~repro.broker.source.BrokerSource` does via NEPTUNE's
+  checkpointing);
+- :class:`~repro.broker.source.BrokerSource` /
+  :class:`~repro.broker.source.BrokerSink` — NEPTUNE operators
+  bridging graphs to topics, with key-hash partition routing.
+"""
+
+from repro.broker.core import (
+    BrokerMessage,
+    ConsumerGroup,
+    MessageBroker,
+    TopicPartition,
+)
+from repro.broker.source import BrokerSource, BrokerSink
+
+__all__ = [
+    "MessageBroker",
+    "TopicPartition",
+    "ConsumerGroup",
+    "BrokerMessage",
+    "BrokerSource",
+    "BrokerSink",
+]

@@ -1,0 +1,231 @@
+"""Broker core: topics, partitions, consumer groups.
+
+Semantics (a deliberately small slice of the Kafka model the paper's
+related work describes):
+
+- a *topic* is a set of append-only partition logs;
+- producers append ``(key, value)``; the partition is chosen by key
+  hash (stable routing) or round-robin for key-less messages;
+- messages are retained (optionally bounded per partition); consumers
+  *pull* by offset, so streams are replayable;
+- a *consumer group* owns a committed offset per partition; distinct
+  groups consume independently.
+
+Thread-safe: producers and consumers may run on any threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.lz4 import xxh32
+from repro.util.errors import NeptuneError
+
+
+class BrokerError(NeptuneError):
+    """Unknown topic/partition or invalid offset operation."""
+
+
+@dataclass(frozen=True)
+class BrokerMessage:
+    """One record in a partition log."""
+
+    topic: str
+    partition: int
+    offset: int
+    key: bytes | None
+    value: bytes
+
+
+class TopicPartition:
+    """An append-only, offset-addressed log with optional retention cap."""
+
+    def __init__(self, topic: str, index: int, retention: int | None = None) -> None:
+        if retention is not None and retention <= 0:
+            raise ValueError(f"retention must be positive: {retention}")
+        self.topic = topic
+        self.index = index
+        self.retention = retention
+        self._lock = threading.Lock()
+        self._messages: list[BrokerMessage] = []
+        #: Offset of the first retained message (grows on truncation).
+        self._base_offset = 0
+
+    def append(self, key: bytes | None, value: bytes) -> int:
+        """Append one record; returns its offset."""
+        with self._lock:
+            offset = self._base_offset + len(self._messages)
+            self._messages.append(
+                BrokerMessage(self.topic, self.index, offset, key, value)
+            )
+            if self.retention is not None and len(self._messages) > self.retention:
+                drop = len(self._messages) - self.retention
+                del self._messages[:drop]
+                self._base_offset += drop
+            return offset
+
+    def read(self, offset: int, max_messages: int = 256) -> list[BrokerMessage]:
+        """Pull up to ``max_messages`` starting at ``offset``.
+
+        Reading before the retained range raises (data was truncated);
+        reading at/after the end returns an empty list.
+        """
+        if max_messages <= 0:
+            raise ValueError(f"max_messages must be positive: {max_messages}")
+        with self._lock:
+            if offset < self._base_offset:
+                raise BrokerError(
+                    f"{self.topic}[{self.index}]: offset {offset} below retained "
+                    f"base {self._base_offset} (truncated)"
+                )
+            start = offset - self._base_offset
+            return self._messages[start : start + max_messages]
+
+    @property
+    def end_offset(self) -> int:
+        """Offset one past the newest record."""
+        with self._lock:
+            return self._base_offset + len(self._messages)
+
+    @property
+    def base_offset(self) -> int:
+        """Offset of the oldest retained record."""
+        with self._lock:
+            return self._base_offset
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._messages)
+
+
+class ConsumerGroup:
+    """Committed offsets for one logical consumer of one topic."""
+
+    def __init__(self, name: str, topic: str, n_partitions: int) -> None:
+        self.name = name
+        self.topic = topic
+        self._lock = threading.Lock()
+        self._offsets = [0] * n_partitions
+
+    def committed(self, partition: int) -> int:
+        """The committed (next-to-read) offset for a partition."""
+        with self._lock:
+            return self._offsets[partition]
+
+    def commit(self, partition: int, offset: int) -> None:
+        """Commit ``offset`` (the next offset to read) for a partition."""
+        with self._lock:
+            if offset < self._offsets[partition]:
+                raise BrokerError(
+                    f"group {self.name!r}: cannot move {self.topic}[{partition}] "
+                    f"backwards ({offset} < {self._offsets[partition]})"
+                )
+            self._offsets[partition] = offset
+
+    def seek(self, partition: int, offset: int) -> None:
+        """Reposition (replay) regardless of the committed offset."""
+        with self._lock:
+            self._offsets[partition] = offset
+
+    def snapshot(self) -> list[int]:
+        """Copy of the per-partition committed offsets."""
+        with self._lock:
+            return list(self._offsets)
+
+
+class MessageBroker:
+    """Topics, partitions, producers, and consumer groups."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._topics: dict[str, list[TopicPartition]] = {}
+        self._groups: dict[tuple[str, str], ConsumerGroup] = {}
+        self._rr: dict[str, int] = {}
+
+    # -- topics -----------------------------------------------------------------
+    def create_topic(
+        self, name: str, partitions: int = 1, retention: int | None = None
+    ) -> None:
+        """Create a topic with the given partition count."""
+        if partitions <= 0:
+            raise ValueError(f"partitions must be positive: {partitions}")
+        with self._lock:
+            if name in self._topics:
+                raise BrokerError(f"topic {name!r} already exists")
+            self._topics[name] = [
+                TopicPartition(name, i, retention) for i in range(partitions)
+            ]
+
+    def topic(self, name: str) -> list[TopicPartition]:
+        """The partition list of a topic (raises on unknown names)."""
+        try:
+            return self._topics[name]
+        except KeyError:
+            raise BrokerError(f"unknown topic {name!r}") from None
+
+    def partitions(self, name: str) -> int:
+        """Number of partitions in a topic."""
+        return len(self.topic(name))
+
+    # -- producing -----------------------------------------------------------------
+    def publish(self, topic: str, value: bytes, key: bytes | None = None) -> int:
+        """Append to the key-hashed (or round-robin) partition."""
+        parts = self.topic(topic)
+        if key is not None:
+            idx = xxh32(key) % len(parts)
+        else:
+            with self._lock:
+                idx = self._rr.get(topic, 0)
+                self._rr[topic] = (idx + 1) % len(parts)
+        return parts[idx].append(key, value)
+
+    def publish_many(
+        self, topic: str, records: Iterable[tuple[bytes | None, bytes]]
+    ) -> int:
+        """Publish (key, value) records; returns the count."""
+        n = 0
+        for key, value in records:
+            self.publish(topic, value, key)
+            n += 1
+        return n
+
+    # -- consuming -----------------------------------------------------------------
+    def consumer_group(self, group: str, topic: str) -> ConsumerGroup:
+        """Get or create a consumer group for a topic."""
+        parts = self.topic(topic)  # validates
+        with self._lock:
+            key = (group, topic)
+            if key not in self._groups:
+                self._groups[key] = ConsumerGroup(group, topic, len(parts))
+            return self._groups[key]
+
+    def poll(
+        self,
+        group: str,
+        topic: str,
+        partition: int,
+        max_messages: int = 256,
+        commit: bool = True,
+    ) -> list[BrokerMessage]:
+        """Pull from a partition at the group's committed offset.
+
+        With ``commit=True`` (auto-commit) the offset advances past the
+        returned records; with False the caller commits explicitly
+        after processing (at-least-once / checkpoint-coordinated).
+        """
+        cg = self.consumer_group(group, topic)
+        offset = cg.committed(partition)
+        messages = self.topic(topic)[partition].read(offset, max_messages)
+        if commit and messages:
+            cg.commit(partition, messages[-1].offset + 1)
+        return messages
+
+    def lag(self, group: str, topic: str) -> int:
+        """Total unconsumed messages for the group across partitions."""
+        cg = self.consumer_group(group, topic)
+        return sum(
+            part.end_offset - cg.committed(i)
+            for i, part in enumerate(self.topic(topic))
+        )

@@ -1,0 +1,205 @@
+"""Command-line interface.
+
+::
+
+    python -m repro.cli validate graph.json
+    python -m repro.cli run graph.json [--duration 10] [--workers 2]
+    python -m repro.cli experiment fig2|table1|gc|fig4|fig5|fig6|fig7|fig9|fig10|headline
+    python -m repro.cli info
+
+``run`` deploys a JSON graph descriptor on the local runtime (or the
+distributed multi-resource runtime with ``--workers > 1``) and prints
+per-operator metrics; ``experiment`` regenerates one of the paper's
+tables/figures on the simulator.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+
+def _load_graph(path: str):
+    from repro.core import StreamProcessingGraph
+
+    with open(path, "r", encoding="utf-8") as fh:
+        graph = StreamProcessingGraph.from_descriptor(json.load(fh))
+    graph.validate()
+    return graph
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    """`validate` subcommand: check a descriptor file."""
+    graph = _load_graph(args.descriptor)
+    print(f"graph {graph.name!r}: OK")
+    print(f"  operators: {len(graph.operators)} "
+          f"({graph.total_instances()} instances)")
+    print(f"  links:     {len(graph.links)}")
+    print(f"  stages:    {graph.stages()}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """`run` subcommand: deploy a descriptor and print metrics."""
+    graph = _load_graph(args.descriptor)
+    if args.workers > 1:
+        return _run_distributed(graph, args)
+    from repro.core import NeptuneRuntime
+
+    with NeptuneRuntime() as runtime:
+        handle = runtime.submit(graph)
+        if args.duration > 0:
+            time.sleep(args.duration)
+            ok = handle.stop(timeout=args.drain_timeout)
+        else:
+            ok = handle.await_completion(timeout=args.drain_timeout)
+        failures = handle.failures
+        metrics = handle.metrics()
+    _print_metrics(graph.name, ok, metrics, failures)
+    return 0 if ok and not failures else 1
+
+
+def _run_distributed(graph, args: argparse.Namespace) -> int:
+    from repro.core.distributed import DistributedJob
+
+    job = DistributedJob(graph, n_workers=args.workers)
+    for w in job.workers:
+        print(f"resource {w.worker_id} @ {w.address[0]}:{w.address[1]}: "
+              f"{job.plan.instances_on(w.worker_id)}")
+    job.start()
+    if args.duration > 0:
+        time.sleep(args.duration)
+        ok = job.stop(timeout=args.drain_timeout)
+    else:
+        ok = job.await_completion(timeout=args.drain_timeout)
+    failures = job.failures()
+    _print_metrics(graph.name, ok, job.metrics(), failures)
+    return 0 if ok and not failures else 1
+
+
+def _print_metrics(name: str, ok: bool, metrics: dict, failures: dict) -> None:
+    print(f"job {name!r} {'drained' if ok else 'DID NOT QUIESCE'}")
+    for op, m in sorted(metrics.items()):
+        print(
+            f"  {op:20s} in={m['packets_in']:>10} out={m['packets_out']:>10} "
+            f"bytes_in={m['bytes_in']:>12} batches={m['batches_in']:>7}"
+        )
+    for key, exc in failures.items():
+        print(f"  FAILED {key}: {exc!r}", file=sys.stderr)
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    """`experiment` subcommand: regenerate a paper artefact."""
+    from repro.sim import experiments as exp
+    from repro.stats import summarize
+
+    name = args.name
+    quick = not args.full
+    duration = 1.0 if quick else 2.0
+    max_events = 60_000 if quick else 150_000
+    if name == "fig2":
+        rows = exp.fig2_buffer_sweep(
+            message_sizes=(50, 1024, 10240) if quick else exp.FIG2_MESSAGE_SIZES,
+            duration=duration,
+            max_events=max_events,
+        )
+        print(exp.format_rows(rows, "FIG2: relay sweep"))
+    elif name == "table1":
+        print(exp.format_rows(
+            exp.table1_context_switches(repeats=3, duration=duration),
+            "TABLE I: context switches per 5s",
+        ))
+    elif name == "gc":
+        print(exp.format_rows(exp.gc_object_reuse(duration=duration), "GC study"))
+    elif name == "fig4":
+        print(exp.format_rows(exp.fig4_backpressure(), "FIG4: backpressure"))
+    elif name == "fig5":
+        print(exp.format_rows(exp.fig5_concurrent_jobs(), "FIG5: concurrent jobs"))
+    elif name == "fig6":
+        print(exp.format_rows(exp.fig6_cluster_size(), "FIG6: cluster size"))
+    elif name == "fig7":
+        rows = exp.fig7_neptune_vs_storm(
+            message_sizes=(50, 1024, 10240) if quick else exp.FIG7_MESSAGE_SIZES,
+            duration=duration,
+            max_events=max_events,
+        )
+        print(exp.format_rows(rows, "FIG7: NEPTUNE vs Storm"))
+    elif name == "fig9":
+        print(exp.format_rows(exp.fig9_manufacturing(), "FIG9: manufacturing"))
+    elif name == "fig10":
+        out = exp.fig10_resource_usage()
+        print("FIG10: per-node resource consumption")
+        print(f"  NEPTUNE CPU: {summarize(out['neptune_cpu_pct'])}")
+        print(f"  Storm   CPU: {summarize(out['storm_cpu_pct'])}")
+        print(f"  CPU one-tailed p = {out['cpu_one_tailed_p']:.2e}; "
+              f"memory two-tailed p = {out['mem_two_tailed_p']:.4f}")
+    elif name == "headline":
+        head = exp.headline_numbers()
+        for key, value in head.items():
+            print(f"  {key}: {value:,.3f}")
+    else:  # pragma: no cover — argparse choices guard this
+        raise SystemExit(f"unknown experiment {name!r}")
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    """`info` subcommand: version and usage."""
+    import repro
+
+    print(f"repro {repro.__version__} — NEPTUNE (IPPS 2016) reproduction")
+    print(__doc__)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI parser."""
+    parser = argparse.ArgumentParser(prog="repro.cli", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_val = sub.add_parser("validate", help="validate a JSON graph descriptor")
+    p_val.add_argument("descriptor")
+    p_val.set_defaults(fn=cmd_validate)
+
+    p_run = sub.add_parser("run", help="run a JSON graph descriptor")
+    p_run.add_argument("descriptor")
+    p_run.add_argument(
+        "--duration",
+        type=float,
+        default=0.0,
+        help="seconds to run before stopping (0 = wait for sources to finish)",
+    )
+    p_run.add_argument("--drain-timeout", type=float, default=60.0)
+    p_run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="deploy across N Granules resources over TCP (default: local)",
+    )
+    p_run.set_defaults(fn=cmd_run)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p_exp.add_argument(
+        "name",
+        choices=[
+            "fig2", "table1", "gc", "fig4", "fig5",
+            "fig6", "fig7", "fig9", "fig10", "headline",
+        ],
+    )
+    p_exp.add_argument("--full", action="store_true", help="full-resolution sweep")
+    p_exp.set_defaults(fn=cmd_experiment)
+
+    p_info = sub.add_parser("info", help="version and usage")
+    p_info.set_defaults(fn=cmd_info)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

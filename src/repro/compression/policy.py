@@ -1,0 +1,125 @@
+"""The selective compression policy and its wire encoding.
+
+A :class:`CompressionPolicy` is attached per-stream (the paper notes
+effectiveness "depends on the nature of the stream data, hence should be
+enabled and configured for each stream individually even within the same
+stream processing job").  ``encode`` prepends a one-byte flag so the
+receiver knows whether to decompress; ``decode`` inverts it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.compression.entropy import sampled_entropy
+from repro.lz4 import compress as lz4_compress, decompress as lz4_decompress
+
+FLAG_RAW = 0x00
+FLAG_LZ4 = 0x01
+
+# Hard cap guarding decompression of hostile / corrupted wire data.
+MAX_DECOMPRESSED = 1 << 30
+
+
+class CompressionDecision(Enum):
+    """Why a payload was (not) compressed — recorded for observability."""
+
+    DISABLED = "disabled"
+    ENTROPY_TOO_HIGH = "entropy_too_high"
+    TOO_SMALL = "too_small"
+    COMPRESSED = "compressed"
+    INCOMPRESSIBLE = "incompressible"  # compressed output was not smaller
+
+
+@dataclass
+class CompressionStats:
+    """Running counters for one stream's compression behaviour."""
+
+    payloads_seen: int = 0
+    payloads_compressed: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    compress_seconds: float = 0.0
+    decisions: dict = field(default_factory=dict)
+
+    def record(self, decision: CompressionDecision, n_in: int, n_out: int, secs: float) -> None:
+        """Record one observation."""
+        self.payloads_seen += 1
+        self.bytes_in += n_in
+        self.bytes_out += n_out
+        self.compress_seconds += secs
+        if decision is CompressionDecision.COMPRESSED:
+            self.payloads_compressed += 1
+        self.decisions[decision] = self.decisions.get(decision, 0) + 1
+
+    @property
+    def ratio(self) -> float:
+        """Overall output/input byte ratio (1.0 when nothing compressed)."""
+        return self.bytes_out / self.bytes_in if self.bytes_in else 1.0
+
+
+class CompressionPolicy:
+    """Entropy-gated LZ4 compression for outbound buffers.
+
+    Parameters
+    ----------
+    enabled:
+        Master switch; when False every payload is sent raw.
+    entropy_threshold:
+        Compress only when the payload's estimated entropy (bits/byte)
+        is strictly below this.  8.0 compresses everything compressible;
+        0.0 never compresses.
+    min_size:
+        Payloads smaller than this are never compressed (header overhead
+        and CPU cost dominate on tiny buffers).
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        entropy_threshold: float = 6.0,
+        min_size: int = 64,
+    ) -> None:
+        if not 0.0 <= entropy_threshold <= 8.0:
+            raise ValueError(f"entropy_threshold must be in [0, 8]: {entropy_threshold}")
+        if min_size < 0:
+            raise ValueError(f"min_size must be non-negative: {min_size}")
+        self.enabled = enabled
+        self.entropy_threshold = entropy_threshold
+        self.min_size = min_size
+        self.stats = CompressionStats()
+
+    def encode(self, payload: bytes) -> bytes:
+        """Return flag byte + (possibly compressed) payload."""
+        t0 = time.perf_counter()
+        decision, body = self._encode_body(payload)
+        flag = FLAG_LZ4 if decision is CompressionDecision.COMPRESSED else FLAG_RAW
+        out = bytes([flag]) + body
+        self.stats.record(decision, len(payload), len(out), time.perf_counter() - t0)
+        return out
+
+    def _encode_body(self, payload: bytes) -> tuple[CompressionDecision, bytes]:
+        if not self.enabled:
+            return CompressionDecision.DISABLED, payload
+        if len(payload) < self.min_size:
+            return CompressionDecision.TOO_SMALL, payload
+        if sampled_entropy(payload) >= self.entropy_threshold:
+            return CompressionDecision.ENTROPY_TOO_HIGH, payload
+        packed = lz4_compress(payload)
+        if len(packed) >= len(payload):
+            return CompressionDecision.INCOMPRESSIBLE, payload
+        return CompressionDecision.COMPRESSED, packed
+
+    @staticmethod
+    def decode(data: bytes) -> bytes:
+        """Invert :meth:`encode` (usable without a policy instance)."""
+        if not data:
+            raise ValueError("empty compressed frame")
+        flag, body = data[0], data[1:]
+        if flag == FLAG_RAW:
+            return body
+        if flag == FLAG_LZ4:
+            return lz4_decompress(body, max_size=MAX_DECOMPRESSED)
+        raise ValueError(f"unknown compression flag: {flag:#x}")

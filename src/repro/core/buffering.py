@@ -1,0 +1,226 @@
+"""Application-level buffering (paper §III-B1).
+
+"Instead of sending individual stream packets, NEPTUNE implements
+application level buffering at the stream dataset layer to increase
+throughput.  The size of these buffers are defined in terms of their
+capacity as opposed to the number of messages being buffered. ...
+each buffer in NEPTUNE is equipped with a timer that guarantees flushing
+of the buffer after a certain time period since arrival of the first
+message."
+
+One :class:`StreamBuffer` exists per (operator instance → destination
+instance) link leg.  ``append`` accumulates serialized packets; the
+buffer flushes
+
+- immediately when accumulated bytes reach ``capacity`` (flush happens
+  on the appending worker thread — the batch is already in cache), or
+- from the runtime's :class:`FlushTimerService` (the IO tier) when
+  ``max_delay`` elapses after the *first* append since the last flush,
+  bounding end-to-end latency for slow streams.
+
+The flush sink receives ``(body_bytes, packet_count)`` and is expected
+to block under backpressure — never to drop.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from repro.util.clock import Clock, SYSTEM_CLOCK
+
+FlushSink = Callable[[bytes, int], None]
+
+
+class StreamBuffer:
+    """Capacity-triggered, timer-bounded accumulation buffer."""
+
+    def __init__(
+        self,
+        capacity: int,
+        sink: FlushSink,
+        max_delay: float = 0.010,
+        clock: Clock = SYSTEM_CLOCK,
+        name: str = "",
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive: {capacity}")
+        if max_delay <= 0:
+            raise ValueError(f"max_delay must be positive: {max_delay}")
+        self.capacity = capacity
+        self.max_delay = max_delay
+        self.name = name
+        self._sink = sink
+        self._clock = clock
+        self._buf = bytearray()
+        self._count = 0
+        self._first_append_at: float | None = None
+        self._lock = threading.Lock()
+        # Serializes (take, sink) pairs across the worker thread
+        # (capacity flush) and the timer thread, so batches reach the
+        # transport in take-order — required for per-link in-order
+        # delivery.  Always acquired before self._lock.
+        self._flush_lock = threading.Lock()
+        # Flush statistics (capacity vs timer) feed the Fig-2 analysis.
+        self.capacity_flushes = 0
+        self.timer_flushes = 0
+        self.manual_flushes = 0
+        self.bytes_flushed = 0
+        self.packets_flushed = 0
+
+    def append(self, payload: bytes | bytearray | memoryview) -> bool:
+        """Add one serialized packet; returns True if this append flushed."""
+        with self._lock:
+            if not self._buf:
+                self._first_append_at = self._clock.now()
+            self._buf += payload
+            self._count += 1
+            due = len(self._buf) >= self.capacity
+        if not due:
+            return False
+        with self._flush_lock:
+            with self._lock:
+                # Re-check: the timer thread may have flushed meanwhile.
+                if len(self._buf) < self.capacity:
+                    return False
+                body, count = self._take_locked()
+                self.capacity_flushes += 1
+            if body is not None:
+                self._sink(body, count)
+        return True
+
+    def flush(self) -> bool:
+        """Force a flush of any pending data (graph drain / shutdown)."""
+        with self._flush_lock:
+            with self._lock:
+                body, count = self._take_locked()
+                if body is not None:
+                    self.manual_flushes += 1
+            if body is not None:
+                self._sink(body, count)
+                return True
+        return False
+
+    def flush_if_due(self, now: float | None = None) -> bool:
+        """Timer-service entry: flush when the first pending packet has
+        waited ``max_delay``.  Returns whether a flush happened."""
+        if now is None:
+            now = self._clock.now()
+        with self._flush_lock:
+            with self._lock:
+                if (
+                    self._first_append_at is None
+                    or now - self._first_append_at < self.max_delay
+                ):
+                    return False
+                body, count = self._take_locked()
+                self.timer_flushes += 1
+            if body is not None:
+                self._sink(body, count)
+        return body is not None
+
+    def next_deadline(self) -> float | None:
+        """When the timer service must revisit this buffer (None = idle)."""
+        with self._lock:
+            if self._first_append_at is None:
+                return None
+            return self._first_append_at + self.max_delay
+
+    def _take_locked(self) -> tuple[bytes | None, int]:
+        if not self._buf:
+            return None, 0
+        body = bytes(self._buf)
+        count = self._count
+        # Reuse the bytearray's storage rather than reallocating.
+        self._buf.clear()
+        self._count = 0
+        self._first_append_at = None
+        self.bytes_flushed += len(body)
+        self.packets_flushed += count
+        return body, count
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes accumulated and not yet flushed."""
+        with self._lock:
+            return len(self._buf)
+
+    @property
+    def pending_count(self) -> int:
+        """Packets accumulated and not yet flushed."""
+        with self._lock:
+            return self._count
+
+
+class FlushTimerService:
+    """IO-tier thread guaranteeing buffer latency bounds.
+
+    Scans registered buffers and fires :meth:`StreamBuffer.flush_if_due`.
+    One service per runtime; buffers register on link creation.  The
+    scan interval self-tunes to the nearest deadline, capped so newly
+    registered buffers are noticed promptly.
+    """
+
+    def __init__(self, clock: Clock = SYSTEM_CLOCK, max_poll: float = 0.002) -> None:
+        self._clock = clock
+        self._max_poll = max_poll
+        self._buffers: list[StreamBuffer] = []
+        self._lock = threading.Lock()
+        self._running = False
+        self._thread: threading.Thread | None = None
+
+    def register(self, buffer: StreamBuffer) -> None:
+        """Track a buffer for timer-driven flushes."""
+        with self._lock:
+            self._buffers.append(buffer)
+
+    def unregister(self, buffer: StreamBuffer) -> None:
+        """Stop tracking a buffer (no-op when unknown)."""
+        with self._lock:
+            try:
+                self._buffers.remove(buffer)
+            except ValueError:
+                pass
+
+    def start(self) -> None:
+        """Start background threads/services. Idempotent."""
+        with self._lock:
+            if self._running:
+                return
+            self._running = True
+        self._thread = threading.Thread(
+            target=self._loop, name="neptune-flush-timer", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop and release resources. Idempotent."""
+        with self._lock:
+            self._running = False
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+
+    def _loop(self) -> None:
+        import time as _time
+
+        while True:
+            with self._lock:
+                if not self._running:
+                    return
+                buffers = list(self._buffers)
+            now = self._clock.now()
+            next_deadline: float | None = None
+            for buf in buffers:
+                dl = buf.next_deadline()
+                if dl is None:
+                    continue
+                if dl <= now:
+                    buf.flush_if_due(now)
+                elif next_deadline is None or dl < next_deadline:
+                    next_deadline = dl
+            if next_deadline is None:
+                delay = self._max_poll
+            else:
+                delay = min(max(next_deadline - now, 0.0002), self._max_poll)
+            _time.sleep(delay)  # real-time paced; see Resource._timer_loop

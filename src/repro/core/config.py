@@ -1,0 +1,89 @@
+"""Runtime configuration (paper §IV-A defaults).
+
+"For NEPTUNE, we have used the default configurations where the buffer
+size is set to 1 MB.  Thread pool sizes are determined automatically
+depending on the number of cores in the machine it is running on."
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+
+@dataclass
+class NeptuneConfig:
+    """Knobs for one NEPTUNE runtime / stream-processing job.
+
+    Attributes
+    ----------
+    buffer_capacity:
+        Application-level buffer size in bytes (paper default 1 MB).
+    buffer_max_delay:
+        Timer bound: a buffer flushes at most this long after its first
+        pending packet arrived (soft upper bound on queuing latency).
+    inbound_high_watermark / inbound_low_watermark:
+        Byte watermarks on each operator instance's inbound channel;
+        the backpressure gate (§III-B4).  The low mark defaults to half
+        the high mark — "set sufficiently apart ... to avoid the system
+        oscillating between the two states rapidly."
+    worker_threads:
+        Worker-pool size; None = automatic (cores, floored at the
+        number of hosted operator instances so a backpressure-blocked
+        emit can never starve the consumer it is waiting on — the
+        single-process analogue of the paper's multi-machine setup).
+    compression_enabled / compression_entropy_threshold:
+        Per-job defaults for the selective compression policy; each
+        stream may override (§III-B5).
+    batch_max_packets:
+        Cap on packets handed to an operator in one scheduled
+        execution (bounds per-quantum latency under heavy batching).
+    emit_timeout:
+        How long a blocked emit waits before raising
+        :class:`~repro.util.errors.BackpressureTimeout`.  None = wait
+        forever (the paper's semantics: never drop).
+    """
+
+    buffer_capacity: int = 1 << 20
+    buffer_max_delay: float = 0.010
+    inbound_high_watermark: int = 4 << 20
+    inbound_low_watermark: int | None = None
+    worker_threads: int | None = None
+    compression_enabled: bool = False
+    compression_entropy_threshold: float = 6.0
+    compression_min_size: int = 64
+    batch_max_packets: int = 8192
+    emit_timeout: float | None = None
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.buffer_capacity <= 0:
+            raise ValueError(f"buffer_capacity must be positive: {self.buffer_capacity}")
+        if self.buffer_max_delay <= 0:
+            raise ValueError(f"buffer_max_delay must be positive: {self.buffer_max_delay}")
+        if self.inbound_high_watermark <= 0:
+            raise ValueError(
+                f"inbound_high_watermark must be positive: {self.inbound_high_watermark}"
+            )
+        low = self.inbound_low_watermark
+        if low is not None and not 0 <= low < self.inbound_high_watermark:
+            raise ValueError(
+                f"inbound_low_watermark must be in [0, high): {low}"
+            )
+        if self.worker_threads is not None and self.worker_threads <= 0:
+            raise ValueError(f"worker_threads must be positive: {self.worker_threads}")
+        if self.batch_max_packets <= 0:
+            raise ValueError(f"batch_max_packets must be positive: {self.batch_max_packets}")
+
+    def effective_workers(self, hosted_instances: int) -> int:
+        """Resolve the worker-pool size for a runtime hosting
+        ``hosted_instances`` operator instances."""
+        if self.worker_threads is not None:
+            return max(self.worker_threads, hosted_instances)
+        return max(os.cpu_count() or 1, hosted_instances, 1)
+
+    def low_watermark(self) -> int:
+        """Resolve the effective inbound low watermark."""
+        if self.inbound_low_watermark is not None:
+            return self.inbound_low_watermark
+        return self.inbound_high_watermark // 2

@@ -1,0 +1,329 @@
+"""Control plane for multi-process distributed deployments.
+
+:class:`DistributedWorker` hosts a partition inside one process; this
+module adds the coordination layer for workers living in *different*
+processes (or machines):
+
+- :class:`ControlServer` — a tiny JSON-lines TCP command endpoint
+  attached to a worker (``ping``/``finish_sources``/``flush_all``/
+  ``is_quiet``/``metrics``/``failures``/``stop``).
+- :class:`RemoteWorker` — the client proxy, duck-type compatible with
+  :class:`DistributedWorker` for everything the coordinator needs.
+- :class:`RemoteDistributedJob` — the same global-drain coordinator as
+  :class:`~repro.core.distributed.DistributedJob`, over proxies.
+- :func:`worker_main` — process entry point
+  (``python -m repro.core.control --descriptor g.json ...``) that
+  builds the worker from a JSON graph descriptor, wires it, serves
+  control commands, and blocks until told to stop.
+
+The data plane is unchanged: stream frames ride the workers' own
+TCP listeners; only coordination (start/drain/metrics) crosses the
+control sockets.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+from typing import Any
+
+from repro.net.transport import TcpListener  # noqa: F401  (doc cross-ref)
+from repro.util.errors import NeptuneError
+
+
+class ControlError(NeptuneError):
+    """A control command failed on the remote worker."""
+
+
+class ControlServer:
+    """JSON-lines command endpoint for one DistributedWorker."""
+
+    def __init__(self, worker, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.worker = worker
+        self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._server.bind((host, port))
+        self._server.listen(8)
+        self.host, self.port = self._server.getsockname()[:2]
+        self._running = True
+        self.stop_requested = threading.Event()
+        self._thread = threading.Thread(
+            target=self._accept_loop, name=f"ctl-{self.port}", daemon=True
+        )
+        self._thread.start()
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                conn, _ = self._server.accept()
+            except OSError:
+                return
+            threading.Thread(
+                target=self._serve, args=(conn,), daemon=True
+            ).start()
+
+    def _serve(self, conn: socket.socket) -> None:
+        try:
+            rfile = conn.makefile("r", encoding="utf-8")
+            wfile = conn.makefile("w", encoding="utf-8")
+            for line in rfile:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    request = json.loads(line)
+                    response = self._dispatch(request)
+                except Exception as exc:  # noqa: BLE001 — report to caller
+                    response = {"ok": False, "error": repr(exc)}
+                wfile.write(json.dumps(response) + "\n")
+                wfile.flush()
+                if request.get("cmd") == "stop":
+                    return
+        except OSError:
+            pass
+        finally:
+            conn.close()
+
+    def _dispatch(self, request: dict) -> dict:
+        cmd = request.get("cmd")
+        worker = self.worker
+        if cmd == "ping":
+            return {"ok": True, "worker_id": worker.worker_id}
+        if cmd == "finish_sources":
+            worker.finish_sources()
+            return {"ok": True}
+        if cmd == "prepare_drain":
+            worker.prepare_drain()
+            return {"ok": True}
+        if cmd == "flush_all":
+            worker.flush_all()
+            return {"ok": True}
+        if cmd == "is_quiet":
+            return {"ok": True, "quiet": worker.is_quiet()}
+        if cmd == "metrics":
+            return {"ok": True, "metrics": worker.metrics()}
+        if cmd == "failures":
+            return {
+                "ok": True,
+                "failures": {k: repr(v) for k, v in worker.failures.items()},
+            }
+        if cmd == "stop":
+            worker.stop()
+            self.stop_requested.set()
+            return {"ok": True}
+        return {"ok": False, "error": f"unknown command {cmd!r}"}
+
+    def close(self) -> None:
+        """Release underlying resources. Idempotent."""
+        self._running = False
+        self._server.close()
+        self._thread.join(5.0)
+
+
+class RemoteWorker:
+    """Coordinator-side proxy for a worker in another process."""
+
+    def __init__(self, host: str, port: int, connect_timeout: float = 30.0) -> None:
+        deadline = time.monotonic() + connect_timeout
+        last_error: Exception | None = None
+        while time.monotonic() < deadline:
+            try:
+                self._sock = socket.create_connection((host, port), timeout=5.0)
+                break
+            except OSError as exc:  # worker still starting
+                last_error = exc
+                time.sleep(0.05)
+        else:
+            raise ControlError(f"cannot reach worker control at {host}:{port}: {last_error}")
+        self._sock.settimeout(60.0)
+        self._rfile = self._sock.makefile("r", encoding="utf-8")
+        self._wfile = self._sock.makefile("w", encoding="utf-8")
+        self._lock = threading.Lock()
+        self.worker_id = self._call({"cmd": "ping"})["worker_id"]
+
+    def _call(self, request: dict) -> dict:
+        with self._lock:
+            self._wfile.write(json.dumps(request) + "\n")
+            self._wfile.flush()
+            line = self._rfile.readline()
+        if not line:
+            raise ControlError("worker control connection closed")
+        response = json.loads(line)
+        if not response.get("ok"):
+            raise ControlError(response.get("error", "unknown control failure"))
+        return response
+
+    # -- DistributedWorker-compatible surface -----------------------------
+    def finish_sources(self) -> None:
+        """Mark all local sources finished (drain begins)."""
+        self._call({"cmd": "finish_sources"})
+
+    def prepare_drain(self) -> None:
+        """Switch custom-scheduled processors to data-driven dispatch."""
+        self._call({"cmd": "prepare_drain"})
+
+    def flush_all(self) -> None:
+        """Force-flush every outbound buffer."""
+        self._call({"cmd": "flush_all"})
+
+    def is_quiet(self) -> bool:
+        """Locally quiescent: nothing running, queued, or buffered."""
+        return bool(self._call({"cmd": "is_quiet"})["quiet"])
+
+    def metrics(self) -> dict:
+        """Aggregated per-operator counters."""
+        return self._call({"cmd": "metrics"})["metrics"]
+
+    @property
+    def failures(self) -> dict:
+        """Operator-instance failures keyed by 'operator[index]'."""
+        return self._call({"cmd": "failures"})["failures"]
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop and release resources. Idempotent."""
+        try:
+            self._call({"cmd": "stop"})
+        except (ControlError, OSError):
+            pass  # worker may already be gone
+        self._sock.close()
+
+
+class RemoteDistributedJob:
+    """Global drain over remote workers (same protocol as DistributedJob)."""
+
+    def __init__(self, workers: list) -> None:
+        if not workers:
+            raise NeptuneError("RemoteDistributedJob needs at least one worker")
+        self.workers = workers
+
+    def failures(self) -> dict:
+        """Operator-instance failures keyed by 'operator[index]'."""
+        out: dict = {}
+        for w in self.workers:
+            out.update(w.failures)
+        return out
+
+    def metrics(self) -> dict:
+        """Aggregated per-operator counters."""
+        merged: dict = {}
+        for w in self.workers:
+            for op, m in w.metrics().items():
+                if op not in merged:
+                    merged[op] = dict(m)
+                else:
+                    for key, value in m.items():
+                        merged[op][key] += value
+        return merged
+
+    def await_completion(self, timeout: float = 60.0) -> bool:
+        """Wait for natural completion and global drain."""
+        return self._drain(timeout, force=False)
+
+    def stop(self, timeout: float = 60.0) -> bool:
+        """Stop and release resources. Idempotent."""
+        return self._drain(timeout, force=True)
+
+    def _drain(self, timeout: float, force: bool) -> bool:
+        for w in self.workers:
+            w.prepare_drain()
+        if force:
+            for w in self.workers:
+                w.finish_sources()
+        deadline = time.monotonic() + timeout
+        quiesced = False
+        while time.monotonic() < deadline:
+            if self.failures():
+                break
+            for w in self.workers:
+                w.flush_all()
+            if all(w.is_quiet() for w in self.workers):
+                time.sleep(0.05)
+                for w in self.workers:
+                    w.flush_all()
+                if all(w.is_quiet() for w in self.workers):
+                    quiesced = True
+                    break
+            time.sleep(0.01)
+        for w in self.workers:
+            w.stop()
+        return quiesced
+
+
+# ---------------------------------------------------------------------------
+# worker process entry point
+# ---------------------------------------------------------------------------
+
+
+def worker_main(argv: list[str] | None = None) -> int:
+    """Run one distributed worker as a standalone process.
+
+    The coordinator launches N of these (one per machine/process) with
+    identical descriptor+plan, pre-agreed data-plane ports, then drives
+    them through their control ports with :class:`RemoteWorker` /
+    :class:`RemoteDistributedJob`.
+    """
+    import argparse
+
+    from repro.core.distributed import DeploymentPlan, DistributedWorker
+    from repro.core.graph import StreamProcessingGraph
+
+    parser = argparse.ArgumentParser(prog="repro.core.control")
+    parser.add_argument("--descriptor", required=True, help="graph JSON file")
+    parser.add_argument("--worker-id", type=int, required=True)
+    parser.add_argument(
+        "--plan",
+        required=True,
+        help='JSON: {"n_workers": N, "assignment": [["op", idx, worker], ...]}',
+    )
+    parser.add_argument(
+        "--endpoints",
+        required=True,
+        help='JSON: {"0": ["host", dataport], ...} for every worker',
+    )
+    parser.add_argument("--listen-port", type=int, required=True)
+    parser.add_argument("--control-port", type=int, required=True)
+    args = parser.parse_args(argv)
+
+    with open(args.descriptor, "r", encoding="utf-8") as fh:
+        graph = StreamProcessingGraph.from_descriptor(json.load(fh))
+    graph.validate()
+    plan_raw = json.loads(args.plan)
+    plan = DeploymentPlan(
+        n_workers=plan_raw["n_workers"],
+        assignment={(op, idx): w for op, idx, w in plan_raw["assignment"]},
+    )
+    endpoints: dict[int, tuple] = {
+        int(k): (v[0], int(v[1])) for k, v in json.loads(args.endpoints).items()
+    }
+    worker = DistributedWorker(
+        args.worker_id, graph, plan, listen_port=args.listen_port
+    )
+    control = ControlServer(worker, port=args.control_port)
+    worker.connect(endpoints)
+    worker.start()
+    print(
+        f"worker {args.worker_id}: data={worker.address[1]} "
+        f"control={control.port} instances={plan.instances_on(args.worker_id)}",
+        flush=True,
+    )
+    control.stop_requested.wait()
+    control.close()
+    return 0
+
+
+def plan_to_json(plan) -> str:
+    """Serialize a DeploymentPlan for worker_main's ``--plan``."""
+    return json.dumps(
+        {
+            "n_workers": plan.n_workers,
+            "assignment": [
+                [op, idx, worker] for (op, idx), worker in sorted(plan.assignment.items())
+            ],
+        }
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover — exercised via subprocess
+    raise SystemExit(worker_main())

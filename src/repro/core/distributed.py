@@ -1,0 +1,474 @@
+"""Distributed deployment: a graph spanning multiple Granules resources.
+
+The paper runs NEPTUNE jobs across Granules resources on separate
+machines connected by TCP (§II, §IV-A).  This module provides that
+deployment shape:
+
+- :func:`round_robin_plan` assigns every operator *instance* to a
+  worker (resource).
+- :class:`DistributedWorker` hosts one worker's partition: its operator
+  instances run on a local :class:`~repro.granules.resource.Resource`;
+  link legs whose destination is local use in-process channels, remote
+  legs ride :class:`~repro.net.transport.TcpTransport` /
+  :class:`~repro.net.transport.TcpListener` with checksummed,
+  sequence-verified frames.
+- :class:`DistributedJob` coordinates N workers (typically one per
+  process or machine; they may also be co-hosted for tests — the full
+  TCP path is exercised either way), including graceful drain.
+
+Backpressure works across workers exactly as §III-B4 describes: a gated
+inbound channel blocks the listener's reader thread, the kernel receive
+buffer fills, TCP's window closes, and the sender's blocking
+``sendall`` parks the flushing thread.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.compression import CompressionPolicy
+from repro.core.buffering import FlushTimerService, StreamBuffer
+from repro.core.graph import StreamProcessingGraph
+from repro.core.job import JobState
+from repro.core.runtime import (
+    _InLinkInfo,
+    _InstanceRuntime,
+    _JobRuntime,
+    NeptuneRuntime,
+)
+from repro.core.serde import PacketCodec
+from repro.granules.resource import Resource
+from repro.granules.scheduler import DataDrivenStrategy
+from repro.granules.task import TaskState
+from repro.net.flowcontrol import ChannelClosed
+from repro.net.framing import Frame
+from repro.net.transport import TcpListener, TcpTransport
+from repro.util.errors import GraphValidationError, NeptuneError, TransportError
+
+
+@dataclass(frozen=True)
+class DeploymentPlan:
+    """Instance → worker assignment for one graph."""
+
+    n_workers: int
+    #: (operator name, instance index) → worker index.
+    assignment: dict
+
+    def worker_of(self, op: str, instance: int) -> int:
+        """The worker hosting (operator, instance)."""
+        return self.assignment[(op, instance)]
+
+    def instances_on(self, worker: int) -> list[tuple[str, int]]:
+        """The (operator, instance) pairs hosted by a worker."""
+        return sorted(k for k, w in self.assignment.items() if w == worker)
+
+
+def round_robin_plan(graph: StreamProcessingGraph, n_workers: int) -> DeploymentPlan:
+    """Spread instances across workers round-robin, stage-major.
+
+    Keeping an operator's instances on distinct workers load-balances
+    both CPU and network, mirroring the paper's horizontal scaling
+    (§III-A5).
+    """
+    if n_workers <= 0:
+        raise GraphValidationError(f"n_workers must be positive: {n_workers}")
+    graph.validate()
+    assignment = {}
+    cursor = 0
+    for spec in graph.operators.values():
+        for idx in range(spec.parallelism):
+            assignment[(spec.name, idx)] = cursor % n_workers
+            cursor += 1
+    return DeploymentPlan(n_workers=n_workers, assignment=assignment)
+
+
+def capability_weighted_plan(
+    graph: StreamProcessingGraph, capabilities: list[float]
+) -> DeploymentPlan:
+    """Assign instances proportional to per-worker capability.
+
+    The paper's §VI future work: "a dynamic deployment model that
+    leverages the available capabilities of cluster nodes".  A worker
+    with capability 2.0 receives roughly twice the instances of one
+    with 1.0 (largest-remainder apportionment, then stage-major fill),
+    so a heterogeneous cluster (the testbed's DL160s vs DL320es) is not
+    bottlenecked by its weakest machine.
+    """
+    if not capabilities:
+        raise GraphValidationError("capabilities must name at least one worker")
+    if any(c <= 0 for c in capabilities):
+        raise GraphValidationError(f"capabilities must be positive: {capabilities}")
+    graph.validate()
+    n_workers = len(capabilities)
+    total_instances = graph.total_instances()
+    total_cap = sum(capabilities)
+    # Largest-remainder apportionment of instance counts.
+    quotas = [c / total_cap * total_instances for c in capabilities]
+    counts = [int(q) for q in quotas]
+    remainders = sorted(
+        range(n_workers), key=lambda w: quotas[w] - counts[w], reverse=True
+    )
+    for w in remainders:
+        if sum(counts) >= total_instances:
+            break
+        counts[w] += 1
+    # Place instance by instance on the worker with the most remaining
+    # quota, so each operator's instances spread across workers instead
+    # of clustering on one.
+    remaining = counts[:]
+    assignment = {}
+    for spec in graph.operators.values():
+        for idx in range(spec.parallelism):
+            w = max(range(n_workers), key=lambda i: (remaining[i], capabilities[i]))
+            remaining[w] -= 1
+            assignment[(spec.name, idx)] = w
+    return DeploymentPlan(n_workers=n_workers, assignment=assignment)
+
+
+class DistributedWorker:
+    """One worker's partition of a distributed NEPTUNE job."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        graph: StreamProcessingGraph,
+        plan: DeploymentPlan,
+        listen_host: str = "127.0.0.1",
+        listen_port: int = 0,
+    ) -> None:
+        graph.validate()
+        if not 0 <= worker_id < plan.n_workers:
+            raise GraphValidationError(
+                f"worker_id {worker_id} out of range for {plan.n_workers} workers"
+            )
+        self.worker_id = worker_id
+        self.graph = graph
+        self.plan = plan
+        self.job = _JobRuntime(graph)
+        self._flush_service = FlushTimerService()
+        self._resource: Resource | None = None
+        # Inbound routing: global wire id → (channel, in_info).
+        self._inbound: dict[int, tuple] = {}
+        self._listener = TcpListener(listen_host, listen_port, sink=self._on_frame)
+        self._transports: dict[int, TcpTransport] = {}
+        self._started = False
+        self._lock = threading.Lock()
+
+    # -- addressing -----------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """(host, port) of this worker's data listener."""
+        return (self._listener.host, self._listener.port)
+
+    # -- wiring -----------------------------------------------------------------
+    def connect(self, endpoints: dict[int, tuple]) -> None:
+        """Create instances and wire all link legs.
+
+        ``endpoints`` maps worker id → (host, port) for every worker
+        (including this one).  Must be called on every worker before
+        :meth:`start`.
+        """
+        cfg = self.graph.config
+        # 1. Local instances (remote ones are represented by wiring only).
+        for spec in self.graph.operators.values():
+            instances = []
+            for idx in range(spec.parallelism):
+                if self.plan.worker_of(spec.name, idx) == self.worker_id:
+                    instances.append(_InstanceRuntime(self.job, spec, idx))
+            self.job.instances[spec.name] = instances
+
+        local = {
+            (inst.spec.name, inst.index): inst for inst in self.job.all_instances()
+        }
+
+        # 2. Wire legs.  Wire ids are derived deterministically from the
+        #    (link, sender, receiver) triple so every worker computes the
+        #    same ids without coordination.
+        for link in self.graph.links:
+            senders = self.graph.operators[link.from_op].parallelism
+            receivers = self.graph.operators[link.to_op].parallelism
+            compression_on = NeptuneRuntime._compression_enabled(cfg, link)
+            for s_idx in range(senders):
+                sender_here = (link.from_op, s_idx) in local
+                out = None
+                if sender_here:
+                    from repro.core.runtime import _OutLinkRuntime
+
+                    out = _OutLinkRuntime(link)
+                    if compression_on:
+                        out.policy = CompressionPolicy(
+                            enabled=True,
+                            entropy_threshold=cfg.compression_entropy_threshold,
+                            min_size=cfg.compression_min_size,
+                        )
+                for r_idx in range(receivers):
+                    wire_id = self._wire_id(link.link_id, s_idx, r_idx)
+                    receiver_worker = self.plan.worker_of(link.to_op, r_idx)
+                    if receiver_worker == self.worker_id:
+                        inst = local[(link.to_op, r_idx)]
+                        info = _InLinkInfo(PacketCodec(link.schema), compression_on)
+                        self._inbound[wire_id] = (inst.channel, info)
+                    if not sender_here:
+                        continue
+                    sink = self._make_leg_sink(
+                        wire_id,
+                        receiver_worker,
+                        endpoints,
+                        compression_on,
+                        link,
+                        cfg,
+                        out.policy,
+                    )
+                    buf = StreamBuffer(
+                        capacity=cfg.buffer_capacity,
+                        sink=sink,
+                        max_delay=cfg.buffer_max_delay,
+                        name=f"w{self.worker_id}:{link.from_op}[{s_idx}]->"
+                        f"{link.to_op}[{r_idx}]/{link.stream}",
+                    )
+                    out.buffers.append(buf)
+                    out.wire_ids.append(wire_id)
+                    self.job.buffers.append(buf)
+                    self._flush_service.register(buf)
+                if sender_here:
+                    sender_inst = local[(link.from_op, s_idx)]
+                    sender_inst.out_links.setdefault(link.stream, []).append(out)
+
+    @staticmethod
+    def _wire_id(link_id: int, s_idx: int, r_idx: int) -> int:
+        # 12 bits each for sender/receiver instance: ample for any graph.
+        return (link_id << 24) | (s_idx << 12) | r_idx
+
+    def _make_leg_sink(
+        self, wire_id, receiver_worker, endpoints, compression_on, link, cfg, policy
+    ):
+        if receiver_worker == self.worker_id:
+            channel, info = self._inbound[wire_id]
+            seq = [0]
+
+            def local_sink(body: bytes, count: int) -> None:
+                """Deliver one flushed batch into a co-located channel."""
+                if policy is not None:
+                    body = policy.encode(body)
+                from repro.net.framing import FrameHeader
+
+                frame = Frame(FrameHeader(wire_id, seq[0], count, len(body), 0), body)
+                seq[0] += 1
+                try:
+                    ok = channel.put(
+                        len(body),
+                        (frame, time.monotonic(), info),
+                        timeout=cfg.emit_timeout,
+                    )
+                except ChannelClosed:
+                    raise NeptuneError(f"wire {wire_id}: channel closed") from None
+                if not ok:
+                    raise NeptuneError(f"wire {wire_id}: emit timed out")
+
+            return local_sink
+
+        def remote_sink(body: bytes, count: int) -> None:
+            """Ship one flushed batch to a remote worker over TCP."""
+            if policy is not None:
+                body = policy.encode(body)
+            # Resolved lazily: peer workers start asynchronously, so
+            # their data listeners may not be accepting yet at wiring
+            # time; the first flush waits for them.
+            transport = self._transport_to(receiver_worker, endpoints)
+            transport.send(wire_id, body, count)
+
+        return remote_sink
+
+    def _transport_to(
+        self, worker: int, endpoints: dict[int, tuple], connect_window: float = 30.0
+    ) -> TcpTransport:
+        with self._lock:
+            if worker not in self._transports:
+                host, port = endpoints[worker]
+                deadline = time.monotonic() + connect_window
+                while True:
+                    try:
+                        self._transports[worker] = TcpTransport(host, port)
+                        break
+                    except TransportError:
+                        if time.monotonic() >= deadline:
+                            raise
+                        time.sleep(0.05)
+            return self._transports[worker]
+
+    # -- inbound ------------------------------------------------------------------
+    def _on_frame(self, frame: Frame) -> None:
+        entry = self._inbound.get(frame.link_id)
+        if entry is None:
+            raise NeptuneError(
+                f"worker {self.worker_id}: frame for unknown wire {frame.link_id}"
+            )
+        channel, info = entry
+        # Strip the already-verified TCP sequence and renumber locally:
+        # the instance runtime re-verifies per-wire continuity.
+        channel.put(len(frame.body), (frame, time.monotonic(), info))
+
+    # -- lifecycle -----------------------------------------------------------------
+    def start(self) -> None:
+        """Start background threads/services. Idempotent."""
+        if self._started:
+            return
+        self._started = True
+        self._flush_service.start()
+        hosted = len(self.job.all_instances())
+        workers = self.graph.config.effective_workers(max(hosted, 1))
+        self._resource = Resource(f"worker-{self.worker_id}", workers=workers)
+        self._resource.start()
+        from repro.core.runtime import _SourceStrategy
+
+        for inst in self.job.all_instances():
+            strategy = (
+                _SourceStrategy(inst) if inst.spec.is_source else DataDrivenStrategy()
+            )
+            self._resource.launch(inst, strategy)
+        self.job.state = JobState.RUNNING
+
+    def finish_sources(self) -> None:
+        """Mark all local sources finished (drain begins)."""
+        for inst in self.job.all_instances():
+            if inst.spec.is_source:
+                inst.finished = True
+
+    def prepare_drain(self) -> None:
+        """Switch custom-scheduled processors to data-driven dispatch so
+        sub-threshold leftovers cannot be stranded during the drain."""
+        if self._resource is None:
+            return
+        for inst in self.job.all_instances():
+            if not inst.spec.is_source and inst.spec.scheduling is not None:
+                try:
+                    self._resource.set_strategy(inst.task_id, DataDrivenStrategy())
+                except KeyError:
+                    pass
+
+    def flush_all(self) -> None:
+        """Force-flush every outbound buffer."""
+        for inst in self.job.all_instances():
+            inst.flush_all()
+
+    def is_quiet(self) -> bool:
+        """Locally quiescent: no running task, empty channels/buffers."""
+        for inst in self.job.all_instances():
+            if inst.spec.is_source and not inst.finished:
+                return False
+            if inst.state is TaskState.RUNNING:
+                return False
+            if inst.channel is not None and len(inst.channel) > 0:
+                return False
+            if inst.pending_out_bytes > 0:
+                return False
+        return True
+
+    @property
+    def failures(self) -> dict[str, BaseException]:
+        """Operator-instance failures keyed by 'operator[index]'."""
+        out = {}
+        for inst in self.job.all_instances():
+            if inst.failure is not None:
+                out[f"{inst.spec.name}[{inst.index}]"] = inst.failure
+        return out
+
+    def metrics(self) -> dict:
+        """Aggregated per-operator counters."""
+        return self.job.metrics.snapshot()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop and release resources. Idempotent."""
+        if self._resource is not None:
+            for inst in self.job.all_instances():
+                self._resource.terminate_task(inst.task_id)
+            self._resource.stop(timeout)
+            self._resource = None
+        self._flush_service.stop()
+        for t in self._transports.values():
+            t.close()
+        self._listener.close()
+        self.job.state = (
+            JobState.FAILED if self.failures else JobState.STOPPED
+        )
+
+
+class DistributedJob:
+    """Coordinates a set of workers hosting one graph.
+
+    For same-process multi-worker deployments (tests, examples): builds
+    the workers, exchanges endpoints, starts everything, and implements
+    the global drain.  Multi-process deployments construct one
+    :class:`DistributedWorker` per process with identical (graph, plan)
+    and exchange endpoints out of band, then drive the same methods.
+    """
+
+    def __init__(self, graph: StreamProcessingGraph, n_workers: int = 2) -> None:
+        self.graph = graph
+        self.plan = round_robin_plan(graph, n_workers)
+        self.workers = [
+            DistributedWorker(w, graph, self.plan) for w in range(n_workers)
+        ]
+        endpoints = {w.worker_id: w.address for w in self.workers}
+        for w in self.workers:
+            w.connect(endpoints)
+
+    def start(self) -> None:
+        """Start background threads/services. Idempotent."""
+        for w in self.workers:
+            w.start()
+
+    def failures(self) -> dict[str, BaseException]:
+        """Operator-instance failures keyed by 'operator[index]'."""
+        out = {}
+        for w in self.workers:
+            out.update(w.failures)
+        return out
+
+    def metrics(self) -> dict:
+        """Aggregated per-operator counters."""
+        merged: dict = {}
+        for w in self.workers:
+            for op, m in w.metrics().items():
+                if op not in merged:
+                    merged[op] = dict(m)
+                else:
+                    for k, v in m.items():
+                        merged[op][k] += v
+        return merged
+
+    def await_completion(self, timeout: float = 60.0) -> bool:
+        """Wait until sources finish naturally and the graph drains."""
+        return self._drain(timeout, force=False)
+
+    def stop(self, timeout: float = 60.0) -> bool:
+        """Finish sources now, drain, and tear everything down."""
+        return self._drain(timeout, force=True)
+
+    def _drain(self, timeout: float, force: bool) -> bool:
+        for w in self.workers:
+            w.prepare_drain()
+        if force:
+            for w in self.workers:
+                w.finish_sources()
+        deadline = time.monotonic() + timeout
+        quiesced = False
+        while time.monotonic() < deadline:
+            if self.failures():
+                break
+            for w in self.workers:
+                w.flush_all()
+            if all(w.is_quiet() for w in self.workers):
+                # Allow in-flight TCP frames to land, then re-verify.
+                time.sleep(0.05)
+                for w in self.workers:
+                    w.flush_all()
+                if all(w.is_quiet() for w in self.workers):
+                    quiesced = True
+                    break
+            time.sleep(0.005)
+        for w in self.workers:
+            w.stop()
+        return quiesced

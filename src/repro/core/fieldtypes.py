@@ -1,0 +1,166 @@
+"""Primitive field types for stream packets (paper §III-A1).
+
+"NEPTUNE natively supports a set of primitive data types and data
+structures to aid in defining data fields within a stream packet."
+
+Each type knows its wire encoding.  Fixed-width types use
+:mod:`struct`; variable-width types are length-prefixed with a u32.
+Validation is strict: writing a value outside a type's domain raises
+:class:`~repro.util.errors.SerializationError` at encode time, not a
+corrupt packet at the receiver.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from typing import Any
+
+from repro.util.errors import SerializationError
+
+_I8 = struct.Struct("<b")
+_I32 = struct.Struct("<i")
+_I64 = struct.Struct("<q")
+_F32 = struct.Struct("<f")
+_F64 = struct.Struct("<d")
+_U32 = struct.Struct("<I")
+
+
+class FieldType(enum.Enum):
+    """Wire types available for packet fields."""
+
+    BOOL = "bool"
+    INT32 = "int32"
+    INT64 = "int64"
+    FLOAT32 = "float32"
+    FLOAT64 = "float64"
+    STRING = "string"
+    BYTES = "bytes"
+    FLOAT64_LIST = "float64_list"
+    INT64_LIST = "int64_list"
+
+    @property
+    def fixed_size(self) -> int | None:
+        """Encoded size in bytes for fixed-width types, else None."""
+        return _FIXED_SIZES.get(self)
+
+
+_FIXED_SIZES = {
+    FieldType.BOOL: 1,
+    FieldType.INT32: 4,
+    FieldType.INT64: 8,
+    FieldType.FLOAT32: 4,
+    FieldType.FLOAT64: 8,
+}
+
+_INT32_MIN, _INT32_MAX = -(2**31), 2**31 - 1
+_INT64_MIN, _INT64_MAX = -(2**63), 2**63 - 1
+
+
+def encode_field(ftype: FieldType, value: Any, out: bytearray) -> None:
+    """Append the wire encoding of ``value`` as ``ftype`` to ``out``."""
+    try:
+        if ftype is FieldType.BOOL:
+            out += _I8.pack(1 if value else 0)
+        elif ftype is FieldType.INT32:
+            if not _INT32_MIN <= value <= _INT32_MAX:
+                raise SerializationError(f"int32 out of range: {value}")
+            out += _I32.pack(value)
+        elif ftype is FieldType.INT64:
+            if not _INT64_MIN <= value <= _INT64_MAX:
+                raise SerializationError(f"int64 out of range: {value}")
+            out += _I64.pack(value)
+        elif ftype is FieldType.FLOAT32:
+            out += _F32.pack(value)
+        elif ftype is FieldType.FLOAT64:
+            out += _F64.pack(value)
+        elif ftype is FieldType.STRING:
+            raw = value.encode("utf-8")
+            out += _U32.pack(len(raw))
+            out += raw
+        elif ftype is FieldType.BYTES:
+            out += _U32.pack(len(value))
+            out += value
+        elif ftype is FieldType.FLOAT64_LIST:
+            out += _U32.pack(len(value))
+            for v in value:
+                out += _F64.pack(v)
+        elif ftype is FieldType.INT64_LIST:
+            out += _U32.pack(len(value))
+            for v in value:
+                out += _I64.pack(v)
+        else:  # pragma: no cover — exhaustive over the enum
+            raise SerializationError(f"unsupported field type: {ftype}")
+    except (struct.error, AttributeError, TypeError) as exc:
+        raise SerializationError(f"cannot encode {value!r} as {ftype.value}") from exc
+
+
+def decode_field(ftype: FieldType, buf: bytes | memoryview, offset: int) -> tuple[Any, int]:
+    """Decode one ``ftype`` value at ``offset``; return (value, new_offset)."""
+    try:
+        if ftype is FieldType.BOOL:
+            return buf[offset] != 0, offset + 1
+        if ftype is FieldType.INT32:
+            return _I32.unpack_from(buf, offset)[0], offset + 4
+        if ftype is FieldType.INT64:
+            return _I64.unpack_from(buf, offset)[0], offset + 8
+        if ftype is FieldType.FLOAT32:
+            return _F32.unpack_from(buf, offset)[0], offset + 4
+        if ftype is FieldType.FLOAT64:
+            return _F64.unpack_from(buf, offset)[0], offset + 8
+        if ftype is FieldType.STRING:
+            n = _U32.unpack_from(buf, offset)[0]
+            start = offset + 4
+            if start + n > len(buf):
+                raise SerializationError("truncated string field")
+            return bytes(buf[start : start + n]).decode("utf-8"), start + n
+        if ftype is FieldType.BYTES:
+            n = _U32.unpack_from(buf, offset)[0]
+            start = offset + 4
+            if start + n > len(buf):
+                raise SerializationError("truncated bytes field")
+            return bytes(buf[start : start + n]), start + n
+        if ftype is FieldType.FLOAT64_LIST:
+            n = _U32.unpack_from(buf, offset)[0]
+            start = offset + 4
+            end = start + 8 * n
+            if end > len(buf):
+                raise SerializationError("truncated float64 list")
+            return [
+                _F64.unpack_from(buf, start + 8 * i)[0] for i in range(n)
+            ], end
+        if ftype is FieldType.INT64_LIST:
+            n = _U32.unpack_from(buf, offset)[0]
+            start = offset + 4
+            end = start + 8 * n
+            if end > len(buf):
+                raise SerializationError("truncated int64 list")
+            return [
+                _I64.unpack_from(buf, start + 8 * i)[0] for i in range(n)
+            ], end
+        raise SerializationError(f"unsupported field type: {ftype}")  # pragma: no cover
+    except (struct.error, IndexError) as exc:
+        raise SerializationError(f"truncated {ftype.value} field at offset {offset}") from exc
+
+
+def validate_value(ftype: FieldType, value: Any) -> bool:
+    """Cheap type check used by strict-mode packet assignment."""
+    if ftype is FieldType.BOOL:
+        return isinstance(value, bool)
+    if ftype in (FieldType.INT32, FieldType.INT64):
+        return isinstance(value, int) and not isinstance(value, bool)
+    if ftype in (FieldType.FLOAT32, FieldType.FLOAT64):
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if ftype is FieldType.STRING:
+        return isinstance(value, str)
+    if ftype is FieldType.BYTES:
+        return isinstance(value, (bytes, bytearray, memoryview))
+    if ftype is FieldType.FLOAT64_LIST:
+        return isinstance(value, (list, tuple)) and all(
+            isinstance(v, (int, float)) and not isinstance(v, bool) for v in value
+        )
+    if ftype is FieldType.INT64_LIST:
+        return isinstance(value, (list, tuple)) and all(
+            isinstance(v, int) and not isinstance(v, bool) for v in value
+        )
+    return False  # pragma: no cover

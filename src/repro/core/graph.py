@@ -1,0 +1,333 @@
+"""Stream-processing graphs (paper §III-A7).
+
+"A stream processing graph in NEPTUNE comprises: (1) stream sources and
+stream processors for different stages, (2) parallelism levels for
+stream operators, (3) links connecting stream operators, and (4) stream
+partitioning schemes for each link.  A stream processing graph can be
+created by directly invoking the NEPTUNE API or through a JSON
+descriptor file."
+
+Operators are declared with a *factory* (each instance of a parallel
+operator gets its own object).  Validation checks structure (names,
+sources present, acyclic — backpressure over a pressure cycle would
+deadlock), per-stream schemas, and partitioning specs.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import networkx as nx
+
+from repro.core.config import NeptuneConfig
+from repro.core.operators import StreamOperator, StreamProcessor, StreamSource
+from repro.core.packet import PacketSchema
+from repro.core.partitioning import PartitioningScheme, resolve_partitioning
+from repro.util.errors import GraphValidationError
+
+OperatorFactory = Callable[[], StreamOperator]
+
+
+@dataclass
+class OperatorSpec:
+    """One declared operator: factory + parallelism (+ scheduling).
+
+    ``scheduling`` optionally overrides the default data-driven
+    strategy for processors with any Granules strategy — periodic,
+    count-based, or combinations (§II).  It is a zero-argument factory
+    (each instance needs its own strategy object).  A processor
+    executed by a time-based trigger with no data pending receives an
+    :meth:`~repro.core.operators.StreamProcessor.on_schedule` call.
+    """
+
+    name: str
+    factory: OperatorFactory
+    parallelism: int = 1
+    is_source: bool = False
+    scheduling: Callable[[], Any] | None = None
+
+    def __post_init__(self) -> None:
+        if self.parallelism <= 0:
+            raise GraphValidationError(
+                f"operator {self.name!r}: parallelism must be positive, got {self.parallelism}"
+            )
+        if self.scheduling is not None and self.is_source:
+            raise GraphValidationError(
+                f"operator {self.name!r}: sources control their own scheduling"
+            )
+
+
+@dataclass
+class LinkSpec:
+    """One declared link: a named stream between two operators (§III-A4)."""
+
+    from_op: str
+    to_op: str
+    stream: str = "default"
+    partitioning: Any = "round-robin"
+    #: Per-link compression override: None = job default, True/False =
+    #: force on/off, or a dict of CompressionPolicy kwargs.
+    compression: Any = None
+    link_id: int = -1  # assigned at validation
+    schema: PacketSchema | None = None  # resolved at validation
+
+    def resolved_partitioning(self) -> PartitioningScheme:
+        """Instantiate this link's partitioning scheme."""
+        return resolve_partitioning(self.partitioning)
+
+
+class StreamProcessingGraph:
+    """Builder + validator for one stream-processing job."""
+
+    def __init__(self, name: str, config: NeptuneConfig | None = None) -> None:
+        if not name:
+            raise GraphValidationError("graph needs a non-empty name")
+        self.name = name
+        self.config = config or NeptuneConfig()
+        self.operators: dict[str, OperatorSpec] = {}
+        self.links: list[LinkSpec] = []
+        self._validated = False
+
+    # -- construction -----------------------------------------------------------
+    def add_source(
+        self, name: str, factory: OperatorFactory, parallelism: int = 1
+    ) -> "StreamProcessingGraph":
+        """Declare a stream source operator."""
+        self._add(OperatorSpec(name, factory, parallelism, is_source=True))
+        return self
+
+    def add_processor(
+        self,
+        name: str,
+        factory: OperatorFactory,
+        parallelism: int = 1,
+        scheduling: Callable[[], Any] | None = None,
+    ) -> "StreamProcessingGraph":
+        """Declare a processor.
+
+        ``scheduling`` (optional) is a zero-arg factory returning a
+        Granules :class:`~repro.granules.scheduler.SchedulingStrategy`
+        for this operator's instances, e.g.
+        ``lambda: CombinedStrategy(PeriodicStrategy(0.5), DataDrivenStrategy())``
+        for the paper's "every 500 ms or when data is available" (§II).
+        """
+        self._add(
+            OperatorSpec(name, factory, parallelism, is_source=False, scheduling=scheduling)
+        )
+        return self
+
+    def _add(self, spec: OperatorSpec) -> None:
+        if spec.name in self.operators:
+            raise GraphValidationError(f"duplicate operator name {spec.name!r}")
+        self.operators[spec.name] = spec
+        self._validated = False
+
+    def link(
+        self,
+        from_op: str,
+        to_op: str,
+        stream: str = "default",
+        partitioning: Any = "round-robin",
+        compression: Any = None,
+    ) -> "StreamProcessingGraph":
+        """Connect ``from_op``'s ``stream`` to ``to_op`` (§III-A4)."""
+        self.links.append(
+            LinkSpec(from_op, to_op, stream, partitioning, compression)
+        )
+        self._validated = False
+        return self
+
+    # -- validation -----------------------------------------------------------
+    def validate(self) -> "StreamProcessingGraph":
+        """Check structure and resolve link schemas/ids.  Idempotent."""
+        if self._validated:
+            return self
+        if not self.operators:
+            raise GraphValidationError("graph has no operators")
+        if not any(s.is_source for s in self.operators.values()):
+            raise GraphValidationError("graph has no stream source")
+
+        g = nx.DiGraph()
+        g.add_nodes_from(self.operators)
+        for lk in self.links:
+            for endpoint in (lk.from_op, lk.to_op):
+                if endpoint not in self.operators:
+                    raise GraphValidationError(
+                        f"link references undeclared operator {endpoint!r}"
+                    )
+            if self.operators[lk.to_op].is_source:
+                raise GraphValidationError(
+                    f"link {lk.from_op!r}->{lk.to_op!r}: sources cannot receive streams"
+                )
+            g.add_edge(lk.from_op, lk.to_op)
+        if not nx.is_directed_acyclic_graph(g):
+            cycle = nx.find_cycle(g)
+            raise GraphValidationError(
+                f"graph contains a cycle {cycle}; backpressure over a "
+                "pressure cycle would deadlock"
+            )
+        # Every processor must be reachable from some source (else it
+        # can never receive data — almost certainly a wiring mistake).
+        sources = [n for n, s in self.operators.items() if s.is_source]
+        reachable = set(sources)
+        for s in sources:
+            reachable |= nx.descendants(g, s)
+        unreachable = set(self.operators) - reachable
+        if unreachable:
+            raise GraphValidationError(
+                f"operators unreachable from any source: {sorted(unreachable)}"
+            )
+
+        # Resolve schemas: instantiate one probe per operator with
+        # outgoing links and ask for each stream's schema.
+        probes: dict[str, StreamOperator] = {}
+        for idx, lk in enumerate(self.links):
+            lk.link_id = idx
+            probe = probes.get(lk.from_op)
+            if probe is None:
+                probe = self.operators[lk.from_op].factory()
+                if not isinstance(probe, StreamOperator):
+                    raise GraphValidationError(
+                        f"factory for {lk.from_op!r} returned {type(probe).__name__}, "
+                        "not a StreamOperator"
+                    )
+                expected = StreamSource if self.operators[lk.from_op].is_source else StreamProcessor
+                if not isinstance(probe, expected):
+                    raise GraphValidationError(
+                        f"operator {lk.from_op!r} declared as "
+                        f"{'source' if expected is StreamSource else 'processor'} "
+                        f"but factory built a {type(probe).__name__}"
+                    )
+                probes[lk.from_op] = probe
+            try:
+                lk.schema = probe.output_schema(lk.stream)
+            except KeyError as exc:
+                raise GraphValidationError(
+                    f"operator {lk.from_op!r} declares no schema for stream {lk.stream!r}"
+                ) from exc
+            if not isinstance(lk.schema, PacketSchema):
+                raise GraphValidationError(
+                    f"output_schema of {lk.from_op!r} for {lk.stream!r} returned "
+                    f"{type(lk.schema).__name__}"
+                )
+            lk.resolved_partitioning()  # raises on unknown scheme
+        self._validated = True
+        return self
+
+    # -- queries ---------------------------------------------------------------
+    def outgoing_links(self, op: str) -> list[LinkSpec]:
+        """Links whose sender is the named operator."""
+        return [lk for lk in self.links if lk.from_op == op]
+
+    def incoming_links(self, op: str) -> list[LinkSpec]:
+        """Links whose receiver is the named operator."""
+        return [lk for lk in self.links if lk.to_op == op]
+
+    def stages(self) -> list[list[str]]:
+        """Topological generations — the paper's processing *stages*."""
+        self.validate()
+        g = nx.DiGraph()
+        g.add_nodes_from(self.operators)
+        g.add_edges_from((lk.from_op, lk.to_op) for lk in self.links)
+        return [sorted(gen) for gen in nx.topological_generations(g)]
+
+    def total_instances(self) -> int:
+        """Total operator instances across the graph."""
+        return sum(s.parallelism for s in self.operators.values())
+
+    # -- JSON descriptors -------------------------------------------------------
+    def to_descriptor(self) -> dict:
+        """JSON-able descriptor (operators referenced by import path)."""
+        ops = []
+        for spec in self.operators.values():
+            target = getattr(spec.factory, "_descriptor_target", None)
+            ops.append(
+                {
+                    "name": spec.name,
+                    "type": "source" if spec.is_source else "processor",
+                    "parallelism": spec.parallelism,
+                    "class": target[0] if target else None,
+                    "kwargs": target[1] if target else {},
+                }
+            )
+        links = []
+        for lk in self.links:
+            part = lk.partitioning
+            if isinstance(part, PartitioningScheme):
+                part = part.describe()
+            links.append(
+                {
+                    "from": lk.from_op,
+                    "to": lk.to_op,
+                    "stream": lk.stream,
+                    "partitioning": part,
+                }
+            )
+        return {"name": self.name, "operators": ops, "links": links}
+
+    def to_json(self, indent: int = 2) -> str:
+        """JSON string of the descriptor."""
+        return json.dumps(self.to_descriptor(), indent=indent)
+
+    @classmethod
+    def from_descriptor(
+        cls, desc: dict, config: NeptuneConfig | None = None
+    ) -> "StreamProcessingGraph":
+        """Build a graph from a parsed JSON descriptor.
+
+        Operator classes are referenced as ``"pkg.module:ClassName"``
+        and constructed with the descriptor's ``kwargs``.
+        """
+        graph = cls(desc["name"], config=config)
+        for op in desc["operators"]:
+            path = op.get("class")
+            if not path:
+                raise GraphValidationError(
+                    f"operator {op.get('name')!r} has no class path in descriptor"
+                )
+            factory = descriptor_factory(path, **op.get("kwargs", {}))
+            if op["type"] == "source":
+                graph.add_source(op["name"], factory, op.get("parallelism", 1))
+            elif op["type"] == "processor":
+                graph.add_processor(op["name"], factory, op.get("parallelism", 1))
+            else:
+                raise GraphValidationError(f"unknown operator type {op['type']!r}")
+        for lk in desc.get("links", []):
+            graph.link(
+                lk["from"],
+                lk["to"],
+                stream=lk.get("stream", "default"),
+                partitioning=lk.get("partitioning", "round-robin"),
+                compression=lk.get("compression"),
+            )
+        return graph
+
+    @classmethod
+    def from_json(cls, text: str, config: NeptuneConfig | None = None) -> "StreamProcessingGraph":
+        """Build a graph from a JSON descriptor string."""
+        return cls.from_descriptor(json.loads(text), config=config)
+
+
+def descriptor_factory(path: str, **kwargs: Any) -> OperatorFactory:
+    """Factory from an import path ``"pkg.module:ClassName"``.
+
+    The returned callable carries its target so :meth:`to_descriptor`
+    can round-trip the graph.
+    """
+    module_name, _, class_name = path.partition(":")
+    if not module_name or not class_name:
+        raise GraphValidationError(
+            f"operator class path must be 'module:Class', got {path!r}"
+        )
+
+    def factory() -> StreamOperator:
+        """Build the operator instance."""
+        module = importlib.import_module(module_name)
+        cls_obj = getattr(module, class_name)
+        return cls_obj(**kwargs)
+
+    factory._descriptor_target = (path, kwargs)  # type: ignore[attr-defined]
+    return factory

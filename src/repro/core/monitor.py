@@ -1,0 +1,121 @@
+"""Job monitoring: periodic throughput/backlog probes.
+
+The paper's experiments report throughput over observation windows
+(e.g. Fig. 4's source-rate timeline).  :class:`ThroughputProbe` samples
+a job's metrics on an interval and keeps a bounded history of
+per-window rates, usable live (``latest``) or after the run
+(``history``).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ProbeSample:
+    """One observation window of one operator."""
+
+    t: float
+    operator: str
+    packets_in_per_s: float
+    packets_out_per_s: float
+    bytes_in_per_s: float
+
+
+class ThroughputProbe:
+    """Samples a JobHandle's metrics on a fixed interval.
+
+    Usage::
+
+        probe = ThroughputProbe(handle, interval=0.5)
+        probe.start()
+        ...
+        probe.stop()
+        for sample in probe.history("relay"):
+            ...
+    """
+
+    def __init__(self, handle, interval: float = 1.0, max_history: int = 3600) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive: {interval}")
+        self.handle = handle
+        self.interval = interval
+        self._history: dict[str, deque[ProbeSample]] = {}
+        self._last: dict[str, tuple[float, int, int, int]] = {}
+        self._max_history = max_history
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()
+
+    def start(self) -> "ThroughputProbe":
+        """Start background threads/services. Idempotent."""
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="neptune-probe", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop and release resources. Idempotent."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(5.0)
+            self._thread = None
+
+    def __enter__(self) -> "ThroughputProbe":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def sample_once(self) -> None:
+        """Take one sample immediately (also used by the loop)."""
+        import time
+
+        now = time.monotonic()
+        snapshot = self.handle.metrics()
+        with self._lock:
+            for op, m in snapshot.items():
+                prev = self._last.get(op)
+                self._last[op] = (now, m["packets_in"], m["packets_out"], m["bytes_in"])
+                if prev is None:
+                    continue
+                t0, pin, pout, bin_ = prev
+                dt = now - t0
+                if dt <= 0:
+                    continue
+                sample = ProbeSample(
+                    t=now,
+                    operator=op,
+                    packets_in_per_s=(m["packets_in"] - pin) / dt,
+                    packets_out_per_s=(m["packets_out"] - pout) / dt,
+                    bytes_in_per_s=(m["bytes_in"] - bin_) / dt,
+                )
+                hist = self._history.setdefault(op, deque(maxlen=self._max_history))
+                hist.append(sample)
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.sample_once()
+
+    def history(self, operator: str) -> list[ProbeSample]:
+        """All samples recorded for an operator, oldest first."""
+        with self._lock:
+            return list(self._history.get(operator, ()))
+
+    def latest(self, operator: str) -> ProbeSample | None:
+        """The most recent sample for an operator, or None."""
+        with self._lock:
+            hist = self._history.get(operator)
+            return hist[-1] if hist else None
+
+    def operators(self) -> list[str]:
+        """Names of operators with recorded samples."""
+        with self._lock:
+            return sorted(self._history)

@@ -1,0 +1,125 @@
+"""Generic object pools (paper §III-B3).
+
+Object reuse "reduces the number of short-lived runtime objects at a
+NEPTUNE process, which in turn reduces the strain on the garbage
+collector".  In CPython the analogous costs are allocation,
+``__init__`` execution, and reference-counting/GC pressure; the GC
+benchmark (``benchmarks/bench_gc_object_reuse.py``) measures both modes.
+
+:class:`ObjectPool` is a thread-safe free-list with a factory and an
+optional reset hook.  ``acquire``/``release`` or the ``lease`` context
+manager.  Bounded pools either grow through the bound (default,
+``strict=False``, allocating overflow objects that are *not* retained on
+release) or raise :class:`~repro.util.errors.PoolExhausted`.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Callable, Generic, Iterator, TypeVar
+
+from repro.util.errors import PoolExhausted
+
+T = TypeVar("T")
+
+
+class ObjectPool(Generic[T]):
+    """Thread-safe free-list pool.
+
+    Parameters
+    ----------
+    factory:
+        Zero-argument callable creating a new object.
+    reset:
+        Optional callable invoked on an object when it is released back,
+        restoring it to a clean state (e.g. ``StreamPacket.reset``).
+    max_size:
+        Free-list capacity.  ``strict=True`` makes ``acquire`` raise
+        when all ``max_size`` objects are leased; otherwise overflow
+        objects are freshly allocated and dropped on release.
+    preallocate:
+        Objects to create eagerly (warm pools avoid first-use jitter).
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[], T],
+        reset: Callable[[T], Any] | None = None,
+        max_size: int = 1024,
+        strict: bool = False,
+        preallocate: int = 0,
+    ) -> None:
+        if max_size <= 0:
+            raise ValueError(f"max_size must be positive: {max_size}")
+        if preallocate < 0 or preallocate > max_size:
+            raise ValueError(f"preallocate must be in [0, max_size]: {preallocate}")
+        self._factory = factory
+        self._reset = reset
+        self._max_size = max_size
+        self._strict = strict
+        self._lock = threading.Lock()
+        self._free: list[T] = [factory() for _ in range(preallocate)]
+        self._leased = 0
+        # Stats used by the object-reuse benchmarks.
+        self.preallocated = preallocate
+        self.created = preallocate
+        self.reused = 0
+        self.overflow = 0
+
+    def acquire(self) -> T:
+        """Take an object from the pool (or allocate)."""
+        with self._lock:
+            if self._free:
+                obj = self._free.pop()
+                self._leased += 1
+                self.reused += 1
+                return obj
+            if self._strict and self._leased >= self._max_size:
+                raise PoolExhausted(
+                    f"pool exhausted: {self._leased}/{self._max_size} leased"
+                )
+            self._leased += 1
+            self.created += 1
+            if self._leased > self._max_size:
+                self.overflow += 1
+        return self._factory()
+
+    def release(self, obj: T) -> None:
+        """Return an object; it is reset and kept if capacity allows."""
+        if self._reset is not None:
+            self._reset(obj)
+        with self._lock:
+            self._leased = max(0, self._leased - 1)
+            if len(self._free) < self._max_size:
+                self._free.append(obj)
+            # else: overflow object — let the GC take it.
+
+    @contextmanager
+    def lease(self) -> Iterator[T]:
+        """``with pool.lease() as obj:`` acquire/release scope."""
+        obj = self.acquire()
+        try:
+            yield obj
+        finally:
+            self.release(obj)
+
+    @property
+    def free_count(self) -> int:
+        """Objects currently on the free list."""
+        with self._lock:
+            return len(self._free)
+
+    @property
+    def leased_count(self) -> int:
+        """Objects currently leased out."""
+        with self._lock:
+            return self._leased
+
+    @property
+    def reuse_ratio(self) -> float:
+        """Fraction of acquisitions served from the free list."""
+        acquisitions = self.reused + (self.created - self.preallocated)
+        if acquisitions <= 0:
+            return 0.0
+        return self.reused / acquisitions

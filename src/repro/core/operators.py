@@ -1,0 +1,145 @@
+"""Stream operators: sources and processors (paper §III-A2, §III-A3).
+
+- A :class:`StreamSource` ingests external data and emits packets into
+  the graph ("typical implementations ... read data from message
+  brokers and message queues" or pull from an IoT gateway).
+- A :class:`StreamProcessor` encapsulates the domain logic to process a
+  single packet and may emit packets on outgoing streams.  "Users need
+  to provide processing logic for a single packet while NEPTUNE
+  transparently manages batched execution." (§III-B2)
+
+Operators interact with the framework only through the
+:class:`EmitContext` the runtime passes in: ``ctx.emit(packet)`` routes
+through partitioning → application-level buffer → transport, blocking
+under backpressure.  User classes never see threads, buffers, or links.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Protocol
+
+from repro.core.packet import PacketSchema, StreamPacket
+
+
+class EmitContext(Protocol):
+    """What an operator may do during an execution quantum."""
+
+    @property
+    def instance_index(self) -> int:
+        """This operator instance's index in [0, parallelism)."""
+        ...
+
+    @property
+    def parallelism(self) -> int:
+        """Total instances of this operator."""
+        ...
+
+    def emit(self, packet: StreamPacket, stream: str | None = None) -> None:
+        """Send ``packet`` on ``stream`` (default: sole outgoing stream).
+
+        Blocks while downstream backpressure gates the path; raises
+        :class:`~repro.util.errors.BackpressureTimeout` only when the
+        job's ``emit_timeout`` is configured and exceeded.  Never drops.
+        """
+        ...
+
+    def new_packet(self, stream: str | None = None) -> StreamPacket:
+        """A (pooled) packet pre-bound to ``stream``'s schema.
+
+        The packet returns to the pool after a successful ``emit``; do
+        not retain it afterwards.
+        """
+        ...
+
+    def finish(self) -> None:
+        """Source only: declare the stream exhausted (stops scheduling)."""
+        ...
+
+
+class StreamOperator(ABC):
+    """Shared base: lifecycle hooks and declared output schemas."""
+
+    def __init__(self) -> None:
+        #: Set by the runtime before ``setup``.
+        self.name: str = type(self).__name__
+
+    def setup(self, ctx: "EmitContext") -> None:
+        """Called once per instance before the first execution."""
+
+    def teardown(self) -> None:
+        """Called once per instance at job shutdown."""
+
+    @abstractmethod
+    def output_schema(self, stream: str) -> PacketSchema:
+        """Schema of the named outgoing stream.
+
+        Graph validation calls this for every outgoing link and checks
+        both endpoints agree.  Operators with no outputs may raise
+        ``KeyError``.
+        """
+
+
+class StreamSource(StreamOperator):
+    """Ingests an external stream into the graph.
+
+    The runtime calls :meth:`generate` repeatedly (one scheduling
+    quantum each).  Implementations emit zero or more packets per call
+    and call ``ctx.finish()`` when the external stream is exhausted.
+    Emission rate control is natural: ``generate`` emitting one packet
+    per call yields a tight loop throttled purely by backpressure.
+    """
+
+    @abstractmethod
+    def generate(self, ctx: EmitContext) -> None:
+        """Produce packets for one scheduling quantum."""
+
+
+class StreamProcessor(StreamOperator):
+    """Processes one packet at a time; batching is the framework's job."""
+
+    @abstractmethod
+    def process(self, packet: StreamPacket, ctx: EmitContext) -> None:
+        """Handle one packet (borrowed: clone() before retaining it)."""
+
+    def on_batch_start(self, size: int, ctx: EmitContext) -> None:
+        """Optional hook before a batch of ``size`` packets (§III-B2)."""
+
+    def on_batch_end(self, ctx: EmitContext) -> None:
+        """Optional hook after a batch completes."""
+
+    def on_schedule(self, ctx: EmitContext) -> None:
+        """Hook for time-based scheduled executions with no data.
+
+        Only invoked when the operator is declared with a custom
+        scheduling strategy (e.g. periodic) and the trigger fires while
+        the inbound channel is empty — the place to emit window
+        aggregates, heartbeats, or timeout-driven results.
+        """
+
+
+class FunctionProcessor(StreamProcessor):
+    """Adapter turning a plain function into a processor.
+
+    ``fn(packet, ctx)`` is invoked per packet.  Handy for examples and
+    tests::
+
+        FunctionProcessor(lambda pkt, ctx: ctx.emit(pkt.clone()), schema)
+    """
+
+    def __init__(self, fn, schema: PacketSchema | None = None, name: str | None = None):
+        super().__init__()
+        self._fn = fn
+        self._schema = schema
+        if name:
+            self.name = name
+
+    def process(self, packet: StreamPacket, ctx: EmitContext) -> None:
+        """Handle one stream packet (StreamProcessor contract)."""
+        self._fn(packet, ctx)
+
+    def output_schema(self, stream: str) -> PacketSchema:
+        """Declare the schema of the named outgoing stream."""
+        if self._schema is None:
+            raise KeyError(f"{self.name} declares no output schema")
+        return self._schema

@@ -1,0 +1,171 @@
+"""Stream partitioning schemes (paper §III-A6).
+
+"Partitioning schemes define how a stream should be partitioned when it
+is routed to different instances of the same stream processor. ...
+NEPTUNE supports a set of partitioning schemes natively and also allows
+users to design custom partitioning schemes."
+
+A scheme maps a packet to the destination instance index (or indices,
+for broadcast) among ``n`` instances of the downstream operator.
+Custom schemes subclass :class:`PartitioningScheme` and register with
+:func:`register_partitioning` so JSON graph descriptors can name them.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from repro.core.packet import StreamPacket
+from repro.lz4 import xxh32
+from repro.util.errors import GraphValidationError
+
+
+class PartitioningScheme(ABC):
+    """Maps each packet to destination instance indices."""
+
+    #: Name used in JSON descriptors; subclasses override.
+    name = "abstract"
+
+    @abstractmethod
+    def route(self, packet: StreamPacket, n_instances: int) -> Sequence[int]:
+        """Destination instance indices in ``range(n_instances)``."""
+
+    def describe(self) -> dict:
+        """JSON-descriptor form of this scheme."""
+        return {"scheme": self.name}
+
+
+class RoundRobinPartitioning(PartitioningScheme):
+    """Cycle through instances — even load, no key affinity.
+
+    Stateful per link leg; NEPTUNE instantiates one scheme object per
+    (sender instance, link), so no lock is needed (operator instances
+    execute serialized).
+    """
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def route(self, packet: StreamPacket, n_instances: int) -> Sequence[int]:
+        """Destination instance indices for one packet."""
+        idx = self._next
+        self._next = (idx + 1) % n_instances
+        return (idx,)
+
+
+class ShufflePartitioning(PartitioningScheme):
+    """Uniformly random instance per packet (Storm's "shuffle grouping")."""
+
+    name = "shuffle"
+
+    def __init__(self, seed: int | None = None) -> None:
+        self._rng = random.Random(seed)
+
+    def route(self, packet: StreamPacket, n_instances: int) -> Sequence[int]:
+        """Destination instance indices for one packet."""
+        return (self._rng.randrange(n_instances),)
+
+
+class FieldsPartitioning(PartitioningScheme):
+    """Key-hash partitioning: same key fields → same instance.
+
+    Required whenever a processor keeps per-key state (e.g. the DEBS
+    monitoring job keys by sensor id).  Hashes the UTF-8/wire form of
+    the named fields with xxh32 for a stable, platform-independent
+    assignment.
+    """
+
+    name = "fields"
+
+    def __init__(self, fields: Sequence[str]) -> None:
+        if not fields:
+            raise GraphValidationError("fields partitioning needs at least one field")
+        self.fields = tuple(fields)
+
+    def route(self, packet: StreamPacket, n_instances: int) -> Sequence[int]:
+        """Destination instance indices for one packet."""
+        h = 0
+        for fname in self.fields:
+            value = packet.get(fname)
+            h = xxh32(repr(value).encode("utf-8"), seed=h)
+        return (h % n_instances,)
+
+    def describe(self) -> dict:
+        """JSON-descriptor form of this scheme."""
+        return {"scheme": self.name, "fields": list(self.fields)}
+
+
+class BroadcastPartitioning(PartitioningScheme):
+    """Deliver every packet to every instance (control/config streams)."""
+
+    name = "broadcast"
+
+    def route(self, packet: StreamPacket, n_instances: int) -> Sequence[int]:
+        """Destination instance indices for one packet."""
+        return tuple(range(n_instances))
+
+
+class DirectPartitioning(PartitioningScheme):
+    """Sender names the instance explicitly via a packet field."""
+
+    name = "direct"
+
+    def __init__(self, index_field: str) -> None:
+        self.index_field = index_field
+
+    def route(self, packet: StreamPacket, n_instances: int) -> Sequence[int]:
+        """Destination instance indices for one packet."""
+        idx = packet.get(self.index_field)
+        if not isinstance(idx, int) or not 0 <= idx < n_instances:
+            raise GraphValidationError(
+                f"direct partitioning field {self.index_field!r} = {idx!r} "
+                f"is not a valid instance index (n={n_instances})"
+            )
+        return (idx,)
+
+    def describe(self) -> dict:
+        """JSON-descriptor form of this scheme."""
+        return {"scheme": self.name, "index_field": self.index_field}
+
+
+# -- registry (for JSON descriptors and user extensions) ---------------------
+
+_REGISTRY: dict[str, type[PartitioningScheme]] = {}
+
+
+def register_partitioning(cls: type[PartitioningScheme]) -> type[PartitioningScheme]:
+    """Register a scheme class under its ``name`` (usable as decorator)."""
+    if not getattr(cls, "name", None) or cls.name == "abstract":
+        raise GraphValidationError(f"partitioning class {cls!r} needs a name")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def resolve_partitioning(spec: dict | str | PartitioningScheme) -> PartitioningScheme:
+    """Build a scheme from a descriptor: name, dict, or instance."""
+    if isinstance(spec, PartitioningScheme):
+        return spec
+    if isinstance(spec, str):
+        spec = {"scheme": spec}
+    name = spec.get("scheme")
+    cls = _REGISTRY.get(name)  # type: ignore[arg-type]
+    if cls is None:
+        raise GraphValidationError(
+            f"unknown partitioning scheme {name!r}; registered: {sorted(_REGISTRY)}"
+        )
+    kwargs = {k: v for k, v in spec.items() if k != "scheme"}
+    return cls(**kwargs)
+
+
+for _cls in (
+    RoundRobinPartitioning,
+    ShufflePartitioning,
+    FieldsPartitioning,
+    BroadcastPartitioning,
+    DirectPartitioning,
+):
+    register_partitioning(_cls)

@@ -1,0 +1,678 @@
+"""The NEPTUNE runtime: deploys stream-processing graphs onto Granules.
+
+This is where the paper's §III-B machinery composes:
+
+- every operator *instance* becomes a Granules computational task;
+- processor instances get a watermark-gated inbound channel
+  (backpressure, §III-B4) drained in batches per scheduled execution
+  (batched scheduling, §III-B2);
+- every (sender instance → destination instance) link leg gets an
+  application-level :class:`StreamBuffer` (capacity + timer flush,
+  §III-B1) feeding a transport, with an optional per-link selective
+  compression policy (§III-B5);
+- serde uses per-link reusable codecs and pooled packets (object
+  reuse, §III-B3);
+- threads form two tiers: the Granules worker pool executes operators,
+  and the IO tier (flush-timer thread plus, in distributed mode,
+  socket reader threads) moves bytes.
+
+Correctness: per-link-leg FIFO order with sequence verification at the
+receiver, checksummed frames on the wire, and blocking (never dropping)
+under backpressure — packets are processed in order and exactly once.
+
+The worker pool defaults to ``max(cores, hosted instances)`` threads: an
+emit blocked on a gated downstream channel parks its worker, and sizing
+the pool to the instance count guarantees the consumer that must drain
+that channel can always get a worker (pressure chains are acyclic, so
+the most-downstream stage always progresses — no deadlock).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+
+from repro.compression import CompressionPolicy
+from repro.core.buffering import FlushTimerService, StreamBuffer
+from repro.core.config import NeptuneConfig
+from repro.core.graph import LinkSpec, OperatorSpec, StreamProcessingGraph
+from repro.core.job import JobHandle, JobState
+from repro.core.metrics import MetricsRegistry
+from repro.core.object_pool import ObjectPool
+from repro.core.operators import StreamProcessor
+from repro.core.packet import StreamPacket
+from repro.core.serde import PacketCodec
+from repro.granules.dataset import Dataset
+from repro.granules.resource import Resource
+from repro.granules.scheduler import DataDrivenStrategy, SchedulingStrategy
+from repro.granules.task import ComputationalTask, TaskState
+from repro.net.flowcontrol import ChannelClosed, WatermarkChannel
+from repro.net.framing import Frame, FrameHeader
+from repro.util.errors import BackpressureTimeout, JobStateError, NeptuneError
+
+
+class _ChannelDataset(Dataset):
+    """Adapts a WatermarkChannel to Granules' dataset interface so
+    data-driven scheduling fires when a frame lands."""
+
+    def __init__(self, name: str, channel: WatermarkChannel) -> None:
+        super().__init__(name)
+        self.channel = channel
+        channel.on_data_available(self._notify)
+
+    def has_data(self) -> bool:
+        """Whether a read would currently yield data."""
+        return len(self.channel) > 0
+
+    def close(self) -> None:
+        """Release underlying resources. Idempotent."""
+        super().close()
+        self.channel.close()
+
+
+class _SourceStrategy(SchedulingStrategy):
+    """Keeps a source scheduled until it declares itself finished."""
+
+    def __init__(self, instance: "_InstanceRuntime") -> None:
+        self._instance = instance
+
+    def should_run(self, task: ComputationalTask, now: float) -> bool:
+        """Whether the task is due for execution now."""
+        return not self._instance.finished and not self._instance.paused
+
+    def next_deadline(self, task: ComputationalTask, now: float) -> float | None:
+        # Re-poll via the timer loop so a source is never forgotten
+        # (e.g. after a strategy swap, unpause, or failure recovery).
+        """Earliest future time the decision could flip to True."""
+        return None if self._instance.finished else now
+
+
+class _OutLinkRuntime:
+    """Sender-side state for one outgoing link of one operator instance."""
+
+    __slots__ = (
+        "link",
+        "scheme",
+        "codec",
+        "buffers",
+        "dest_channels",
+        "wire_ids",
+        "policy",
+    )
+
+    def __init__(self, link: LinkSpec) -> None:
+        self.link = link
+        self.scheme = link.resolved_partitioning()
+        self.codec = PacketCodec(link.schema)
+        self.buffers: list[StreamBuffer] = []
+        self.dest_channels: list[WatermarkChannel] = []
+        self.wire_ids: list[int] = []
+        self.policy: CompressionPolicy | None = None
+
+
+class _InstanceRuntime(ComputationalTask):
+    """One operator instance as a Granules computational task."""
+
+    def __init__(
+        self,
+        job: "_JobRuntime",
+        spec: OperatorSpec,
+        index: int,
+    ) -> None:
+        super().__init__(f"{job.graph.name}/{spec.name}[{index}]")
+        self.job = job
+        self.spec = spec
+        self.index = index
+        self.operator = spec.factory()
+        self.operator.name = spec.name
+        self.metrics = job.metrics.for_operator(spec.name, index)
+        self.finished = not spec.is_source  # processors "finish" via drain
+        self.paused = False  # quiesced-checkpoint gate (sources only)
+        self.out_links: dict[str, list[_OutLinkRuntime]] = {}
+        self.channel: WatermarkChannel | None = None
+        self._expected_seq: dict[int, int] = {}
+        self._pools: dict[Any, ObjectPool[StreamPacket]] = {}
+        self._pool_leases: dict[int, ObjectPool[StreamPacket]] = {}
+        self.ctx = _Context(self)
+        if not spec.is_source:
+            cfg = job.graph.config
+            self.channel = WatermarkChannel(
+                high_watermark=cfg.inbound_high_watermark,
+                low_watermark=cfg.low_watermark(),
+            )
+            self.attach_dataset(_ChannelDataset("inbound", self.channel))
+
+    # -- lifecycle ---------------------------------------------------------
+    def initialize(self) -> None:
+        """Prepare for use (framework-managed lifecycle)."""
+        self.operator.setup(self.ctx)
+
+    def terminate(self) -> None:
+        """Per-instance cleanup hook."""
+        self.operator.teardown()
+
+    # -- execution -----------------------------------------------------------
+    def execute(self, context: Any = None) -> None:
+        """One scheduled execution (ComputationalTask contract)."""
+        if self.spec.is_source:
+            if not self.finished:
+                self.operator.generate(self.ctx)  # type: ignore[union-attr]
+            return
+        self._process_available()
+
+    def _process_available(self) -> None:
+        assert self.channel is not None
+        cfg = self.job.graph.config
+        frames = self.channel.drain()
+        if not frames:
+            # Time/count-triggered execution with no pending data.
+            if self.spec.scheduling is not None:
+                self.operator.on_schedule(self.ctx)  # type: ignore[union-attr]
+                self.metrics.executions += 1
+            return
+        op: StreamProcessor = self.operator  # type: ignore[assignment]
+        now = time.monotonic()
+        for frame, put_at, in_link in frames:
+            self._verify_sequence(frame)
+            body = frame.body
+            if in_link.compression_used:
+                body = CompressionPolicy.decode(body)
+            codec = in_link.codec
+            self.metrics.batches_in += 1
+            self.metrics.bytes_in += len(frame.body)
+            self.metrics.latency.record(now - put_at)
+            op.on_batch_start(frame.count, self.ctx)
+            n = 0
+            for packet in codec.iter_decode(body, count=frame.count, reuse=True):
+                op.process(packet, self.ctx)
+                n += 1
+                if n % cfg.batch_max_packets == 0:
+                    now = time.monotonic()
+            op.on_batch_end(self.ctx)
+            self.metrics.packets_in += n
+        self.metrics.executions += 1
+
+    def _verify_sequence(self, frame: Frame) -> None:
+        expected = self._expected_seq.get(frame.link_id, 0)
+        if frame.seq != expected:
+            raise NeptuneError(
+                f"{self.task_id}: wire link {frame.link_id} frame seq {frame.seq}, "
+                f"expected {expected} — ordering violation"
+            )
+        self._expected_seq[frame.link_id] = frame.seq + 1
+
+    # -- emission ------------------------------------------------------------
+    def emit(self, packet: StreamPacket, stream: str | None = None) -> None:
+        """Send a packet downstream (blocking under backpressure)."""
+        links = self._links_for(stream)
+        for out in links:
+            n_dest = len(out.buffers)
+            targets = out.scheme.route(packet, n_dest)
+            if not targets:
+                continue
+            encoded = out.codec.encode(packet)
+            for dest in targets:
+                buf = out.buffers[dest]
+                before = time.monotonic()
+                buf.append(encoded)
+                blocked = time.monotonic() - before
+                if blocked > 0.001:
+                    self.metrics.emit_block_seconds += blocked
+            self.metrics.packets_out += len(targets)
+            self.metrics.bytes_out += len(encoded) * len(targets)
+        pool = self._pool_leases.pop(id(packet), None)
+        if pool is not None:
+            pool.release(packet)
+
+    def _links_for(self, stream: str | None) -> list[_OutLinkRuntime]:
+        if stream is None:
+            if len(self.out_links) == 1:
+                return next(iter(self.out_links.values()))
+            if not self.out_links:
+                raise NeptuneError(
+                    f"{self.task_id}: emit with no outgoing links"
+                )
+            raise NeptuneError(
+                f"{self.task_id}: multiple outgoing streams "
+                f"{sorted(self.out_links)}; name one explicitly"
+            )
+        try:
+            return self.out_links[stream]
+        except KeyError:
+            raise NeptuneError(
+                f"{self.task_id}: no outgoing stream {stream!r}; "
+                f"declared: {sorted(self.out_links)}"
+            ) from None
+
+    def new_packet(self, stream: str | None = None) -> StreamPacket:
+        """A pooled packet bound to the outgoing stream's schema."""
+        links = self._links_for(stream)
+        schema = links[0].link.schema
+        pool = self._pools.get(schema)
+        if pool is None:
+            pool = ObjectPool(
+                factory=lambda s=schema: StreamPacket(s),
+                reset=StreamPacket.reset,
+                max_size=256,
+            )
+            self._pools[schema] = pool
+        pkt = pool.acquire()
+        self._pool_leases[id(pkt)] = pool
+        return pkt
+
+    def finish(self) -> None:
+        """Declare this source exhausted (stops its scheduling)."""
+        self.finished = True
+
+    def flush_all(self) -> None:
+        """Force-flush every outbound buffer."""
+        for links in self.out_links.values():
+            for out in links:
+                for buf in out.buffers:
+                    buf.flush()
+
+    @property
+    def pending_out_bytes(self) -> int:
+        """Unflushed outbound bytes across all link legs."""
+        return sum(
+            buf.pending_bytes
+            for links in self.out_links.values()
+            for out in links
+            for buf in out.buffers
+        )
+
+
+class _Context:
+    """EmitContext implementation handed to user operators."""
+
+    __slots__ = ("_inst",)
+
+    def __init__(self, inst: _InstanceRuntime) -> None:
+        self._inst = inst
+
+    @property
+    def instance_index(self) -> int:
+        """This instance's index in [0, parallelism)."""
+        return self._inst.index
+
+    @property
+    def parallelism(self) -> int:
+        """Total instances of this operator."""
+        return self._inst.spec.parallelism
+
+    def emit(self, packet: StreamPacket, stream: str | None = None) -> None:
+        """Send a packet downstream (blocking under backpressure)."""
+        self._inst.emit(packet, stream)
+
+    def new_packet(self, stream: str | None = None) -> StreamPacket:
+        """A pooled packet bound to the outgoing stream's schema."""
+        return self._inst.new_packet(stream)
+
+    def finish(self) -> None:
+        """Declare this source exhausted (stops its scheduling)."""
+        self._inst.finish()
+
+
+class _InLinkInfo:
+    """Receiver-side per-link decode state (codec reuse, §III-B3)."""
+
+    __slots__ = ("codec", "compression_used")
+
+    def __init__(self, codec: PacketCodec, compression_used: bool) -> None:
+        self.codec = codec
+        self.compression_used = compression_used
+
+
+class _JobRuntime:
+    """All runtime state for one submitted graph."""
+
+    def __init__(self, graph: StreamProcessingGraph) -> None:
+        self.graph = graph
+        self.metrics = MetricsRegistry()
+        self.instances: dict[str, list[_InstanceRuntime]] = {}
+        self.state = JobState.CREATED
+        self.failures: dict[str, BaseException] = {}
+        self.buffers: list[StreamBuffer] = []
+
+    def all_instances(self) -> list[_InstanceRuntime]:
+        """Every operator instance of this job, flattened."""
+        return [i for group in self.instances.values() for i in group]
+
+
+class NeptuneRuntime:
+    """Single-process NEPTUNE runtime (one Granules resource).
+
+    Hosts any number of concurrent stream-processing jobs.  Use as a
+    context manager::
+
+        with NeptuneRuntime() as rt:
+            handle = rt.submit(graph)
+            ...
+            handle.stop()
+
+    For multi-process deployment see :mod:`repro.core.distributed`.
+    """
+
+    def __init__(self, workers: int | None = None, name: str = "neptune") -> None:
+        self.name = name
+        self._explicit_workers = workers
+        self._resource: Resource | None = None
+        self._flush_service = FlushTimerService()
+        self._jobs: list[_JobRuntime] = []
+        self._lock = threading.Lock()
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        """Start background threads/services. Idempotent."""
+        with self._lock:
+            if self._started:
+                return
+            self._started = True
+        self._flush_service.start()
+
+    def shutdown(self, timeout: float = 10.0) -> None:
+        """Drain every job and stop all runtime threads."""
+        with self._lock:
+            jobs = list(self._jobs)
+        for job in jobs:
+            if job.state is JobState.RUNNING:
+                self._await_job(job, timeout, force_finish=True)
+        self._flush_service.stop()
+        if self._resource is not None:
+            self._resource.stop(timeout)
+            self._resource = None
+        with self._lock:
+            self._started = False
+
+    def __enter__(self) -> "NeptuneRuntime":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # -- submission -----------------------------------------------------------
+    def submit(self, graph: StreamProcessingGraph, restore_from=None) -> JobHandle:
+        """Validate, wire, and launch ``graph``; returns its handle.
+
+        ``restore_from`` accepts a
+        :class:`~repro.core.checkpoint.Checkpoint`: each instance whose
+        operator implements ``restore_state`` is rehydrated before its
+        first execution (fault-recovery path, §VI future work).
+        """
+        if not self._started:
+            self.start()
+        graph.validate()
+        job = _JobRuntime(graph)
+
+        # 1. Instantiate operator instances (restoring state if asked).
+        for spec in graph.operators.values():
+            job.instances[spec.name] = [
+                _InstanceRuntime(job, spec, i) for i in range(spec.parallelism)
+            ]
+        if restore_from is not None:
+            for inst in job.all_instances():
+                state = restore_from.state_for(inst.spec.name, inst.index)
+                restore = getattr(inst.operator, "restore_state", None)
+                if state is not None and restore is not None:
+                    restore(state)
+
+        # 2. Wire links: one buffer + transport per (sender instance,
+        #    link, destination instance).
+        cfg = graph.config
+        wire_id = 0
+        for link in graph.links:
+            senders = job.instances[link.from_op]
+            receivers = job.instances[link.to_op]
+            compression_on = self._compression_enabled(cfg, link)
+            for sender in senders:
+                out = _OutLinkRuntime(link)
+                if compression_on:
+                    out.policy = CompressionPolicy(
+                        enabled=True,
+                        entropy_threshold=cfg.compression_entropy_threshold,
+                        min_size=cfg.compression_min_size,
+                    )
+                for receiver in receivers:
+                    channel = receiver.channel
+                    assert channel is not None
+                    this_wire = wire_id
+                    wire_id += 1
+                    in_info = _InLinkInfo(PacketCodec(link.schema), compression_on)
+                    sink = self._make_sink(
+                        this_wire, channel, out.policy, in_info, cfg.emit_timeout
+                    )
+                    buf = StreamBuffer(
+                        capacity=cfg.buffer_capacity,
+                        sink=sink,
+                        max_delay=cfg.buffer_max_delay,
+                        name=f"{link.from_op}[{sender.index}]->"
+                        f"{link.to_op}[{receiver.index}]/{link.stream}",
+                    )
+                    out.buffers.append(buf)
+                    out.dest_channels.append(channel)
+                    out.wire_ids.append(this_wire)
+                    job.buffers.append(buf)
+                    self._flush_service.register(buf)
+                sender.out_links.setdefault(link.stream, []).append(out)
+
+        # 3. Launch on the (lazily sized) Granules resource.
+        self._ensure_resource(job)
+        resource = self._resource
+        assert resource is not None
+        for inst in job.all_instances():
+            strategy: SchedulingStrategy
+            if inst.spec.is_source:
+                strategy = _SourceStrategy(inst)
+            elif inst.spec.scheduling is not None:
+                strategy = inst.spec.scheduling()
+            else:
+                strategy = DataDrivenStrategy()
+            resource.launch(inst, strategy)
+        job.state = JobState.RUNNING
+        with self._lock:
+            self._jobs.append(job)
+        return JobHandle(self, job)
+
+    @staticmethod
+    def _compression_enabled(cfg: NeptuneConfig, link: LinkSpec) -> bool:
+        if link.compression is None:
+            return cfg.compression_enabled
+        if isinstance(link.compression, bool):
+            return link.compression
+        return True  # dict spec → enabled with overrides (future use)
+
+    @staticmethod
+    def _make_sink(wire_id, channel, policy, in_info, emit_timeout):
+        """Build the buffer-flush sink for one link leg.
+
+        The flushed body is (optionally) compressed, framed with a
+        per-leg sequence number (receiver-verified ordering), and put
+        into the destination channel together with the metadata the
+        receiver needs: the put timestamp (latency) and the decode
+        info.  The channel item is ``(frame, put_time, in_link_info)``.
+        The put blocks under backpressure; with a configured
+        ``emit_timeout`` a saturated downstream eventually surfaces
+        :class:`BackpressureTimeout` instead of waiting forever.
+        """
+        seq_counter = [0]
+
+        def sink(body: bytes, count: int) -> None:
+            """Deliver one flushed batch into the destination channel."""
+            if policy is not None:
+                body = policy.encode(body)
+            seq = seq_counter[0]
+            seq_counter[0] = seq + 1
+            frame = Frame(FrameHeader(wire_id, seq, count, len(body), 0), body)
+            try:
+                ok = channel.put(
+                    len(body), (frame, time.monotonic(), in_info), timeout=emit_timeout
+                )
+            except ChannelClosed:
+                raise NeptuneError(
+                    f"wire link {wire_id}: destination channel closed during send"
+                ) from None
+            if not ok:
+                raise BackpressureTimeout(
+                    f"wire link {wire_id}: downstream gated longer than "
+                    f"emit_timeout={emit_timeout}s"
+                )
+
+        return sink
+
+    def _ensure_resource(self, job: _JobRuntime) -> None:
+        """(Re)size the worker pool to cover all hosted instances."""
+        hosted = sum(len(g) for j in self._jobs for g in j.instances.values())
+        hosted += len(job.all_instances())
+        cfg = job.graph.config
+        if self._explicit_workers is not None:
+            workers = max(self._explicit_workers, hosted)
+        else:
+            workers = cfg.effective_workers(hosted)
+        if self._resource is None:
+            self._resource = Resource(self.name, workers=workers)
+            self._resource.start()
+        elif self._resource.workers < workers:
+            self._grow_resource(workers)
+
+    def _grow_resource(self, workers: int) -> None:
+        """Add worker threads to the live pool (submissions while running)."""
+        res = self._resource
+        assert res is not None
+        for i in range(res.workers, workers):
+            t = threading.Thread(
+                target=res._worker_loop, name=f"{res.name}-worker-{i}", daemon=True
+            )
+            t.start()
+            res._threads.append(t)
+        res.workers = workers
+
+    # -- checkpointing -----------------------------------------------------
+    def _checkpoint_job(self, job: _JobRuntime, quiesce: bool, timeout: float):
+        """Snapshot operator state (see repro.core.checkpoint).
+
+        With ``quiesce=True`` (the consistent mode) sources are paused
+        and the pipeline drained before the snapshot, so the cut
+        contains no in-flight packets: restored state + source replay
+        positions cover the stream exactly once.  ``quiesce=False``
+        snapshots live (cheap, per-instance-consistent but fuzzy
+        across instances — fine for monitoring).
+        """
+        from repro.core.checkpoint import take_checkpoint
+
+        if not quiesce or job.state is not JobState.RUNNING:
+            return take_checkpoint(job)
+        sources = [i for i in job.all_instances() if i.spec.is_source]
+        for inst in sources:
+            inst.paused = True
+        try:
+            deadline = time.monotonic() + timeout
+            while time.monotonic() < deadline:
+                for inst in job.all_instances():
+                    inst.flush_all()
+                if self._job_quiet_except_sources(job):
+                    break
+                time.sleep(0.002)
+            else:
+                raise JobStateError(
+                    f"checkpoint quiesce did not complete within {timeout}s"
+                )
+            return take_checkpoint(job)
+        finally:
+            for inst in sources:
+                inst.paused = False
+
+    def _job_quiet_except_sources(self, job: _JobRuntime) -> bool:
+        for inst in job.all_instances():
+            if inst.spec.is_source:
+                if inst.state is TaskState.RUNNING:
+                    return False
+                if inst.pending_out_bytes > 0:
+                    return False
+                continue
+            if inst.state is TaskState.RUNNING:
+                return False
+            if inst.channel is not None and len(inst.channel) > 0:
+                return False
+            if inst.pending_out_bytes > 0:
+                return False
+        return True
+
+    # -- drain / stop -------------------------------------------------------
+    def _await_job(self, job: _JobRuntime, timeout: float, force_finish: bool) -> bool:
+        if job.state in (JobState.STOPPED, JobState.FAILED):
+            return True
+        if job.state is JobState.CREATED:
+            raise JobStateError("job was never started")
+        job.state = JobState.DRAINING
+        if force_finish:
+            for inst in job.all_instances():
+                inst.finished = True
+        # Drain overrides custom scheduling (periodic/count-based):
+        # a count threshold must not strand the final sub-threshold
+        # frames in a channel forever.
+        res = self._resource
+        if res is not None:
+            for inst in job.all_instances():
+                if not inst.spec.is_source and inst.spec.scheduling is not None:
+                    try:
+                        res.set_strategy(inst.task_id, DataDrivenStrategy())
+                    except KeyError:
+                        pass  # already terminated
+        deadline = time.monotonic() + timeout
+        quiesced = False
+        while time.monotonic() < deadline:
+            self._collect_failures(job)
+            if job.failures:
+                break
+            if not all(inst.finished for inst in job.all_instances() if inst.spec.is_source):
+                time.sleep(0.005)
+                continue
+            for inst in job.all_instances():
+                inst.flush_all()
+            if self._job_quiet(job):
+                # Double-check after a settle delay: a worker may have
+                # been between drain and process.
+                time.sleep(0.01)
+                for inst in job.all_instances():
+                    inst.flush_all()
+                if self._job_quiet(job):
+                    quiesced = True
+                    break
+            time.sleep(0.002)
+        self._teardown_job(job)
+        self._collect_failures(job)
+        job.state = JobState.FAILED if job.failures else JobState.STOPPED
+        return quiesced
+
+    def _job_quiet(self, job: _JobRuntime) -> bool:
+        for inst in job.all_instances():
+            if inst.state is TaskState.RUNNING:
+                return False
+            if inst.channel is not None and len(inst.channel) > 0:
+                return False
+            if inst.pending_out_bytes > 0:
+                return False
+        return True
+
+    def _collect_failures(self, job: _JobRuntime) -> None:
+        res = self._resource
+        if res is None:
+            return
+        for inst in job.all_instances():
+            if inst.failure is not None:
+                key = f"{inst.spec.name}[{inst.index}]"
+                job.failures.setdefault(key, inst.failure)
+
+    def _teardown_job(self, job: _JobRuntime) -> None:
+        res = self._resource
+        for inst in job.all_instances():
+            if res is not None:
+                res.terminate_task(inst.task_id)
+        for buf in job.buffers:
+            self._flush_service.unregister(buf)
+        with self._lock:
+            if job in self._jobs:
+                self._jobs.remove(job)

@@ -1,0 +1,137 @@
+"""Packet (de)serialization with object reuse (paper §III-B3).
+
+"Rather than separately and repeatedly create data structures used in
+serialization and deserialization for individual messages, NEPTUNE
+creates them once and reuses them for the entire set of buffered
+messages."
+
+A :class:`PacketCodec` is created once per (schema, link) and reused for
+every batch:
+
+- ``encode_into`` appends a packet's wire form to a caller-owned
+  ``bytearray`` (the stream buffer) — no per-packet allocations beyond
+  the bytes themselves.
+- ``iter_decode`` walks a batch body yielding packets.  With
+  ``reuse=True`` it yields the *same* pooled packet object refilled per
+  record (zero packet allocations per message — callers must not retain
+  it past the iteration step; ``clone()`` if they must).
+
+Batch body layout: ``count`` records back to back, each record being the
+schema's fields encoded in order (no per-record header: the schema is
+static per link, which is precisely what makes the codec reusable).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.fieldtypes import decode_field, encode_field
+from repro.core.packet import PacketSchema, StreamPacket
+from repro.util.errors import SerializationError
+
+
+class PacketCodec:
+    """Reusable encoder/decoder for one packet schema."""
+
+    __slots__ = ("schema", "_scratch", "_reused_packet", "packets_encoded", "packets_decoded")
+
+    def __init__(self, schema: PacketSchema) -> None:
+        self.schema = schema
+        self._scratch = bytearray()
+        self._reused_packet = StreamPacket(schema)
+        self.packets_encoded = 0
+        self.packets_decoded = 0
+
+    # -- encoding -----------------------------------------------------------
+    def encode_into(self, packet: StreamPacket, out: bytearray) -> int:
+        """Append ``packet``'s wire form to ``out``; return bytes written."""
+        if packet.schema != self.schema:
+            raise SerializationError(
+                f"packet schema {packet.schema!r} does not match codec schema {self.schema!r}"
+            )
+        if not packet.is_complete():
+            missing = [
+                n for n, v in zip(self.schema.names, packet.values) if v is None
+            ]
+            raise SerializationError(f"packet incomplete; unset fields: {missing}")
+        start = len(out)
+        values = packet.values
+        for i, ftype in enumerate(self.schema.types):
+            encode_field(ftype, values[i], out)
+        self.packets_encoded += 1
+        return len(out) - start
+
+    def encode(self, packet: StreamPacket) -> bytes:
+        """Encode one packet standalone (reusing the internal scratch)."""
+        self._scratch.clear()
+        self.encode_into(packet, self._scratch)
+        return bytes(self._scratch)
+
+    def encode_batch(self, packets: list[StreamPacket]) -> bytes:
+        """Encode a batch into one body (reusing the internal scratch)."""
+        self._scratch.clear()
+        for pkt in packets:
+            self.encode_into(pkt, self._scratch)
+        return bytes(self._scratch)
+
+    # -- decoding -----------------------------------------------------------
+    def decode_one(self, buf: bytes | memoryview, offset: int = 0) -> tuple[StreamPacket, int]:
+        """Decode one *fresh* packet at ``offset``; return (packet, end)."""
+        pkt = StreamPacket(self.schema)
+        end = self._fill(pkt, buf, offset)
+        return pkt, end
+
+    def iter_decode(
+        self,
+        body: bytes | memoryview,
+        count: int | None = None,
+        reuse: bool = True,
+    ) -> Iterator[StreamPacket]:
+        """Yield packets decoded from ``body``.
+
+        With ``reuse=True`` (NEPTUNE's frugal path) the same packet
+        object is refilled and yielded each time.  ``count``, when
+        given, is cross-checked against the records actually present.
+        """
+        offset = 0
+        n = 0
+        view = memoryview(body) if not isinstance(body, memoryview) else body
+        total = len(view)
+        pooled = self._reused_packet
+        while offset < total:
+            pkt = pooled if reuse else StreamPacket(self.schema)
+            offset = self._fill(pkt, view, offset)
+            n += 1
+            yield pkt
+        if offset != total:
+            raise SerializationError(
+                f"batch body has {total - offset} trailing bytes"
+            )  # pragma: no cover — _fill always lands exactly or raises
+        if count is not None and n != count:
+            raise SerializationError(f"batch declared {count} packets, decoded {n}")
+
+    def _fill(self, pkt: StreamPacket, buf: bytes | memoryview, offset: int) -> int:
+        values = pkt._values
+        for i, ftype in enumerate(self.schema.types):
+            values[i], offset = decode_field(ftype, buf, offset)
+        self.packets_decoded += 1
+        return offset
+
+    # -- sizing -------------------------------------------------------------
+    def encoded_size(self, packet: StreamPacket) -> int:
+        """Exact wire size of ``packet`` (cheap for fixed-width schemas)."""
+        size = 0
+        for value, ftype in zip(packet.values, self.schema.types):
+            fixed = ftype.fixed_size
+            if fixed is not None:
+                size += fixed
+            else:
+                from repro.core.fieldtypes import FieldType
+
+                if ftype is FieldType.STRING:
+                    size += 4 + len(value.encode("utf-8"))
+                elif ftype is FieldType.BYTES:
+                    size += 4 + len(value)
+                else:  # lists
+                    size += 4 + 8 * len(value)
+        return size

@@ -1,0 +1,108 @@
+"""Granules computational tasks.
+
+"A computational task is the most fine grained unit of execution in the
+Granules runtime.  Tasks encapsulate a domain specific processing logic
+to process a fine grained unit of data such as a file, a packet, or a
+database record." (§II)
+
+NEPTUNE stream operators are implemented as computational tasks whose
+scheduling strategy is data-driven on their input stream datasets.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from abc import ABC, abstractmethod
+from typing import Any
+
+from repro.granules.dataset import Dataset
+
+
+class TaskState(enum.Enum):
+    """Lifecycle states managed by the hosting Resource."""
+
+    CREATED = "created"
+    INITIALIZED = "initialized"
+    RUNNABLE = "runnable"
+    RUNNING = "running"
+    TERMINATED = "terminated"
+    FAILED = "failed"
+
+
+class ComputationalTask(ABC):
+    """Base class for Granules computational tasks.
+
+    Subclasses implement :meth:`execute`, invoked by the Resource per
+    scheduling decision.  The framework guarantees ``initialize`` runs
+    before the first ``execute`` and ``terminate`` after the last; a
+    task instance is never executed concurrently with itself (this is
+    what makes NEPTUNE's per-instance in-order processing trivial).
+    """
+
+    def __init__(self, task_id: str) -> None:
+        self.task_id = task_id
+        self.state = TaskState.CREATED
+        self._datasets: dict[str, Dataset] = {}
+        # Held by the Resource while this task executes; also serializes
+        # state transitions.
+        self._run_lock = threading.Lock()
+        self.executions = 0
+        self.failure: BaseException | None = None
+
+    # -- dataset management -------------------------------------------------
+    def attach_dataset(self, dataset: Dataset) -> None:
+        """Register a dataset; the framework initializes/closes it."""
+        if dataset.name in self._datasets:
+            raise ValueError(f"duplicate dataset {dataset.name!r} on task {self.task_id!r}")
+        self._datasets[dataset.name] = dataset
+
+    def dataset(self, name: str) -> Dataset:
+        """Look up an attached dataset by name."""
+        return self._datasets[name]
+
+    @property
+    def datasets(self) -> tuple[Dataset, ...]:
+        """The datasets attached to this task."""
+        return tuple(self._datasets.values())
+
+    # -- lifecycle -----------------------------------------------------------
+    def initialize(self) -> None:
+        """Hook run once before the first execution."""
+
+    def terminate(self) -> None:
+        """Hook run once when the task is torn down."""
+
+    def _framework_initialize(self) -> None:
+        for ds in self._datasets.values():
+            ds.initialize()
+        self.initialize()
+        self.state = TaskState.INITIALIZED
+
+    def _framework_terminate(self) -> None:
+        try:
+            self.terminate()
+        finally:
+            for ds in self._datasets.values():
+                ds.close()
+            if self.state is not TaskState.FAILED:
+                self.state = TaskState.TERMINATED
+
+    def _framework_execute(self, context: Any = None) -> None:
+        """One scheduled execution, serialized per task instance."""
+        with self._run_lock:
+            if self.state in (TaskState.TERMINATED, TaskState.FAILED):
+                return
+            self.state = TaskState.RUNNING
+            try:
+                self.execute(context)
+                self.executions += 1
+                self.state = TaskState.RUNNABLE
+            except BaseException as exc:
+                self.failure = exc
+                self.state = TaskState.FAILED
+                raise
+
+    @abstractmethod
+    def execute(self, context: Any = None) -> None:
+        """Domain-specific processing for one scheduling quantum."""

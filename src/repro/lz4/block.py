@@ -1,0 +1,212 @@
+"""LZ4 block-format compression and decompression.
+
+Implements the format documented at
+https://github.com/lz4/lz4/blob/dev/doc/lz4_Block_format.md:
+
+A compressed block is a series of *sequences*.  Each sequence is::
+
+    token | [literal-length extension bytes] | literals
+          | offset (2 bytes, little-endian)  | [match-length extension bytes]
+
+- token high nibble = literal length (15 means "read extension bytes"),
+- token low nibble  = match length - 4 (15 means "read extension bytes"),
+- extension bytes add 0..255 each; a value of 255 means "keep reading".
+
+End-of-block rules enforced here (and required for interoperability):
+
+- the last sequence contains only literals (no match part),
+- a match may not start within the last 12 bytes of the input,
+- the last 5 bytes of input are always emitted as literals.
+
+Inputs shorter than 13 bytes are therefore emitted as a single literal
+run.  The compressor uses a greedy single-entry hash table over 4-byte
+prefixes, mirroring the reference LZ4 fast compressor.
+"""
+
+from __future__ import annotations
+
+MIN_MATCH = 4
+# A match must not start within the last MFLIMIT bytes of input.
+MFLIMIT = 12
+# The last LAST_LITERALS bytes are always literals.
+LAST_LITERALS = 5
+MAX_OFFSET = 65535
+
+_HASH_LOG = 16
+_HASH_SIZE = 1 << _HASH_LOG
+
+
+def max_compressed_length(n: int) -> int:
+    """Worst-case compressed size for ``n`` input bytes.
+
+    Matches the reference ``LZ4_compressBound``: incompressible data
+    expands by one token byte plus one extension byte per 255 literals.
+    """
+    if n < 0:
+        raise ValueError(f"negative length: {n}")
+    return n + n // 255 + 16
+
+
+def _hash4(v: int) -> int:
+    # Fibonacci hashing of a 4-byte little-endian word, as in reference LZ4.
+    return ((v * 2654435761) >> (32 - _HASH_LOG)) & (_HASH_SIZE - 1)
+
+
+def compress(data: bytes | bytearray | memoryview) -> bytes:
+    """Compress ``data`` into an LZ4 block.
+
+    Returns the raw block (no frame header; callers needing the original
+    length must carry it out-of-band, as NEPTUNE's wire format does).
+    """
+    src = bytes(data)
+    n = len(src)
+    if n == 0:
+        # A zero-length input encodes as a single empty-literal token.
+        return b"\x00"
+    out = bytearray()
+    if n < MFLIMIT + 1:
+        _emit_last_literals(out, src, 0, n)
+        return bytes(out)
+
+    table = [-1] * _HASH_SIZE
+    match_limit = n - LAST_LITERALS
+    anchor = 0
+    pos = 0
+    # Matches may not *start* beyond n - MFLIMIT.
+    search_end = n - MFLIMIT
+
+    while pos <= search_end:
+        word = int.from_bytes(src[pos : pos + 4], "little")
+        h = _hash4(word)
+        cand = table[h]
+        table[h] = pos
+        if (
+            cand >= 0
+            and pos - cand <= MAX_OFFSET
+            and src[cand : cand + 4] == src[pos : pos + 4]
+        ):
+            # Extend the match forward as far as allowed.
+            m = pos + MIN_MATCH
+            c = cand + MIN_MATCH
+            while m < match_limit and src[m] == src[c]:
+                m += 1
+                c += 1
+            match_len = m - pos
+            _emit_sequence(out, src, anchor, pos, pos - cand, match_len)
+            pos = m
+            anchor = m
+            # Seed the table inside the match region to find overlapping
+            # repeats (cheap approximation of the reference's step).
+            if pos <= search_end:
+                w2 = int.from_bytes(src[pos - 2 : pos + 2], "little")
+                table[_hash4(w2)] = pos - 2
+        else:
+            pos += 1
+
+    _emit_last_literals(out, src, anchor, n)
+    return bytes(out)
+
+
+def _emit_length(out: bytearray, extra: int) -> None:
+    """Emit 255-extension bytes for a length value beyond the nibble."""
+    while extra >= 255:
+        out.append(255)
+        extra -= 255
+    out.append(extra)
+
+
+def _emit_sequence(
+    out: bytearray,
+    src: bytes,
+    anchor: int,
+    pos: int,
+    offset: int,
+    match_len: int,
+) -> None:
+    lit_len = pos - anchor
+    ml = match_len - MIN_MATCH
+    token = (min(lit_len, 15) << 4) | min(ml, 15)
+    out.append(token)
+    if lit_len >= 15:
+        _emit_length(out, lit_len - 15)
+    out += src[anchor:pos]
+    out += offset.to_bytes(2, "little")
+    if ml >= 15:
+        _emit_length(out, ml - 15)
+
+
+def _emit_last_literals(out: bytearray, src: bytes, anchor: int, end: int) -> None:
+    lit_len = end - anchor
+    out.append(min(lit_len, 15) << 4)
+    if lit_len >= 15:
+        _emit_length(out, lit_len - 15)
+    out += src[anchor:end]
+
+
+def decompress(block: bytes | bytearray | memoryview, max_size: int | None = None) -> bytes:
+    """Decompress an LZ4 block produced by :func:`compress`.
+
+    Parameters
+    ----------
+    block:
+        The compressed block bytes.
+    max_size:
+        Optional safety cap on the decompressed size; exceeded output
+        raises ``ValueError`` (guards against decompression bombs when
+        decoding wire data).
+    """
+    src = bytes(block)
+    n = len(src)
+    out = bytearray()
+    i = 0
+    while i < n:
+        token = src[i]
+        i += 1
+        # --- literals ---
+        lit_len = token >> 4
+        if lit_len == 15:
+            while True:
+                if i >= n:
+                    raise ValueError("truncated literal length")
+                b = src[i]
+                i += 1
+                lit_len += b
+                if b != 255:
+                    break
+        if i + lit_len > n:
+            raise ValueError("truncated literals")
+        out += src[i : i + lit_len]
+        i += lit_len
+        if max_size is not None and len(out) > max_size:
+            raise ValueError(f"decompressed size exceeds cap of {max_size}")
+        if i == n:
+            break  # last sequence: literals only
+        # --- match ---
+        if i + 2 > n:
+            raise ValueError("truncated match offset")
+        offset = src[i] | (src[i + 1] << 8)
+        i += 2
+        if offset == 0:
+            raise ValueError("invalid zero match offset")
+        match_len = (token & 0x0F) + MIN_MATCH
+        if (token & 0x0F) == 15:
+            while True:
+                if i >= n:
+                    raise ValueError("truncated match length")
+                b = src[i]
+                i += 1
+                match_len += b
+                if b != 255:
+                    break
+        start = len(out) - offset
+        if start < 0:
+            raise ValueError(f"match offset {offset} beyond output start")
+        if max_size is not None and len(out) + match_len > max_size:
+            raise ValueError(f"decompressed size exceeds cap of {max_size}")
+        if offset >= match_len:
+            out += out[start : start + match_len]
+        else:
+            # Overlapping match: copy byte-by-byte semantics (RLE-style).
+            for k in range(match_len):
+                out.append(out[start + k])
+    return bytes(out)

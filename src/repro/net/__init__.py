@@ -1,0 +1,35 @@
+"""Networking substrate: wire framing, flow-controlled channels, transports.
+
+NEPTUNE's communication module (built on Java NIO/Netty in the paper) is
+realized here as:
+
+- :mod:`repro.net.framing` — length-prefixed, checksummed frames that
+  carry one *buffer flush* (a batch of serialized stream packets).
+- :mod:`repro.net.flowcontrol` — credit/watermark bounded channels: the
+  in-process analogue of TCP receive-window flow control, the mechanism
+  NEPTUNE's backpressure rides on.
+- :mod:`repro.net.transport` — endpoint implementations: in-process
+  (same Granules resource) and TCP sockets (across resources/machines).
+"""
+
+from repro.net.framing import Frame, FrameEncoder, FrameDecoder, FrameHeader
+from repro.net.flowcontrol import WatermarkChannel, ChannelClosed
+from repro.net.transport import (
+    Transport,
+    InProcessTransport,
+    TcpTransport,
+    TcpListener,
+)
+
+__all__ = [
+    "Frame",
+    "FrameHeader",
+    "FrameEncoder",
+    "FrameDecoder",
+    "WatermarkChannel",
+    "ChannelClosed",
+    "Transport",
+    "InProcessTransport",
+    "TcpTransport",
+    "TcpListener",
+]

@@ -1,0 +1,185 @@
+"""Watermark-based flow-controlled channels (paper §III-B4).
+
+"For each inbound buffer of a stream processor, we maintain high and low
+watermarks.  Once the buffer is filled up to the high watermark, the IO
+worker threads are not allowed to write to the buffer unless the buffer
+contents are consumed by the worker threads and the buffer usage reaches
+the low watermark level."
+
+:class:`WatermarkChannel` is that inbound buffer: a byte-capacity
+bounded queue whose writers block between the high-watermark trip and
+the low-watermark drain.  Hysteresis (the gap between the marks, "set
+sufficiently apart to avoid the system oscillating between the two
+states rapidly") prevents write-admission flapping.  Over TCP the
+blocked reader stops draining the socket, the kernel receive window
+closes, and the sender's writes block — propagating pressure upstream
+exactly as the paper describes; in-process links block directly.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from repro.util.errors import NeptuneError
+
+
+class ChannelClosed(NeptuneError):
+    """Write to (or blocking read from) a closed channel."""
+
+
+class WatermarkChannel:
+    """Bounded byte-accounted FIFO with high/low watermark admission.
+
+    Items are ``(size_bytes, payload)`` pairs; admission is decided on
+    the byte total, matching NEPTUNE's capacity-based (not count-based)
+    buffers.
+
+    Parameters
+    ----------
+    high_watermark:
+        Byte level at which writers stop being admitted.
+    low_watermark:
+        Byte level the queue must drain to before writers resume.
+    """
+
+    def __init__(self, high_watermark: int, low_watermark: int | None = None) -> None:
+        if high_watermark <= 0:
+            raise ValueError(f"high_watermark must be positive: {high_watermark}")
+        if low_watermark is None:
+            low_watermark = high_watermark // 2
+        if not 0 <= low_watermark < high_watermark:
+            raise ValueError(
+                f"low_watermark must be in [0, high): {low_watermark} vs {high_watermark}"
+            )
+        self.high_watermark = high_watermark
+        self.low_watermark = low_watermark
+        self._items: list[tuple[int, Any]] = []
+        self._bytes = 0
+        self._gated = False  # True between high trip and low drain
+        self._lock = threading.Lock()
+        self._writable = threading.Condition(self._lock)
+        self._readable = threading.Condition(self._lock)
+        self._closed = False
+        # Observability / backpressure metrics.
+        self.writer_blocks = 0
+        self.gate_trips = 0
+        self._on_gate: Callable[[bool], None] | None = None
+        self._on_data: Callable[[], None] | None = None
+
+    def on_data_available(self, callback: Callable[[], None]) -> None:
+        """Register a callback fired (outside the lock) after each put.
+
+        The runtime hooks this to Granules' data-driven scheduling so a
+        destination operator is dispatched when a batch lands.
+        """
+        self._on_data = callback
+
+    def on_gate_change(self, callback: Callable[[bool], None]) -> None:
+        """Register a callback invoked with the new gate state on change.
+
+        The runtime uses this to throttle upstream operator scheduling
+        (the application-visible half of backpressure).
+        """
+        self._on_gate = callback
+
+    def _set_gate(self, gated: bool) -> None:
+        if gated != self._gated:
+            self._gated = gated
+            if gated:
+                self.gate_trips += 1
+            if self._on_gate is not None:
+                self._on_gate(gated)
+
+    def put(self, size: int, item: Any, timeout: float | None = None) -> bool:
+        """Enqueue ``item`` accounting ``size`` bytes.
+
+        Blocks while the gate is closed.  Returns False on timeout;
+        raises :class:`ChannelClosed` if the channel closes while
+        waiting or is already closed.
+        """
+        if size < 0:
+            raise ValueError(f"negative size: {size}")
+        with self._writable:
+            if self._closed:
+                raise ChannelClosed("put on closed channel")
+            blocked = False
+            while self._gated:
+                blocked = True
+                if not self._writable.wait(timeout):
+                    self.writer_blocks += 1
+                    return False
+                if self._closed:
+                    raise ChannelClosed("channel closed while blocked in put")
+            if blocked:
+                self.writer_blocks += 1
+            self._items.append((size, item))
+            self._bytes += size
+            if self._bytes >= self.high_watermark:
+                self._set_gate(True)
+            self._readable.notify()
+        if self._on_data is not None:
+            self._on_data()
+        return True
+
+    def get(self, timeout: float | None = None) -> Any:
+        """Dequeue one item; blocks while empty.
+
+        Raises :class:`ChannelClosed` when the channel is closed and
+        drained.  Returns the payload only (size accounting is
+        internal).
+        """
+        with self._readable:
+            while not self._items:
+                if self._closed:
+                    raise ChannelClosed("channel closed and drained")
+                if not self._readable.wait(timeout):
+                    raise TimeoutError("get timed out")
+            size, item = self._items.pop(0)
+            self._release(size)
+            return item
+
+    def drain(self, max_items: int | None = None) -> list[Any]:
+        """Dequeue up to ``max_items`` (all if None) without blocking."""
+        with self._readable:
+            n = len(self._items) if max_items is None else min(max_items, len(self._items))
+            taken = self._items[:n]
+            del self._items[:n]
+            freed = sum(s for s, _ in taken)
+            self._release(freed)
+            return [item for _, item in taken]
+
+    def _release(self, freed: int) -> None:
+        self._bytes -= freed
+        if self._gated and self._bytes <= self.low_watermark:
+            self._set_gate(False)
+            self._writable.notify_all()
+
+    def close(self) -> None:
+        """Release underlying resources. Idempotent."""
+        with self._lock:
+            self._closed = True
+            self._writable.notify_all()
+            self._readable.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        """Whether this object has been closed."""
+        with self._lock:
+            return self._closed
+
+    @property
+    def gated(self) -> bool:
+        """Whether writers are currently blocked (gate closed)."""
+        with self._lock:
+            return self._gated
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Bytes currently buffered."""
+        with self._lock:
+            return self._bytes
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)

@@ -1,0 +1,223 @@
+"""Transport endpoints.
+
+A :class:`Transport` moves one flushed buffer (a batch of serialized
+stream packets for one link) to a receiving resource.  Two
+implementations:
+
+- :class:`InProcessTransport` — both operators live in the same
+  Granules resource; the batch is handed to the receiver's inbound
+  :class:`~repro.net.flowcontrol.WatermarkChannel` directly.  The
+  channel's watermark gate blocks the sender — the local leg of
+  backpressure.
+- :class:`TcpTransport` / :class:`TcpListener` — across resources.
+  Frames ride TCP; the listener's reader thread blocks on the gated
+  inbound channel, the kernel receive buffer fills, the TCP window
+  closes, and the sender's blocking ``sendall`` stalls — the
+  paper's TCP-flow-control leg of backpressure, for real.
+
+Both transports preserve per-link FIFO order and deliver exactly once
+(sequence numbers + checksums are verified by the framing layer on the
+TCP path; the in-process path is a single FIFO handoff).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from abc import ABC, abstractmethod
+from typing import Callable
+
+from repro.net.flowcontrol import ChannelClosed, WatermarkChannel
+from repro.net.framing import Frame, FrameDecoder, FrameEncoder, FrameHeader
+from repro.util.errors import TransportError
+
+# One batch delivered to a receiver: (link_id, packet_count, body bytes).
+Batch = tuple[int, int, bytes]
+
+
+class Transport(ABC):
+    """Sender-side endpoint for one destination resource."""
+
+    @abstractmethod
+    def send(self, link_id: int, body: bytes, count: int) -> None:
+        """Deliver one batch; blocks under backpressure.  Never drops."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Release the endpoint.  Idempotent."""
+
+
+class InProcessTransport(Transport):
+    """Same-resource delivery through a watermark channel."""
+
+    def __init__(self, channel: WatermarkChannel) -> None:
+        self._channel = channel
+        self._seq: dict[int, int] = {}
+
+    def send(self, link_id: int, body: bytes, count: int) -> None:
+        """Deliver one batch; blocks under backpressure, never drops."""
+        seq = self._seq.get(link_id, 0)
+        self._seq[link_id] = seq + 1
+        frame = Frame(FrameHeader(link_id, seq, count, len(body), 0), body)
+        try:
+            self._channel.put(len(body), frame, timeout=None)
+        except ChannelClosed as exc:
+            raise TransportError("in-process channel closed") from exc
+
+    def close(self) -> None:  # the receiver owns the channel lifecycle
+        """Release underlying resources. Idempotent."""
+        pass
+
+
+class TcpTransport(Transport):
+    """Blocking TCP client carrying NEPTUNE frames.
+
+    One instance per (sender resource → receiver resource) pair; all
+    links between the pair multiplex over the single connection, which
+    is how NEPTUNE amortizes connection state.  ``send`` is serialized
+    by a lock so frame bytes from concurrent flushes never interleave.
+    """
+
+    def __init__(self, host: str, port: int, connect_timeout: float = 10.0) -> None:
+        self._encoder = FrameEncoder()
+        self._lock = threading.Lock()
+        self._closed = False
+        try:
+            self._sock = socket.create_connection((host, port), timeout=connect_timeout)
+        except OSError as exc:
+            raise TransportError(f"connect to {host}:{port} failed: {exc}") from exc
+        # Latency matters for small flushes; batching is done at the
+        # application layer, so disable Nagle as NEPTUNE/Netty does.
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock.settimeout(None)
+        self.bytes_sent = 0
+        self.frames_sent = 0
+
+    def send(self, link_id: int, body: bytes, count: int) -> None:
+        """Deliver one batch; blocks under backpressure, never drops."""
+        wire = self._encoder.encode(link_id, body, count)
+        with self._lock:
+            if self._closed:
+                raise TransportError("send on closed transport")
+            try:
+                self._sock.sendall(wire)
+            except OSError as exc:
+                raise TransportError(f"send failed: {exc}") from exc
+            self.bytes_sent += len(wire)
+            self.frames_sent += 1
+
+    def close(self) -> None:
+        """Release underlying resources. Idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            self._sock.close()
+
+
+class TcpListener:
+    """Accepts NEPTUNE frame connections and hands frames to a sink.
+
+    The ``sink`` callable receives each decoded :class:`Frame` and MAY
+    BLOCK — that is the design: a sink that feeds a gated
+    :class:`WatermarkChannel` stops this reader thread, the socket's
+    kernel receive buffer fills, and TCP flow control throttles the
+    sender.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; port 0 picks an ephemeral port (see ``port``).
+    sink:
+        Callback invoked with each received frame, per connection in
+        arrival order.
+    recv_buffer:
+        ``SO_RCVBUF`` hint; a small kernel buffer makes backpressure
+        propagate after less in-flight data.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        sink: Callable[[Frame], None],
+        recv_buffer: int | None = None,
+    ) -> None:
+        self._sink = sink
+        self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        if recv_buffer is not None:
+            self._server.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, recv_buffer)
+        self._server.bind((host, port))
+        self._server.listen(64)
+        self.host, self.port = self._server.getsockname()[:2]
+        self._threads: list[threading.Thread] = []
+        self._conns: list[socket.socket] = []
+        self._lock = threading.Lock()
+        self._running = True
+        self.errors: list[BaseException] = []
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"tcp-listener-{self.port}", daemon=True
+        )
+        self._accept_thread.start()
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                conn, _addr = self._server.accept()
+            except OSError:
+                return  # listener closed
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            with self._lock:
+                if not self._running:
+                    conn.close()
+                    return
+                self._conns.append(conn)
+                t = threading.Thread(
+                    target=self._reader_loop,
+                    args=(conn,),
+                    name=f"tcp-reader-{self.port}",
+                    daemon=True,
+                )
+                self._threads.append(t)
+            t.start()
+
+    def _reader_loop(self, conn: socket.socket) -> None:
+        decoder = FrameDecoder()
+        try:
+            while True:
+                chunk = conn.recv(65536)
+                if not chunk:
+                    return
+                for frame in decoder.feed(chunk):
+                    self._sink(frame)  # may block: that IS backpressure
+        except ChannelClosed:
+            return
+        except OSError:
+            return
+        except BaseException as exc:  # noqa: BLE001 — surfaced for tests/ops
+            self.errors.append(exc)
+        finally:
+            conn.close()
+
+    def close(self) -> None:
+        """Release underlying resources. Idempotent."""
+        with self._lock:
+            if not self._running:
+                return
+            self._running = False
+            conns = list(self._conns)
+        self._server.close()
+        for c in conns:
+            try:
+                c.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            c.close()
+        self._accept_thread.join(5.0)
+        for t in self._threads:
+            t.join(5.0)

@@ -1,0 +1,31 @@
+"""Discrete-event cluster simulator.
+
+The paper evaluates NEPTUNE on a 50-node 1 Gbps cluster against Apache
+Storm 0.9.5 — hardware this reproduction does not have (and absolute
+Python throughput could not match anyway; see DESIGN.md §2).  This
+package simulates that testbed at the mechanism level the paper's
+claims rest on:
+
+- :mod:`repro.sim.engine` — SimPy-style event kernel (processes are
+  generators yielding events/delays).
+- :mod:`repro.sim.resources` — CPU cores with context-switch
+  accounting, byte-capacity queues with watermark gates, 1 Gbps links
+  with Ethernet/IP/TCP framing overhead, TCP connections with
+  receive-window flow control, and an allocation-driven GC model.
+- :mod:`repro.sim.calibration` — the cost constants (context switch,
+  syscall, per-message CPU, framing overheads) with provenance notes.
+- :mod:`repro.sim.neptune_model` — the NEPTUNE process model
+  (buffering, batching, object reuse, backpressure, two-tier threads).
+- :mod:`repro.sim.storm_model` — the Apache Storm 0.9.5 baseline
+  model (per-tuple emission, four-thread message path, no
+  backpressure, worker-per-job scheduling).
+- :mod:`repro.sim.relay` — the Fig. 1 three-stage message relay used
+  by Figures 2 and 7 and Table I.
+- :mod:`repro.sim.cluster` — the 50-node scaling model behind
+  Figures 5, 6, 9 and 10.
+"""
+
+from repro.sim.engine import Simulator, Event, Process, Interrupt
+from repro.sim.calibration import Calibration
+
+__all__ = ["Simulator", "Event", "Process", "Interrupt", "Calibration"]

@@ -1,0 +1,205 @@
+"""The Fig. 3/4 backpressure experiment on the simulated cluster.
+
+"The thread of execution for the stream processor at stage C sleeps for
+some time after processing a stream packet.  The sleep interval varies
+between 0 ms and 3 ms in a cycle that proceeds in steps of 1 ms ...
+The backpressure should be propagated to stream source at stage A
+through the stream processor at stage B.  The throughput at the stream
+source is inversely proportional to the sleep interval at stage C."
+
+Topology: A (source) → B (relay) → C (sink), each stage on its own
+node, NEPTUNE configuration.  Stage C applies a time-varying per-packet
+sleep; the probe records stage A's emission rate per window.  Pressure
+propagates through two genuine mechanism chains: C's inbound watermark
+gate → C's kernel buffer → B→C TCP window → B's outbound buffer → B's
+worker → B's inbound gate → A→B TCP window → A's flush path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.sim.engine import Simulator
+from repro.sim.resources import ByteQueue, CpuScheduler, Link, TcpConnection
+
+
+@dataclass
+class BackpressureParams:
+    """Configuration for the staircase experiment."""
+
+    message_size: int = 100
+    buffer_size: int = 16 * 1024
+    #: Source arrival rate (msgs/s); None = as fast as possible.  The
+    #: staircase only needs a steady external arrival rate to throttle,
+    #: and a capped source keeps the event count tractable.
+    source_rate: float | None = 50_000.0
+    #: (start_time, per-packet sleep) steps; the paper cycles
+    #: 0 → 1 → 2 → 3 → 0 ms in 1 ms steps.
+    sleep_schedule: tuple[tuple[float, float], ...] = (
+        (0.0, 0.000),
+        (5.0, 0.001),
+        (10.0, 0.002),
+        (15.0, 0.003),
+        (20.0, 0.000),
+    )
+    duration: float = 25.0
+    probe_interval: float = 1.0
+    inbound_high_watermark: int = 64 * 1024
+    tcp_window: int = 32 * 1024
+    max_events: int = 500_000
+    cal: Calibration = field(default_factory=lambda: DEFAULT_CALIBRATION)
+
+
+@dataclass
+class BackpressureResult:
+    """Per-window source throughput plus the sleep in force."""
+
+    times: list[float] = field(default_factory=list)
+    source_rate: list[float] = field(default_factory=list)
+    sink_rate: list[float] = field(default_factory=list)
+    sleep_in_force: list[float] = field(default_factory=list)
+    source_blocks: int = 0
+    gate_trips_b: int = 0
+    gate_trips_c: int = 0
+
+    def mean_rate_during(self, sleep: float, tol: float = 1e-9) -> float:
+        """Mean source rate over the windows where ``sleep`` applied.
+
+        Skips the first window after each step change (transient).
+        """
+        rates = [
+            r
+            for i, (r, s) in enumerate(zip(self.source_rate, self.sleep_in_force))
+            if abs(s - sleep) < tol
+            and i >= 2
+            and abs(self.sleep_in_force[i - 1] - s) < tol
+            and abs(self.sleep_in_force[i - 2] - s) < tol
+        ]
+        return sum(rates) / len(rates) if rates else 0.0
+
+
+class BackpressureSimulation:
+    """Three nodes, three stages, a sleep staircase at stage C."""
+
+    def __init__(self, params: BackpressureParams) -> None:
+        self.p = params
+        self.cal = params.cal
+        self.sim = Simulator()
+        cores = self.cal.cores_per_node
+        self.cpu = {n: CpuScheduler(self.sim, cores, self.cal) for n in "ABC"}
+        self.link_ab = Link(self.sim, self.cal, "A->B")
+        self.link_bc = Link(self.sim, self.cal, "B->C")
+        w = params.tcp_window
+        hi = params.inbound_high_watermark
+        self.kernel_b = ByteQueue(self.sim, w, w // 2, "kernel-B")
+        self.kernel_c = ByteQueue(self.sim, w, w // 2, "kernel-C")
+        self.app_b = ByteQueue(self.sim, hi, hi // 2, "app-B")
+        self.app_c = ByteQueue(self.sim, hi, hi // 2, "app-C")
+        self.tcp_ab = TcpConnection(self.sim, self.link_ab, self.kernel_b, self.cal, w)
+        self.tcp_bc = TcpConnection(self.sim, self.link_bc, self.kernel_c, self.cal, w)
+        out_cap = max(params.buffer_size * 2, 64 * 1024)
+        self.out_a = ByteQueue(self.sim, out_cap, out_cap // 2, "out-A")
+        self.out_b = ByteQueue(self.sim, out_cap, out_cap // 2, "out-B")
+        self.generated = 0
+        self.consumed = 0
+        self._sleep_now = params.sleep_schedule[0][1]
+        self._stopped = False
+
+    def _source(self):
+        cal, p = self.cal, self.p
+        n = max(1, p.buffer_size // p.message_size)
+        gen = (cal.per_message_cpu + p.message_size * cal.per_byte_cpu) * n
+        while not self._stopped:
+            yield self.cpu["A"].execute("A.src", gen)
+            if p.source_rate is not None:
+                pace = n / p.source_rate - gen
+                if pace > 0:
+                    yield pace
+            self.generated += n
+            yield self.out_a.put(n * p.message_size, n)
+
+    def _io_sender(self, node, out_q, tcp, payload_of):
+        cal = self.cal
+        while True:
+            items = yield out_q.get_all()
+            for nbytes, count in items:
+                yield self.cpu[node].execute(
+                    f"{node}.io", cal.send_call_cpu + cal.thread_handoff
+                )
+                yield tcp.send(nbytes, count)
+
+    def _io_receiver(self, node, kernel, app):
+        cal = self.cal
+        while True:
+            items = yield kernel.get_all()
+            nbytes = sum(b for b, _ in items)
+            yield self.cpu[node].execute(
+                f"{node}.io-recv", cal.recv_call_cpu * len(items) + nbytes * cal.per_byte_cpu
+            )
+            for b, count in items:
+                yield app.put(b, count)
+
+    def _relay(self):
+        cal, p = self.cal, self.p
+        per_msg = cal.per_message_cpu + p.message_size * cal.per_byte_cpu
+        while True:
+            items = yield self.app_b.get_all()
+            for nbytes, count in items:
+                yield self.cpu["B"].execute("B.worker", per_msg * count)
+                yield self.out_b.put(nbytes, count)
+
+    def _sink(self):
+        cal, p = self.cal, self.p
+        per_msg = cal.per_message_cpu + p.message_size * cal.per_byte_cpu
+        while True:
+            items = yield self.app_c.get_all()
+            for nbytes, count in items:
+                yield self.cpu["C"].execute("C.worker", per_msg * count)
+                if self._sleep_now > 0:
+                    # The paper's sleep-after-each-message: the worker
+                    # thread is parked, not burning CPU.
+                    yield self._sleep_now * count
+                self.consumed += count
+
+    def _staircase(self):
+        for when, sleep in self.p.sleep_schedule:
+            delta = when - self.sim.now
+            if delta > 0:
+                yield delta
+            self._sleep_now = sleep
+
+    def _probe(self, result: BackpressureResult):
+        last_gen = last_con = 0
+        while True:
+            yield self.p.probe_interval
+            result.times.append(self.sim.now)
+            result.source_rate.append((self.generated - last_gen) / self.p.probe_interval)
+            result.sink_rate.append((self.consumed - last_con) / self.p.probe_interval)
+            result.sleep_in_force.append(self._sleep_now)
+            last_gen, last_con = self.generated, self.consumed
+
+    def run(self) -> BackpressureResult:
+        """Build and run the simulation; returns the result object."""
+        result = BackpressureResult()
+        sim, p = self.sim, self.p
+        sim.process(self._source(), name="src")
+        sim.process(self._io_sender("A", self.out_a, self.tcp_ab, None), name="ioA")
+        sim.process(self._io_receiver("B", self.kernel_b, self.app_b), name="iorB")
+        sim.process(self._relay(), name="relay")
+        sim.process(self._io_sender("B", self.out_b, self.tcp_bc, None), name="ioB")
+        sim.process(self._io_receiver("C", self.kernel_c, self.app_c), name="iorC")
+        sim.process(self._sink(), name="sink")
+        sim.process(self._staircase(), name="staircase")
+        sim.process(self._probe(result), name="probe")
+        sim.call_at(p.duration, lambda: setattr(self, "_stopped", True))
+        sim.run(until=p.duration, max_events=p.max_events)
+        result.source_blocks = self.out_a.writer_blocks + self.tcp_ab.sender_stalls
+        result.gate_trips_b = self.app_b.gate_trips + self.kernel_b.gate_trips
+        result.gate_trips_c = self.app_c.gate_trips + self.kernel_c.gate_trips
+        return result
+
+
+def run_backpressure(params: BackpressureParams | None = None) -> BackpressureResult:
+    """Build and run one staircase simulation."""
+    return BackpressureSimulation(params or BackpressureParams()).run()

@@ -1,0 +1,346 @@
+"""Cluster-scale model: 50 nodes, many concurrent jobs (Figs. 5, 6, 9, 10).
+
+Simulating 50 nodes × 100 M messages/s event-by-event is intractable in
+Python, so this module uses a *resource-contention model* grounded in
+the same :class:`~repro.sim.calibration.Calibration` constants the
+relay DES uses, cross-checked against that DES at single-pipeline scale
+(DESIGN.md §2 records the substitution).
+
+Two deployment shapes match the paper's two experiment families:
+
+- ``all-pairs`` (Figs. 5, 6): "a two stage stream processing graph ...
+  helped us create a setup where there is data flow between every pair
+  of nodes" — every job places one source and one sink instance on
+  *every* node.  Each job is bounded by its own pipeline peak; the
+  cluster is bounded per node by NIC (each direction) and by CPU whose
+  effective capacity shrinks as thread oversubscription grows — the
+  mechanism behind Fig. 5's decline past 50 jobs.
+- ``pipeline`` (Figs. 9, 10): each job is a linear pipeline whose
+  stages are placed on consecutive nodes round-robin; per-job rates
+  come from monotone water-filling over per-node CPU and directional
+  NIC constraints.  Storm additionally obeys its one-worker-per-job
+  scheduling constraint (at most ``n_nodes`` jobs).
+
+Node heterogeneity matches the testbed: 46 HP DL160 (8 vcores, 12 GB)
+and 4 HP DL320e (4 vcores, 8 GB).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.sim.calibration import Calibration, DEFAULT_CALIBRATION
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One physical machine."""
+
+    cores: int
+    ram_gb: float
+
+
+def paper_testbed() -> list[NodeSpec]:
+    """The paper's 50-node cluster (46 DL160 + 4 DL320e)."""
+    return [NodeSpec(8, 12.0)] * 46 + [NodeSpec(4, 8.0)] * 4
+
+
+@dataclass
+class JobProfile:
+    """Cost profile of one stream-processing job on one framework."""
+
+    framework: str
+    message_size: int
+    stages: int
+    cpu_per_message: float  # CPU seconds per message, whole pipeline
+    wire_bytes_per_message: float  # wire bytes per message, all hops
+    threads_per_instance: int
+    heap_per_worker_gb: float
+    #: Peak rate of one pipeline with idle resources (msgs/s).
+    peak_rate: float
+    #: Cores burnt per worker regardless of load (Storm's busy-spin
+    #: disruptor/spout loops; ~0 for NEPTUNE's parked threads).
+    idle_spin_cores: float
+
+
+def job_profile(
+    framework: str,
+    message_size: int,
+    stages: int,
+    cal: Calibration = DEFAULT_CALIBRATION,
+    app_cpu_per_message: float = 0.0,
+) -> JobProfile:
+    """Derive a job's cost profile from the calibration constants.
+
+    ``app_cpu_per_message`` adds domain-logic CPU per message per stage
+    (e.g. the manufacturing job's parsing + window updates) on top of
+    the framework's envelope costs.
+    """
+    hops = stages - 1
+    per_msg_user = (
+        cal.per_message_cpu + message_size * cal.per_byte_cpu + app_cpu_per_message
+    )
+    if framework == "neptune":
+        msgs_per_flush = max(1, (1 << 20) // message_size)
+        send = (cal.send_call_cpu + cal.thread_handoff) / msgs_per_flush
+        recv = cal.recv_call_cpu / msgs_per_flush + message_size * cal.per_byte_cpu
+        cpu = stages * per_msg_user + hops * (send + recv)
+        wire = hops * message_size / cal.goodput_efficiency(message_size, msgs_per_flush)
+        threads = 2
+        peak = 1.0 / (per_msg_user + send + recv)
+        spin = 0.0
+    elif framework == "storm":
+        send = cal.storm_tuple_send_cpu + cal.thread_handoff * (
+            2 + cal.storm_extra_handoffs
+        )
+        recv = cal.recv_call_cpu + message_size * cal.per_byte_cpu
+        per_stage = per_msg_user + cal.thread_handoff * cal.storm_extra_handoffs
+        cpu = stages * per_stage + hops * (send + recv)
+        wire = hops * cal.wire_bytes(message_size + cal.storm_tuple_overhead_bytes)
+        threads = 4
+        peak = 1.0 / (per_stage + send + recv)
+        spin = cal.storm_idle_spin_cores_per_worker
+    else:
+        raise ValueError(f"unknown framework {framework!r}")
+    # Worker heap: both systems run 1 GB heaps (§IV-A); Storm workers
+    # carry slightly more resident overhead (netty arenas, supervisor).
+    heap = 1.0 if framework == "neptune" else 1.04
+    return JobProfile(
+        framework, message_size, stages, cpu, wire, threads, heap, peak, spin
+    )
+
+
+@dataclass
+class ClusterParams:
+    """One cluster-experiment configuration."""
+
+    framework: str = "neptune"
+    n_jobs: int = 50
+    nodes: list[NodeSpec] = field(default_factory=paper_testbed)
+    message_size: int = 50
+    stages: int = 2
+    deployment: str = "all-pairs"  # "all-pairs" | "pipeline"
+    #: Domain-logic CPU per message per stage (0 for the relay-style
+    #: scalability jobs; ~1.5 µs for the manufacturing job).
+    app_cpu_per_message: float = 0.0
+    #: Single-pipeline peak rate (msgs/s); None derives it from the
+    #: cost profile.
+    per_job_peak_rate: float | None = None
+    #: Effective-capacity loss per runnable thread beyond the core
+    #: count (context-switch + scheduler interference); drives the
+    #: Fig. 5 decline when the cluster is overprovisioned.
+    oversubscription_penalty: float = 0.03
+    seed: int = 23
+    cal: Calibration = field(default_factory=lambda: DEFAULT_CALIBRATION)
+
+    def __post_init__(self) -> None:
+        if self.n_jobs <= 0:
+            raise ValueError("n_jobs must be positive")
+        if not self.nodes:
+            raise ValueError("cluster needs at least one node")
+        if self.deployment not in ("all-pairs", "pipeline"):
+            raise ValueError(f"unknown deployment {self.deployment!r}")
+        if self.stages < 2:
+            raise ValueError("a streaming job needs at least 2 stages")
+
+
+@dataclass
+class ClusterResult:
+    """Cluster-wide outcome."""
+
+    params: ClusterParams = None  # type: ignore[assignment]
+    per_job_rate: list[float] = field(default_factory=list)
+    per_node_cpu_pct: list[float] = field(default_factory=list)
+    per_node_mem_pct: list[float] = field(default_factory=list)
+    per_node_nic_util: list[float] = field(default_factory=list)
+    profile: JobProfile | None = None
+
+    @property
+    def cumulative_throughput(self) -> float:
+        """Sum of all per-job rates (msgs/s)."""
+        return sum(self.per_job_rate)
+
+    @property
+    def cumulative_bandwidth_gbps(self) -> float:
+        """Cluster-wide wire bandwidth in Gbps."""
+        assert self.profile is not None
+        return (
+            self.cumulative_throughput * self.profile.wire_bytes_per_message * 8 / 1e9
+        )
+
+
+def run_cluster(params: ClusterParams) -> ClusterResult:
+    """Evaluate the contention model for one configuration."""
+    if params.deployment == "all-pairs":
+        return _run_all_pairs(params)
+    return _run_pipeline(params)
+
+
+# ---------------------------------------------------------------------------
+# all-pairs deployment (Figs. 5, 6)
+# ---------------------------------------------------------------------------
+
+
+def _run_all_pairs(p: ClusterParams) -> ClusterResult:
+    profile = job_profile(
+        p.framework, p.message_size, p.stages, p.cal, p.app_cpu_per_message
+    )
+    n_nodes = len(p.nodes)
+    n_jobs = p.n_jobs if p.framework == "neptune" else min(p.n_jobs, n_nodes)
+    peak = p.per_job_peak_rate if p.per_job_peak_rate is not None else profile.peak_rate
+
+    hops = p.stages - 1
+    wire_per_hop = profile.wire_bytes_per_message / hops
+    # A job's whole pipeline CPU lands on each node (its source and
+    # sink instances are co-resident cluster-wide).
+    cpu_msg_node = profile.cpu_per_message
+
+    # Per-node capacity in messages/s, after oversubscription losses.
+    caps = []
+    for node in p.nodes:
+        threads = n_jobs * p.stages + 2  # one worker per instance + io
+        surplus = max(0.0, threads - node.cores)
+        eff = 1.0 / (1.0 + p.oversubscription_penalty * surplus)
+        spin = profile.idle_spin_cores * n_jobs
+        usable = max(0.25, node.cores * eff - spin)
+        cpu_cap = usable / cpu_msg_node if cpu_msg_node > 0 else float("inf")
+        nic_cap = p.cal.link_rate_bps / (wire_per_hop * 8)
+        caps.append(min(cpu_cap, nic_cap))
+
+    # Unconstrained, every job runs at its pipeline peak.  Partitioning
+    # spreads stream load proportional to node capability (the weaker
+    # DL320e nodes receive smaller partitions), so each node carries
+    # total_rate * cores_share; the tightest node scales everyone down.
+    rates = [peak] * n_jobs
+    total_cores = sum(n.cores for n in p.nodes)
+    total = sum(rates)
+    scale = 1.0
+    for cap, node in zip(caps, p.nodes):
+        demand = total * node.cores / total_cores
+        if demand > cap:
+            scale = min(scale, cap / demand)
+    rates = [r * scale for r in rates]
+
+    result = ClusterResult(params=p, per_job_rate=rates, profile=profile)
+    _fill_node_stats(result, p, profile, rates, node_instances=None)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# pipeline deployment (Figs. 9, 10)
+# ---------------------------------------------------------------------------
+
+
+def _run_pipeline(p: ClusterParams) -> ClusterResult:
+    profile = job_profile(
+        p.framework, p.message_size, p.stages, p.cal, p.app_cpu_per_message
+    )
+    n_nodes = len(p.nodes)
+    n_jobs = p.n_jobs if p.framework == "neptune" else min(p.n_jobs, n_nodes)
+    peak = p.per_job_peak_rate if p.per_job_peak_rate is not None else profile.peak_rate
+
+    node_instances: list[list[tuple[int, int]]] = [[] for _ in range(n_nodes)]
+    job_nodes: list[list[int]] = []
+    cursor = 0
+    for j in range(n_jobs):
+        placed = []
+        for s_idx in range(p.stages):
+            node_instances[cursor % n_nodes].append((j, s_idx))
+            placed.append(cursor % n_nodes)
+            cursor += 1
+        job_nodes.append(placed)
+
+    eff_capacity = []
+    for i, node in enumerate(p.nodes):
+        threads = len(node_instances[i]) * profile.threads_per_instance
+        surplus = max(0, threads - node.cores)
+        overhead = 1.0 + p.oversubscription_penalty * surplus
+        spin = profile.idle_spin_cores * max(1, len(node_instances[i]) // p.stages)
+        eff_capacity.append(max(0.25, node.cores / overhead - spin))
+
+    # Monotone water-filling: rates start at the pipeline peak and only
+    # shrink, so the iteration converges.
+    cpu_per_stage = profile.cpu_per_message / p.stages
+    hops = max(p.stages - 1, 1)
+    wire_per_hop = profile.wire_bytes_per_message / hops
+    rates = [peak] * n_jobs
+    for _round in range(200):
+        changed = False
+        for j in range(n_jobs):
+            bound = rates[j]
+            for node_idx in job_nodes[j]:
+                peers = node_instances[node_idx]
+                total_demand = sum(rates[k] * cpu_per_stage for k, _s in peers)
+                cap = eff_capacity[node_idx]
+                if total_demand > cap > 0:
+                    bound = min(bound, rates[j] * cap / total_demand)
+                nic_cap = p.cal.link_rate_bps
+                egress = sum(
+                    rates[k] * wire_per_hop * 8
+                    for k, s_idx in peers
+                    if s_idx < p.stages - 1
+                )
+                ingress = sum(
+                    rates[k] * wire_per_hop * 8 for k, s_idx in peers if s_idx > 0
+                )
+                for demand in (egress, ingress):
+                    if demand > nic_cap > 0:
+                        bound = min(bound, rates[j] * nic_cap / demand)
+            if bound < rates[j] - 1e-6 * max(rates[j], 1.0):
+                rates[j] = bound
+                changed = True
+        if not changed:
+            break
+
+    result = ClusterResult(params=p, per_job_rate=rates, profile=profile)
+    _fill_node_stats(result, p, profile, rates, node_instances=node_instances)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# per-node statistics (Fig. 10)
+# ---------------------------------------------------------------------------
+
+
+def _fill_node_stats(
+    result: ClusterResult,
+    p: ClusterParams,
+    profile: JobProfile,
+    rates: list[float],
+    node_instances: list[list[tuple[int, int]]] | None,
+) -> None:
+    rng = random.Random(p.seed)
+    n_nodes = len(p.nodes)
+    hops = max(p.stages - 1, 1)
+    wire_per_hop = profile.wire_bytes_per_message / hops
+    for i, node in enumerate(p.nodes):
+        if node_instances is None:  # all-pairs: load ∝ node capability
+            total_cores = sum(n.cores for n in p.nodes)
+            msg_rate = sum(rates) * node.cores / total_cores
+            cpu_cores = msg_rate * profile.cpu_per_message
+            workers_here = len(rates)
+            egress_bps = msg_rate * wire_per_hop * 8
+            heap_gb = min(profile.heap_per_worker_gb + 1.5, node.ram_gb * 0.9)
+        else:
+            here = node_instances[i]
+            cpu_cores = sum(
+                rates[k] * profile.cpu_per_message / p.stages for k, _s in here
+            )
+            workers_here = max(1, len(here) // p.stages)
+            egress_bps = sum(
+                rates[k] * wire_per_hop * 8
+                for k, s_idx in here
+                if s_idx < p.stages - 1
+            )
+            heap_gb = min(
+                workers_here * profile.heap_per_worker_gb + 1.5, node.ram_gb * 0.9
+            )
+        cpu_cores += profile.idle_spin_cores * workers_here
+        cpu_pct = min(100.0 * cpu_cores, 100.0 * node.cores)
+        cpu_pct *= rng.uniform(0.93, 1.07)
+        result.per_node_cpu_pct.append(cpu_pct)
+        mem_pct = 100.0 * heap_gb / node.ram_gb
+        mem_pct *= rng.uniform(0.90, 1.10)
+        result.per_node_mem_pct.append(mem_pct)
+        result.per_node_nic_util.append(min(1.0, egress_bps / p.cal.link_rate_bps))

@@ -1,0 +1,390 @@
+"""The three-stage message relay (paper Fig. 1) on the simulated cluster.
+
+"A three-stage stream processing job ... simulates a message relay where
+a stream processor in the second stage relays messages that it receives
+from the stream source at stage 1 to a stream processor at stage 3.
+The sender and receiver are deployed in the same Granules resource
+whereas the message relay was deployed in a different resource running
+on a separate physical machine."
+
+One parameterized model covers both frameworks:
+
+- ``framework="neptune"`` — application-level buffering (capacity +
+  timer flush), batched scheduling, object reuse, watermark-gated
+  bounded queues (backpressure), two-tier threads.
+- ``framework="storm"`` — per-tuple wire transfer (no payload
+  batching), a four-thread per-message path, *unbounded* queues with no
+  backpressure (§IV-C: Storm 0.9.5 with acking disabled), so a slow
+  stage lets queues and latency grow without bound.
+
+Used by Figures 2 and 7, Table I, and the GC/object-reuse experiment.
+Message generation and processing are *chunked* for event-count
+efficiency: CPU and wire costs are charged per message exactly, but one
+simulator event covers a whole buffer/chunk of messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.sim.engine import Simulator
+from repro.sim.resources import ByteQueue, CpuScheduler, GcModel, Link, TcpConnection
+
+#: Sentinel capacity for Storm's unbounded queues.
+UNBOUNDED = 1 << 50
+
+
+@dataclass
+class RelayParams:
+    """Configuration for one relay-simulation run."""
+
+    framework: str = "neptune"  # "neptune" | "storm"
+    message_size: int = 50
+    buffer_size: int = 1 << 20  # NEPTUNE app-level buffer (bytes)
+    buffer_max_delay: float = 0.010
+    batched: bool = True  # batched scheduling (Table I ablation)
+    object_reuse: bool = True  # §III-B3 ablation
+    duration: float = 2.0  # simulated seconds
+    source_rate: float | None = None  # msgs/s; None = as fast as possible
+    inbound_high_watermark: int = 4 << 20
+    tcp_window: int | None = None
+    #: Event budget: runs stop early (reporting over the elapsed sim
+    #: time) once this many simulator events have fired, so
+    #: small-buffer sweeps stay tractable.
+    max_events: int = 300_000
+    cal: Calibration = field(default_factory=lambda: DEFAULT_CALIBRATION)
+
+    def __post_init__(self) -> None:
+        if self.framework not in ("neptune", "storm"):
+            raise ValueError(f"unknown framework {self.framework!r}")
+        if self.message_size <= 0:
+            raise ValueError("message_size must be positive")
+        if self.buffer_size <= 0:
+            raise ValueError("buffer_size must be positive")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.framework == "storm":
+            # Storm 0.9.5 has no NEPTUNE-style serde object reuse.
+            self.object_reuse = False
+
+
+@dataclass
+class RelayResult:
+    """Measurements from one run (the paper's three metrics + extras)."""
+
+    params: RelayParams = None  # type: ignore[assignment]
+    sim_seconds: float = 0.0
+    messages_generated: int = 0
+    messages_relayed: int = 0
+    messages_delivered: int = 0
+    mean_latency: float = 0.0
+    max_latency: float = 0.0
+    #: (batch mean latency, packet count) pairs for percentile queries.
+    latency_samples: list = field(default_factory=list)
+    link_utilization_ab: float = 0.0  # wire share, source→relay link
+    goodput_mbps_ab: float = 0.0
+    context_switches_per_5s_relay: float = 0.0
+    gc_fraction_relay: float = 0.0
+    cpu_utilization_relay: float = 0.0
+    cpu_utilization_source_node: float = 0.0
+    relay_queue_peak_bytes: int = 0
+    #: Largest queue anywhere in the pipeline (Storm's unbounded queues
+    #: grow at whichever stage bottlenecks first).
+    max_queue_peak_bytes: int = 0
+    source_stalls: int = 0
+    events_processed: int = 0
+
+    @property
+    def throughput(self) -> float:
+        """Delivered messages per simulated second."""
+        return self.messages_delivered / self.sim_seconds if self.sim_seconds else 0.0
+
+    @property
+    def bandwidth_gbps(self) -> float:
+        """Source-to-relay link utilization of the 1 Gbps wire."""
+        return self.link_utilization_ab  # of a 1 Gbps link
+
+    def latency_percentile(self, p: float) -> float:
+        """Packet-weighted latency percentile from per-batch means.
+
+        Batches are the natural sampling unit (packets in a batch share
+        fate); weighting by packet count recovers the packet-level
+        distribution up to within-batch spread.
+        """
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile out of range: {p}")
+        if not self.latency_samples:
+            return 0.0
+        samples = sorted(self.latency_samples)
+        total = sum(c for _, c in samples)
+        threshold = total * p / 100.0
+        acc = 0
+        for latency, count in samples:
+            acc += count
+            if acc >= threshold:
+                return latency
+        return samples[-1][0]
+
+
+class _BatchMeta:
+    """Aggregate latency bookkeeping for one in-flight batch."""
+
+    __slots__ = ("count", "sum_emit", "max_emit_lag", "payload")
+
+    def __init__(self, count: int, sum_emit: float, max_emit_lag: float, payload: int):
+        self.count = count
+        self.sum_emit = sum_emit
+        self.max_emit_lag = max_emit_lag
+        self.payload = payload
+
+
+class RelaySimulation:
+    """Builds and runs the Fig. 1 relay on two simulated nodes."""
+
+    def __init__(self, params: RelayParams) -> None:
+        self.p = params
+        self.cal = params.cal
+        self.sim = Simulator()
+        cores = self.cal.cores_per_node
+        # Node A hosts source + sink; node B hosts the relay.
+        self.cpu_a = CpuScheduler(self.sim, cores, self.cal)
+        self.cpu_b = CpuScheduler(self.sim, cores, self.cal)
+        self.gc_a = GcModel(self.cal)
+        self.gc_b = GcModel(self.cal)
+        self.link_ab = Link(self.sim, self.cal, "A->B")
+        self.link_ba = Link(self.sim, self.cal, "B->A")
+        window = params.tcp_window or self.cal.tcp_window
+        unbounded = params.framework == "storm"
+        inbound_cap = UNBOUNDED if unbounded else params.inbound_high_watermark
+        # Kernel receive buffers: gate at the TCP window → zero-window
+        # behaviour when the app stops draining (NEPTUNE only; Storm's
+        # app queue never gates, so its kernel buffer always drains).
+        self.kernel_b = ByteQueue(self.sim, window, window // 2, "kernel-B")
+        self.kernel_a = ByteQueue(self.sim, window, window // 2, "kernel-A")
+        self.app_b = ByteQueue(self.sim, inbound_cap, inbound_cap // 2, "app-B")
+        self.app_a = ByteQueue(self.sim, inbound_cap, inbound_cap // 2, "app-A")
+        self.tcp_ab = TcpConnection(self.sim, self.link_ab, self.kernel_b, self.cal, window)
+        self.tcp_ba = TcpConnection(self.sim, self.link_ba, self.kernel_a, self.cal, window)
+        # Outbound shared bounded buffers between worker and IO tiers.
+        out_cap = UNBOUNDED if unbounded else max(params.buffer_size * 4, 1 << 20)
+        self.out_a = ByteQueue(self.sim, out_cap, out_cap // 2, "out-A")
+        self.out_b = ByteQueue(self.sim, out_cap, out_cap // 2, "out-B")
+        # Measurements.
+        self.generated = 0
+        self.relayed = 0
+        self.delivered = 0
+        self.latency_sum = 0.0
+        self.latency_max = 0.0
+        self._lat_samples: list[tuple[float, int]] = []
+        self._stopped = False
+
+    # -- cost helpers -------------------------------------------------------
+    def _garbage(self, count: int) -> int:
+        per = (
+            self.cal.garbage_per_message_reuse
+            if self.p.object_reuse
+            else self.cal.garbage_per_message_no_reuse
+        )
+        return per * count
+
+    def _proc_cost(self, count: int, nbytes: int) -> tuple[float, int]:
+        """(CPU seconds, extra context switches) to process a batch."""
+        per_msg = self.cal.per_message_cpu + (nbytes / max(count, 1)) * self.cal.per_byte_cpu
+        if self.p.batched:
+            return per_msg * count, 0
+        cost = (per_msg + self.cal.cold_schedule_penalty) * count
+        switches = max(1, round(count * self.cal.individual_dispatch_switch_prob))
+        return cost, switches
+
+    # -- processes -----------------------------------------------------------
+    def _source(self):
+        """Stage A: generate messages, fill the app buffer, flush."""
+        p, cal = self.p, self.cal
+        msgs_per_batch = (
+            max(1, p.buffer_size // p.message_size)
+            if p.framework == "neptune"
+            else max(1, min(64, int(1e5)))  # storm: event chunk only
+        )
+        gen_cost_per_msg = cal.per_message_cpu + p.message_size * cal.per_byte_cpu
+        while not self._stopped:
+            n = msgs_per_batch
+            burst = gen_cost_per_msg * n
+            yield self.cpu_a.execute("A.source", burst)
+            if self._stopped:
+                return
+            self.gc_a.allocate(self._garbage(n))
+            if p.source_rate is not None:
+                pace = n / p.source_rate - burst
+                if pace > 0:
+                    yield pace
+                    if self._stopped:
+                        return
+            now = self.sim.now
+            payload = n * p.message_size
+            # Messages were emitted uniformly across the burst.
+            meta = _BatchMeta(n, n * now - burst * n / 2.0, burst, payload)
+            self.generated += n
+            yield self.out_a.put(payload, meta)
+
+    def _io_sender(self, node: str, out_queue: ByteQueue, tcp: TcpConnection, cpu: CpuScheduler):
+        """IO tier: drain the outbound buffer, push batches into TCP."""
+        p, cal = self.p, self.cal
+        thread = f"{node}.io-send"
+        while True:
+            items = yield out_queue.get_all()
+            for payload, meta in items:
+                if p.framework == "neptune":
+                    # One network-stack traversal per flushed buffer.
+                    yield cpu.execute(thread, cal.send_call_cpu + cal.thread_handoff)
+                    yield tcp.send(payload, meta)
+                else:
+                    # Storm: per-tuple send-path CPU and per-tuple
+                    # framing bytes (stream/task ids, serialization
+                    # envelope), shipped as one chunked event.
+                    n = meta.count
+                    yield cpu.execute(
+                        thread, (cal.storm_tuple_send_cpu + cal.thread_handoff) * n
+                    )
+                    wire = cal.wire_bytes(
+                        (p.message_size + cal.storm_tuple_overhead_bytes) * n
+                    )
+                    yield tcp.send(payload, meta, wire_bytes=wire)
+
+    def _io_receiver(self, node, kernel, app, cpu):
+        """IO tier: kernel buffer → app inbound queue (copy + syscall)."""
+        p, cal = self.p, self.cal
+        thread = f"{node}.io-recv"
+        while True:
+            items = yield kernel.get_all()
+            nbytes = sum(b for b, _ in items)
+            units = (
+                len(items)
+                if p.framework == "neptune"
+                else sum(m.count for _, m in items)
+            )
+            yield cpu.execute(
+                thread, cal.recv_call_cpu * units + nbytes * cal.per_byte_cpu
+            )
+            for b, meta in items:
+                yield app.put(b, meta)
+
+    def _relay_worker(self):
+        """Stage B: process each message, re-emit to stage C."""
+        p = self.p
+        extra_handoff = (
+            self.cal.thread_handoff * self.cal.storm_extra_handoffs
+            if p.framework == "storm"
+            else 0.0
+        )
+        while True:
+            items = yield self.app_b.get_all()
+            for nbytes, meta in items:
+                cost, switches = self._proc_cost(meta.count, nbytes)
+                cost += extra_handoff * meta.count
+                yield self.cpu_b.execute("B.worker", cost, extra_switches=switches)
+                self.gc_b.allocate(self._garbage(meta.count))
+                self.relayed += meta.count
+                yield self.out_b.put(meta.payload, meta)
+
+    def _sink_worker(self):
+        """Stage C: consume, record end-to-end latency."""
+        while True:
+            items = yield self.app_a.get_all()
+            for nbytes, meta in items:
+                cost, switches = self._proc_cost(meta.count, nbytes)
+                yield self.cpu_a.execute("A.sink", cost, extra_switches=switches)
+                self.gc_a.allocate(self._garbage(meta.count))
+                now = self.sim.now
+                self.delivered += meta.count
+                self.latency_sum += meta.count * now - meta.sum_emit
+                self.latency_max = max(
+                    self.latency_max, now - meta.sum_emit / meta.count + meta.max_emit_lag / 2
+                )
+                if len(self._lat_samples) < 100_000:
+                    self._lat_samples.append(
+                        (now - meta.sum_emit / meta.count, meta.count)
+                    )
+
+    def _gc_daemon(self, node, gc, cpu, live_queues):
+        interval = 0.1
+        while True:
+            yield interval
+            gc.set_live(sum(q.bytes for q in live_queues))
+            cost = gc.drain_gc_cost()
+            if cost > 0:
+                yield cpu.execute(f"{node}.gc", cost)
+
+    def _housekeeping(self, node, cpu):
+        """Flush-timer polling and runtime daemons: the context-switch
+        noise floor of a managed-runtime process."""
+        interval = 1.0 / self.cal.housekeeping_hz
+        while True:
+            yield interval
+            yield cpu.execute(f"{node}.timer", self.cal.housekeeping_cpu)
+
+    def run(self) -> RelayResult:
+        """Build and run the simulation; returns the result object."""
+        sim, p = self.sim, self.p
+        sim.process(self._source(), name="source")
+        sim.process(self._io_sender("A", self.out_a, self.tcp_ab, self.cpu_a), name="ioA")
+        sim.process(self._io_receiver("B", self.kernel_b, self.app_b, self.cpu_b), name="iorB")
+        sim.process(self._relay_worker(), name="relay")
+        sim.process(self._io_sender("B", self.out_b, self.tcp_ba, self.cpu_b), name="ioB")
+        sim.process(self._io_receiver("A", self.kernel_a, self.app_a, self.cpu_a), name="iorA")
+        sim.process(self._sink_worker(), name="sink")
+        sim.process(
+            self._gc_daemon("A", self.gc_a, self.cpu_a, [self.app_a, self.out_a]),
+            name="gcA",
+        )
+        sim.process(
+            self._gc_daemon("B", self.gc_b, self.cpu_b, [self.app_b, self.out_b]),
+            name="gcB",
+        )
+        sim.process(self._housekeeping("A", self.cpu_a), name="hkA")
+        sim.process(self._housekeeping("B", self.cpu_b), name="hkB")
+        sim.call_at(p.duration, self._stop)
+        sim.run(until=p.duration, max_events=p.max_events)
+        if self.sim._heap and not self._stopped:
+            # Event budget exhausted before the nominal duration; report
+            # rates over the sim time actually covered.
+            self._stopped = True
+        return self._collect()
+
+    def _stop(self) -> None:
+        self._stopped = True
+
+    def _collect(self) -> RelayResult:
+        sim, p = self.sim, self.p
+        elapsed = sim.now
+        res = RelayResult(params=p, sim_seconds=elapsed)
+        res.messages_generated = self.generated
+        res.messages_relayed = self.relayed
+        res.messages_delivered = self.delivered
+        if self.delivered:
+            res.mean_latency = self.latency_sum / self.delivered
+            res.max_latency = self.latency_max
+            res.latency_samples = self._lat_samples
+        res.link_utilization_ab = self.link_ab.utilization()
+        res.goodput_mbps_ab = self.link_ab.goodput_bps() / 1e6
+        res.context_switches_per_5s_relay = self.cpu_b.context_switches * 5.0 / elapsed
+        proc_cpu = self.cpu_b.busy_seconds
+        gc_cpu = self.gc_b.gc_seconds_accrued
+        res.gc_fraction_relay = gc_cpu / proc_cpu if proc_cpu > 0 else 0.0
+        res.cpu_utilization_relay = self.cpu_b.utilization()
+        res.cpu_utilization_source_node = self.cpu_a.utilization()
+        res.relay_queue_peak_bytes = self.app_b.peak_bytes
+        res.max_queue_peak_bytes = max(
+            self.app_b.peak_bytes,
+            self.app_a.peak_bytes,
+            self.out_a.peak_bytes,
+            self.out_b.peak_bytes,
+        )
+        res.source_stalls = self.out_a.writer_blocks + self.tcp_ab.sender_stalls
+        res.events_processed = sim.events_processed
+        return res
+
+
+def run_relay(params: RelayParams) -> RelayResult:
+    """Convenience: build and run one relay simulation."""
+    return RelaySimulation(params).run()

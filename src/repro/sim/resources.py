@@ -1,0 +1,385 @@
+"""Simulated resources: CPUs, byte queues, links, TCP connections, GC.
+
+These are the mechanisms the paper's performance argument runs on:
+context switches cost CPU (Table I), queues gate writers at watermarks
+(§III-B4), Ethernet frames carry fixed overhead so small messages waste
+bandwidth (§III-B1), TCP's window propagates pressure to senders, and
+garbage collection steals CPU proportional to allocation volume
+(§III-B3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.sim.calibration import Calibration
+from repro.sim.engine import Event, Simulator
+
+
+class CpuScheduler:
+    """N cores executing work items from simulated threads.
+
+    ``execute(thread, seconds)`` queues one burst of CPU work; the
+    returned event fires when it completes.  When a core picks up work
+    from a different thread than it last ran, a context switch is
+    charged and counted — this is the Table-I quantity.
+
+    A simulated thread must have at most one outstanding work item
+    (model processes submit sequentially), which preserves per-thread
+    program order.
+    """
+
+    def __init__(self, sim: Simulator, cores: int, cal: Calibration) -> None:
+        if cores <= 0:
+            raise ValueError(f"cores must be positive: {cores}")
+        self.sim = sim
+        self.cores = cores
+        self.cal = cal
+        self._queue: deque[tuple[Any, float, Event]] = deque()
+        self._idle_cores: list[int] = list(range(cores))
+        self._core_last_thread: dict[int, Any] = {}
+        self._core_wakeup: dict[int, Event | None] = {}
+        self.context_switches = 0
+        self.busy_seconds = 0.0
+        self.per_thread_seconds: dict[Any, float] = {}
+        for core in range(cores):
+            sim.process(self._core_loop(core), name=f"core-{core}")
+
+    def execute(self, thread: Any, seconds: float, extra_switches: int = 0) -> Event:
+        """Queue ``seconds`` of CPU work attributed to ``thread``.
+
+        ``extra_switches`` charges additional context switches that the
+        thread-interleave model cannot see (e.g. per-message dispatch
+        preemptions when batched scheduling is disabled): their cost is
+        folded into the work item and they are counted.
+        """
+        if seconds < 0:
+            raise ValueError(f"negative work: {seconds}")
+        if extra_switches:
+            seconds += extra_switches * self.cal.context_switch
+            self.context_switches += extra_switches
+        done = self.sim.event()
+        self._queue.append((thread, seconds, done))
+        self._wake_one_core()
+        return done
+
+    def _wake_one_core(self) -> None:
+        for core, ev in list(self._core_wakeup.items()):
+            if ev is not None and not ev.triggered:
+                self._core_wakeup[core] = None
+                ev.succeed()
+                return
+
+    def _core_loop(self, core: int):
+        slept = False
+        while True:
+            if not self._queue:
+                idle_since = self.sim.now
+                wakeup = self.sim.event()
+                self._core_wakeup[core] = wakeup
+                yield wakeup
+                # Same-timestamp resubmission is a continuous run; only
+                # a wait that let simulated time pass is a real sleep
+                # (futex sleep/wake = kernel context switches).
+                slept = self.sim.now > idle_since
+                continue
+            thread, seconds, done = self._queue.popleft()
+            cost = seconds
+            if slept or self._core_last_thread.get(core) is not thread:
+                cost += self.cal.context_switch
+                self.context_switches += 1
+                self._core_last_thread[core] = thread
+            slept = False
+            if cost > 0:
+                yield cost
+            self.busy_seconds += cost
+            self.per_thread_seconds[thread] = (
+                self.per_thread_seconds.get(thread, 0.0) + cost
+            )
+            done.succeed()
+
+    def utilization(self) -> float:
+        """Fraction of total core-time spent busy so far."""
+        elapsed = self.sim.now * self.cores
+        return self.busy_seconds / elapsed if elapsed > 0 else 0.0
+
+
+class ByteQueue:
+    """Byte-capacity FIFO with high/low watermark write gating.
+
+    The simulated twin of :class:`repro.net.flowcontrol.WatermarkChannel`:
+    ``put`` events don't fire while the gate is closed, which suspends
+    the producing process — backpressure.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        high_watermark: int,
+        low_watermark: int | None = None,
+        name: str = "",
+    ) -> None:
+        if high_watermark <= 0:
+            raise ValueError(f"high_watermark must be positive: {high_watermark}")
+        if low_watermark is None:
+            low_watermark = high_watermark // 2
+        if not 0 <= low_watermark < high_watermark:
+            raise ValueError("low_watermark must be in [0, high_watermark)")
+        self.sim = sim
+        self.name = name
+        self.high_watermark = high_watermark
+        self.low_watermark = low_watermark
+        self._items: deque[tuple[int, Any]] = deque()
+        self._bytes = 0
+        self._gated = False
+        self._put_waiters: deque[tuple[int, Any, Event]] = deque()
+        self._get_waiters: deque[Event] = deque()
+        self.writer_blocks = 0
+        self.gate_trips = 0
+        self.peak_bytes = 0
+        self.total_put = 0
+
+    @property
+    def bytes(self) -> int:
+        """Bytes currently queued."""
+        return self._bytes
+
+    @property
+    def gated(self) -> bool:
+        """Whether writers are currently blocked."""
+        return self._gated
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, nbytes: int, item: Any) -> Event:
+        """Event that fires when the item has been accepted."""
+        ev = self.sim.event()
+        if self._gated:
+            self.writer_blocks += 1
+            self._put_waiters.append((nbytes, item, ev))
+        else:
+            self._accept(nbytes, item)
+            ev.succeed()
+        return ev
+
+    def _accept(self, nbytes: int, item: Any) -> None:
+        self._items.append((nbytes, item))
+        self._bytes += nbytes
+        self.total_put += 1
+        self.peak_bytes = max(self.peak_bytes, self._bytes)
+        if self._bytes >= self.high_watermark and not self._gated:
+            self._gated = True
+            self.gate_trips += 1
+        if self._get_waiters:
+            self._get_waiters.popleft().succeed()
+
+    def get_all(self) -> Event:
+        """Event yielding the whole queue contents (≥1 item) as a list
+        of ``(nbytes, item)`` — the batched-drain the worker tier uses."""
+        ev = self.sim.event()
+        if self._items:
+            ev.succeed(self._take_all())
+        else:
+            self._get_waiters.append(_GetAllWaiter(self, ev))  # type: ignore[arg-type]
+        return ev
+
+    def _take_all(self) -> list[tuple[int, Any]]:
+        items = list(self._items)
+        self._items.clear()
+        self._release(self._bytes)
+        return items
+
+    def _release(self, freed: int) -> None:
+        self._bytes -= freed
+        if self._gated and self._bytes <= self.low_watermark:
+            self._gated = False
+            while self._put_waiters and not self._gated:
+                nbytes, item, ev = self._put_waiters.popleft()
+                self._accept(nbytes, item)
+                ev.succeed()
+
+
+class _GetAllWaiter:
+    """Adapter so a queued get_all waiter drains everything on wake."""
+
+    __slots__ = ("queue", "event")
+
+    def __init__(self, queue: ByteQueue, event: Event) -> None:
+        self.queue = queue
+        self.event = event
+
+    def succeed(self) -> None:
+        """Trigger the event, waking all waiters."""
+        self.event.succeed(self.queue._take_all())
+
+    @property
+    def triggered(self) -> bool:  # pragma: no cover — interface parity
+        """Whether the underlying event already fired."""
+        return self.event.triggered
+
+
+class Link:
+    """A point-to-point 1 Gbps link with FIFO serialization.
+
+    ``transfer(payload)`` returns an event firing when the last bit
+    arrives (queueing + wire clocking of the framed bytes +
+    propagation).  Utilization counts framed (wire) bytes — the
+    paper's "bandwidth usage" metric.
+    """
+
+    def __init__(self, sim: Simulator, cal: Calibration, name: str = "") -> None:
+        self.sim = sim
+        self.cal = cal
+        self.name = name
+        self._free_at = 0.0
+        self._busy_accum = 0.0
+        self.wire_bytes_sent = 0
+        self.payload_bytes_sent = 0
+        self.transfers = 0
+
+    def transfer(self, payload: int, wire_bytes: int | None = None) -> Event:
+        """Clock ``payload`` bytes onto the link.
+
+        ``wire_bytes`` overrides the framed size for senders whose
+        application payload is split into many small segments (e.g. the
+        Storm model's per-tuple sends aggregated into one event).
+        """
+        wire = wire_bytes if wire_bytes is not None else self.cal.wire_bytes(payload)
+        clocking = wire * 8.0 / self.cal.link_rate_bps
+        start = max(self.sim.now, self._free_at)
+        self._free_at = start + clocking
+        self._busy_accum += clocking
+        self.wire_bytes_sent += wire
+        self.payload_bytes_sent += payload
+        self.transfers += 1
+        done = self.sim.event()
+        arrival = self._free_at + self.cal.propagation - self.sim.now
+        self.sim._schedule(arrival, done, None)
+        return done
+
+    def utilization(self) -> float:
+        """Fraction of link capacity used so far.
+
+        Accounts only busy time that fits inside the elapsed window, so
+        transfers accepted but still clocking out at the end of a run
+        cannot push utilization past 1.0.
+        """
+        if self.sim.now <= 0:
+            return 0.0
+        return min(self._busy_accum, self.sim.now) / self.sim.now
+
+    def goodput_bps(self) -> float:
+        """Application payload bits per second carried so far."""
+        if self.sim.now <= 0:
+            return 0.0
+        return self.payload_bytes_sent * 8.0 / self.sim.now
+
+
+class TcpConnection:
+    """Sliding-window flow control over a :class:`Link`.
+
+    ``send(nbytes, item)`` completes once the bytes fit in the window
+    (sender's ``sendall`` returning).  Delivered segments are put into
+    the receiver's :class:`ByteQueue`; while that queue is gated the
+    delivery blocks, in-flight bytes stay charged against the window,
+    and the sender stalls — the paper's backpressure mechanism
+    (§III-B4), end to end.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        link: Link,
+        recv_queue: ByteQueue,
+        cal: Calibration,
+        window: int | None = None,
+    ) -> None:
+        self.sim = sim
+        self.link = link
+        self.recv_queue = recv_queue
+        self.cal = cal
+        self.window = window if window is not None else cal.tcp_window
+        if self.window <= 0:
+            raise ValueError(f"window must be positive: {self.window}")
+        self._in_flight = 0
+        self._send_waiters: deque[tuple[int, Any, Event]] = deque()
+        self.sender_stalls = 0
+        self.segments_sent = 0
+
+    @property
+    def in_flight(self) -> int:
+        """Bytes sent but not yet credited back by the receiver."""
+        return self._in_flight
+
+    def send(self, nbytes: int, item: Any, wire_bytes: int | None = None) -> Event:
+        """Event firing when the payload is accepted into the window."""
+        ev = self.sim.event()
+        if self._in_flight + nbytes > self.window and self._in_flight > 0:
+            self.sender_stalls += 1
+            self._send_waiters.append((nbytes, item, wire_bytes, ev))
+        else:
+            self._transmit(nbytes, item, wire_bytes)
+            ev.succeed()
+        return ev
+
+    def _transmit(self, nbytes: int, item: Any, wire_bytes: int | None = None) -> None:
+        self._in_flight += nbytes
+        self.segments_sent += 1
+        self.sim.process(self._deliver(nbytes, item, wire_bytes), name="tcp-deliver")
+
+    def _deliver(self, nbytes: int, item: Any, wire_bytes: int | None = None):
+        yield self.link.transfer(nbytes, wire_bytes)
+        # Entering the receive queue blocks while the app-side gate is
+        # closed (kernel receive buffer full → zero window).
+        yield self.recv_queue.put(nbytes, item)
+        # ACK/window update returns to the sender one propagation later.
+        yield self.cal.propagation
+        self._credit(nbytes)
+
+    def _credit(self, nbytes: int) -> None:
+        self._in_flight -= nbytes
+        while self._send_waiters:
+            n, item, wire, ev = self._send_waiters[0]
+            if self._in_flight + n > self.window and self._in_flight > 0:
+                return
+            self._send_waiters.popleft()
+            self._transmit(n, item, wire)
+            ev.succeed()
+
+
+class GcModel:
+    """Allocation-driven garbage-collection cost model (§III-B3).
+
+    Operators report garbage bytes as they allocate; the model converts
+    them to GC CPU seconds at ``gc_bytes_per_second``, inflated when
+    live heap occupancy (e.g. Storm's unbounded queues) is high —
+    "long and inefficient garbage collection cycles" (§III-B4).
+    """
+
+    def __init__(self, cal: Calibration) -> None:
+        self.cal = cal
+        self.garbage_bytes = 0
+        self.live_bytes = 0
+        self.gc_seconds_accrued = 0.0
+
+    def allocate(self, garbage: int) -> None:
+        """Report garbage bytes produced since the last drain."""
+        self.garbage_bytes += garbage
+
+    def set_live(self, live_bytes: int) -> None:
+        """Update the live-heap estimate (queue contents)."""
+        self.live_bytes = live_bytes
+
+    def drain_gc_cost(self) -> float:
+        """CPU seconds of GC owed for garbage since the last drain."""
+        base = self.garbage_bytes / self.cal.gc_bytes_per_second
+        occupancy = min(self.live_bytes / self.cal.heap_bytes, 0.95)
+        # Cost grows as the live set crowds the heap (less headroom per
+        # young-gen cycle, promotion pressure).
+        factor = 1.0 / (1.0 - occupancy)
+        cost = base * factor
+        self.garbage_bytes = 0
+        self.gc_seconds_accrued += cost
+        return cost

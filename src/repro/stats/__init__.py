@@ -1,0 +1,29 @@
+"""Statistical procedures used by the paper's evaluation.
+
+- :func:`tukey_hsd` — Tukey's Honest Significant Difference multiple
+  comparison (the compression study, §III-B5: "results were
+  statistically validated using a Tukey's HSD multiple comparison
+  procedure").
+- :func:`t_test_ind` — one/two-tailed independent two-sample t-tests
+  (Fig. 10's CPU and memory comparisons).
+- :mod:`repro.stats.descriptive` — means, std-devs, percentiles and
+  confidence intervals for benchmark reporting.
+"""
+
+from repro.stats.tukey import TukeyResult, PairwiseComparison, tukey_hsd
+from repro.stats.anova import AnovaResult, one_way_anova
+from repro.stats.ttest import TTestResult, t_test_ind
+from repro.stats.descriptive import summarize, Summary, confidence_interval
+
+__all__ = [
+    "tukey_hsd",
+    "one_way_anova",
+    "AnovaResult",
+    "TukeyResult",
+    "PairwiseComparison",
+    "t_test_ind",
+    "TTestResult",
+    "summarize",
+    "Summary",
+    "confidence_interval",
+]

@@ -1,0 +1,78 @@
+"""One-way analysis of variance.
+
+Tukey's HSD (``repro.stats.tukey``) controls the family-wise error of
+*pairwise* comparisons; the one-way ANOVA F-test answers the prior
+question — "do these groups differ at all?" — from the same
+between/within variance decomposition.  Offered because a disciplined
+replication of the paper's §III-B5 analysis runs the omnibus test
+before the HSD table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats
+
+
+@dataclass(frozen=True)
+class AnovaResult:
+    """Omnibus F-test outcome."""
+
+    f_statistic: float
+    p_value: float
+    df_between: int
+    df_within: int
+    ss_between: float
+    ss_within: float
+
+    @property
+    def eta_squared(self) -> float:
+        """Effect size: fraction of total variance between groups."""
+        total = self.ss_between + self.ss_within
+        return self.ss_between / total if total > 0 else 0.0
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """Whether the result rejects H0 at the given alpha."""
+        return self.p_value < alpha
+
+
+def one_way_anova(groups: dict[str, Sequence[float]]) -> AnovaResult:
+    """Classic fixed-effects one-way ANOVA across named groups."""
+    if len(groups) < 2:
+        raise ValueError("ANOVA needs at least two groups")
+    arrays = {k: np.asarray(v, dtype=float) for k, v in groups.items()}
+    for name, arr in arrays.items():
+        if arr.size < 2:
+            raise ValueError(f"group {name!r} needs at least 2 observations")
+    all_values = np.concatenate(list(arrays.values()))
+    grand_mean = all_values.mean()
+    k = len(arrays)
+    n_total = all_values.size
+
+    ss_between = float(
+        sum(arr.size * (arr.mean() - grand_mean) ** 2 for arr in arrays.values())
+    )
+    ss_within = float(
+        sum(((arr - arr.mean()) ** 2).sum() for arr in arrays.values())
+    )
+    df_between = k - 1
+    df_within = n_total - k
+    ms_between = ss_between / df_between
+    ms_within = ss_within / df_within if df_within > 0 else float("nan")
+    if ms_within == 0:
+        f_stat = float("inf") if ms_between > 0 else 0.0
+        p = 0.0 if ms_between > 0 else 1.0
+    else:
+        f_stat = ms_between / ms_within
+        p = float(stats.f.sf(f_stat, df_between, df_within))
+    return AnovaResult(
+        f_statistic=float(f_stat),
+        p_value=min(max(p, 0.0), 1.0),
+        df_between=df_between,
+        df_within=df_within,
+        ss_between=ss_between,
+        ss_within=ss_within,
+    )

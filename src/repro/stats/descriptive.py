@@ -1,0 +1,63 @@
+"""Descriptive statistics for benchmark reporting."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-style summary of one metric's samples."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.n} mean={self.mean:.6g} std={self.std:.6g} "
+            f"min={self.minimum:.6g} p50={self.p50:.6g} "
+            f"p95={self.p95:.6g} p99={self.p99:.6g} max={self.maximum:.6g}"
+        )
+
+
+def summarize(samples: Sequence[float]) -> Summary:
+    """Summarize samples (requires at least one observation)."""
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    return Summary(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        p50=float(np.percentile(arr, 50)),
+        p95=float(np.percentile(arr, 95)),
+        p99=float(np.percentile(arr, 99)),
+        maximum=float(arr.max()),
+    )
+
+
+def confidence_interval(
+    samples: Sequence[float], confidence: float = 0.95
+) -> tuple[float, float]:
+    """Two-sided t-based confidence interval for the mean."""
+    if not 0 < confidence < 1:
+        raise ValueError(f"confidence must be in (0,1): {confidence}")
+    arr = np.asarray(samples, dtype=float)
+    if arr.size < 2:
+        raise ValueError("confidence interval needs at least 2 observations")
+    mean = float(arr.mean())
+    se = float(arr.std(ddof=1)) / math.sqrt(arr.size)
+    t_crit = float(stats.t.ppf((1 + confidence) / 2, arr.size - 1))
+    return mean - t_crit * se, mean + t_crit * se

@@ -1,0 +1,132 @@
+"""Tukey's Honest Significant Difference multiple-comparison procedure.
+
+Given k independent groups, performs a one-way ANOVA-style decomposition
+and tests every pairwise mean difference against the studentized-range
+distribution, controlling the family-wise error rate.  This is the
+procedure the paper applies to the compression study's throughput /
+latency / bandwidth samples (§III-B5).
+
+Implemented from the standard construction (unequal group sizes use the
+Tukey-Kramer adjustment); the studentized-range quantiles come from
+``scipy.stats.studentized_range``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy.stats import studentized_range
+
+
+@dataclass(frozen=True)
+class PairwiseComparison:
+    """One Tukey pairwise test."""
+
+    group_a: str
+    group_b: str
+    mean_diff: float  # mean(a) - mean(b)
+    se: float
+    q_statistic: float
+    p_value: float
+    ci_low: float
+    ci_high: float
+    significant: bool
+
+
+@dataclass(frozen=True)
+class TukeyResult:
+    """Full HSD table."""
+
+    groups: tuple[str, ...]
+    means: dict
+    mse: float
+    df_error: int
+    alpha: float
+    comparisons: tuple[PairwiseComparison, ...]
+
+    def comparison(self, a: str, b: str) -> PairwiseComparison:
+        """Look up the (a, b) or (b, a) comparison."""
+        for c in self.comparisons:
+            if {c.group_a, c.group_b} == {a, b}:
+                return c
+        raise KeyError(f"no comparison between {a!r} and {b!r}")
+
+    def any_significant(self) -> bool:
+        """Whether any pairwise comparison is significant."""
+        return any(c.significant for c in self.comparisons)
+
+
+def tukey_hsd(
+    groups: dict[str, Sequence[float]],
+    alpha: float = 0.05,
+) -> TukeyResult:
+    """Run Tukey's HSD across named sample groups.
+
+    Parameters
+    ----------
+    groups:
+        Mapping of group name → samples.  At least two groups, each with
+        at least two observations.
+    alpha:
+        Family-wise significance level.
+    """
+    if len(groups) < 2:
+        raise ValueError("Tukey HSD needs at least two groups")
+    names = tuple(groups)
+    data = {name: np.asarray(groups[name], dtype=float) for name in names}
+    for name, arr in data.items():
+        if arr.size < 2:
+            raise ValueError(f"group {name!r} needs at least 2 observations")
+    if not 0 < alpha < 1:
+        raise ValueError(f"alpha must be in (0,1): {alpha}")
+
+    k = len(names)
+    n_total = sum(arr.size for arr in data.values())
+    df_error = n_total - k
+    if df_error < 1:
+        raise ValueError("not enough observations for error degrees of freedom")
+    # Pooled within-group variance (ANOVA mean square error).
+    sse = sum(float(((arr - arr.mean()) ** 2).sum()) for arr in data.values())
+    mse = sse / df_error
+    means = {name: float(arr.mean()) for name, arr in data.items()}
+
+    q_crit = float(studentized_range.ppf(1 - alpha, k, df_error))
+    comparisons = []
+    for i in range(k):
+        for j in range(i + 1, k):
+            a, b = names[i], names[j]
+            na, nb = data[a].size, data[b].size
+            # Tukey-Kramer standard error for unequal group sizes.
+            se = math.sqrt(mse / 2.0 * (1.0 / na + 1.0 / nb))
+            diff = means[a] - means[b]
+            if se == 0:
+                q = math.inf if diff != 0 else 0.0
+                p = 0.0 if diff != 0 else 1.0
+            else:
+                q = abs(diff) / se
+                p = float(studentized_range.sf(q, k, df_error))
+            margin = q_crit * se
+            comparisons.append(
+                PairwiseComparison(
+                    group_a=a,
+                    group_b=b,
+                    mean_diff=diff,
+                    se=se,
+                    q_statistic=q,
+                    p_value=min(max(p, 0.0), 1.0),
+                    ci_low=diff - margin,
+                    ci_high=diff + margin,
+                    significant=bool(p < alpha),
+                )
+            )
+    return TukeyResult(
+        groups=names,
+        means=means,
+        mse=mse,
+        df_error=df_error,
+        alpha=alpha,
+        comparisons=tuple(comparisons),
+    )

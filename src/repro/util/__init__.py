@@ -1,0 +1,24 @@
+"""Shared utilities: injectable clocks, token-bucket rate limiting,
+and the framework exception hierarchy."""
+
+from repro.util.clock import Clock, MonotonicClock, ManualClock
+from repro.util.ratelimit import TokenBucket
+from repro.util.errors import (
+    NeptuneError,
+    GraphValidationError,
+    SerializationError,
+    TransportError,
+    BackpressureTimeout,
+)
+
+__all__ = [
+    "Clock",
+    "MonotonicClock",
+    "ManualClock",
+    "TokenBucket",
+    "NeptuneError",
+    "GraphValidationError",
+    "SerializationError",
+    "TransportError",
+    "BackpressureTimeout",
+]

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro package.
+
+All framework-raised exceptions derive from :class:`NeptuneError` so
+applications can catch framework faults without masking programming
+errors (``TypeError`` etc.) in user operator code.
+"""
+
+
+class NeptuneError(Exception):
+    """Base class for all framework errors."""
+
+
+class GraphValidationError(NeptuneError):
+    """A stream-processing graph is structurally invalid.
+
+    Raised when a graph references undeclared operators, contains no
+    source, declares non-positive parallelism, or wires a link whose
+    partitioning scheme is unknown.
+    """
+
+
+class SerializationError(NeptuneError):
+    """A stream packet could not be encoded or decoded.
+
+    Includes schema mismatches, unsupported field types, truncated
+    buffers, and checksum failures detected by the framing layer.
+    """
+
+
+class TransportError(NeptuneError):
+    """A transport endpoint failed (connection refused, closed mid-write)."""
+
+
+class BackpressureTimeout(NeptuneError):
+    """A blocked producer waited longer than its configured bound.
+
+    NEPTUNE never drops packets; when a downstream stage stays saturated
+    past the producer's patience, the producer surfaces this instead of
+    silently discarding data (contrast with Storm's fail-fast drops).
+    """
+
+
+class JobStateError(NeptuneError):
+    """An operation was attempted in an illegal job lifecycle state."""
+
+
+class PoolExhausted(NeptuneError):
+    """A bounded object pool had no free object and ``strict`` was set."""

@@ -1,0 +1,79 @@
+"""Token-bucket rate limiting.
+
+Stream sources use a :class:`TokenBucket` to emit at a target rate, and
+the simulator's workload generators reuse it to shape arrival processes.
+"""
+
+from __future__ import annotations
+
+from repro.util.clock import Clock, SYSTEM_CLOCK
+
+
+class TokenBucket:
+    """Classic token bucket.
+
+    Parameters
+    ----------
+    rate:
+        Sustained token refill rate (tokens/second).  Must be positive.
+    burst:
+        Bucket capacity: the largest instantaneous burst permitted.
+        Defaults to one second's worth of tokens.
+    clock:
+        Time source; injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float | None = None,
+        clock: Clock = SYSTEM_CLOCK,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else float(rate)
+        if self.burst <= 0:
+            raise ValueError(f"burst must be positive, got {burst}")
+        self._clock = clock
+        self._tokens = self.burst
+        self._last = clock.now()
+
+    def _refill(self) -> None:
+        now = self._clock.now()
+        elapsed = now - self._last
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+            self._last = now
+
+    # Tolerance absorbing float rounding in refill arithmetic; without it,
+    # `acquire` can spin forever when elapsed*rate rounds a hair below the
+    # deficit and the follow-up delay underflows to ~0.
+    _EPS = 1e-9
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; return whether they were taken."""
+        self._refill()
+        if self._tokens >= tokens - self._EPS:
+            self._tokens = max(0.0, self._tokens - tokens)
+            return True
+        return False
+
+    def acquire(self, tokens: float = 1.0) -> float:
+        """Block until ``tokens`` are available; return seconds waited."""
+        waited = 0.0
+        while True:
+            self._refill()
+            if self._tokens >= tokens - self._EPS:
+                self._tokens = max(0.0, self._tokens - tokens)
+                return waited
+            deficit = tokens - self._tokens
+            delay = max(deficit / self.rate, 1e-6)
+            self._clock.sleep(delay)
+            waited += delay
+
+    @property
+    def available(self) -> float:
+        """Tokens currently available (refilled as of now)."""
+        self._refill()
+        return self._tokens

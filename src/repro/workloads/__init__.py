@@ -1,0 +1,43 @@
+"""Workload generators and reference operators for the evaluation.
+
+- :mod:`repro.workloads.operators` — sources/processors/sinks used by
+  the paper's experiment topologies (relay, backpressure trigger).
+- :mod:`repro.workloads.iot` — small-packet IoT/sensing streams (the
+  50-400 B regime §III-B1 cites).
+- :mod:`repro.workloads.debs` — synthetic DEBS-2012 manufacturing
+  equipment telemetry (low-entropy sensor + valve state streams).
+- :mod:`repro.workloads.synthetic` — random/low-entropy byte payload
+  generators for the compression study.
+"""
+
+from repro.workloads.operators import (
+    RELAY_SCHEMA,
+    CollectingSink,
+    CountingSource,
+    LatencySink,
+    RelayProcessor,
+    ReplaySource,
+    VariableRateProcessor,
+)
+from repro.workloads.stdlib import (
+    FilterProcessor,
+    JsonLinesFileSource,
+    MapProcessor,
+    ThrottledSource,
+    WindowedAggregateProcessor,
+)
+
+__all__ = [
+    "RELAY_SCHEMA",
+    "CountingSource",
+    "ReplaySource",
+    "RelayProcessor",
+    "VariableRateProcessor",
+    "CollectingSink",
+    "LatencySink",
+    "MapProcessor",
+    "FilterProcessor",
+    "WindowedAggregateProcessor",
+    "ThrottledSource",
+    "JsonLinesFileSource",
+]

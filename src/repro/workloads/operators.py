@@ -1,0 +1,172 @@
+"""Reference operators used by examples, tests, and benchmarks.
+
+These mirror the operators the paper's experiments use: counting/replay
+sources, the message relay (Fig. 1), a variable-rate processor (the
+Fig. 3 backpressure trigger), and collecting sinks.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Iterable
+
+from repro.core.fieldtypes import FieldType
+from repro.core.operators import StreamProcessor, StreamSource
+from repro.core.packet import PacketSchema, StreamPacket
+
+#: Schema used by the relay experiments: a sequence number, an emit
+#: timestamp (for end-to-end latency), and a variable-size payload.
+RELAY_SCHEMA = PacketSchema(
+    [
+        ("seq", FieldType.INT64),
+        ("emitted_at", FieldType.FLOAT64),
+        ("payload", FieldType.BYTES),
+    ]
+)
+
+
+class CountingSource(StreamSource):
+    """Emits ``total`` sequenced packets with a fixed-size payload.
+
+    ``payload_size`` controls the message size (the paper sweeps 50 B
+    to 10 KB).  With ``total=None`` it emits until the job stops it.
+    """
+
+    def __init__(
+        self,
+        total: int | None = 1000,
+        payload_size: int = 50,
+        stream: str | None = None,
+    ) -> None:
+        super().__init__()
+        self.total = total
+        self.payload = bytes(payload_size)
+        self.stream = stream
+        self.emitted = 0
+
+    def generate(self, ctx) -> None:
+        """Produce packets for one scheduling quantum (StreamSource contract)."""
+        if self.total is not None and self.emitted >= self.total:
+            ctx.finish()
+            return
+        pkt = ctx.new_packet(self.stream)
+        pkt.set("seq", self.emitted)
+        pkt.set("emitted_at", time.monotonic())
+        pkt.set("payload", self.payload)
+        ctx.emit(pkt, self.stream)
+        self.emitted += 1
+
+    def output_schema(self, stream: str) -> PacketSchema:
+        """Declare the schema of the named outgoing stream."""
+        return RELAY_SCHEMA
+
+
+class ReplaySource(StreamSource):
+    """Replays prebuilt packets from any iterable (file/dataset replay)."""
+
+    def __init__(self, packets: Iterable[StreamPacket], schema: PacketSchema) -> None:
+        super().__init__()
+        self._iter = iter(packets)
+        self._schema = schema
+
+    def generate(self, ctx) -> None:
+        """Produce packets for one scheduling quantum (StreamSource contract)."""
+        try:
+            pkt = next(self._iter)
+        except StopIteration:
+            ctx.finish()
+            return
+        ctx.emit(pkt)
+
+    def output_schema(self, stream: str) -> PacketSchema:
+        """Declare the schema of the named outgoing stream."""
+        return self._schema
+
+
+class RelayProcessor(StreamProcessor):
+    """Stage-2 of the paper's Fig. 1 message relay: forward every packet."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.relayed = 0
+
+    def process(self, packet: StreamPacket, ctx) -> None:
+        """Handle one stream packet (StreamProcessor contract)."""
+        out = ctx.new_packet()
+        out.copy_from(packet)
+        ctx.emit(out)
+        self.relayed += 1
+
+    def output_schema(self, stream: str) -> PacketSchema:
+        """Declare the schema of the named outgoing stream."""
+        return RELAY_SCHEMA
+
+
+class VariableRateProcessor(StreamProcessor):
+    """Fig. 3's stage-C processor: sleeps after each packet.
+
+    The sleep interval is read from a shared mutable holder so the
+    experiment driver can vary it (0 → 3 ms staircase) while the job
+    runs, triggering backpressure upstream.
+    """
+
+    def __init__(self, sleep_holder: list[float] | None = None) -> None:
+        super().__init__()
+        self.sleep_holder = sleep_holder if sleep_holder is not None else [0.0]
+        self.processed = 0
+
+    def process(self, packet: StreamPacket, ctx) -> None:
+        """Handle one stream packet (StreamProcessor contract)."""
+        delay = self.sleep_holder[0]
+        if delay > 0:
+            time.sleep(delay)
+        self.processed += 1
+
+    def output_schema(self, stream: str) -> PacketSchema:
+        """Declare the schema of the named outgoing stream."""
+        raise KeyError(stream)
+
+
+class CollectingSink(StreamProcessor):
+    """Terminal stage recording (a projection of) every packet.
+
+    Thread-safe across parallel instances: all instances append to the
+    shared class-level store created per sink object via
+    :meth:`make_store`.
+    """
+
+    def __init__(self, store: list | None = None, field: str | None = "seq") -> None:
+        super().__init__()
+        self.store = store if store is not None else []
+        self.field = field
+        self._lock = threading.Lock()
+
+    def process(self, packet: StreamPacket, ctx) -> None:
+        """Handle one stream packet (StreamProcessor contract)."""
+        value = packet.get(self.field) if self.field else packet.clone()
+        with self._lock:
+            self.store.append(value)
+
+    def output_schema(self, stream: str) -> PacketSchema:
+        """Declare the schema of the named outgoing stream."""
+        raise KeyError(stream)
+
+
+class LatencySink(StreamProcessor):
+    """Terminal stage computing end-to-end latency from ``emitted_at``."""
+
+    def __init__(self, samples: list | None = None) -> None:
+        super().__init__()
+        self.samples = samples if samples is not None else []
+        self._lock = threading.Lock()
+
+    def process(self, packet: StreamPacket, ctx) -> None:
+        """Handle one stream packet (StreamProcessor contract)."""
+        lat = time.monotonic() - packet.get("emitted_at")
+        with self._lock:
+            self.samples.append(lat)
+
+    def output_schema(self, stream: str) -> PacketSchema:
+        """Declare the schema of the named outgoing stream."""
+        raise KeyError(stream)

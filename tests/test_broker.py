@@ -1,0 +1,300 @@
+"""Tests for the message-broker substrate and its NEPTUNE bridges."""
+
+import threading
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.broker import BrokerSink, BrokerSource, MessageBroker
+from repro.broker.core import BrokerError, TopicPartition
+from repro.core import NeptuneConfig, NeptuneRuntime, PacketCodec, StreamProcessingGraph
+from repro.workloads import RELAY_SCHEMA, CollectingSink
+
+
+class TestTopicPartition:
+    def test_append_read_offsets(self):
+        tp = TopicPartition("t", 0)
+        assert tp.append(None, b"a") == 0
+        assert tp.append(None, b"b") == 1
+        msgs = tp.read(0)
+        assert [m.value for m in msgs] == [b"a", b"b"]
+        assert [m.offset for m in msgs] == [0, 1]
+        assert tp.end_offset == 2
+
+    def test_read_beyond_end_empty(self):
+        tp = TopicPartition("t", 0)
+        tp.append(None, b"x")
+        assert tp.read(1) == []
+        assert tp.read(99) == []
+
+    def test_read_window(self):
+        tp = TopicPartition("t", 0)
+        for i in range(10):
+            tp.append(None, bytes([i]))
+        msgs = tp.read(3, max_messages=4)
+        assert [m.offset for m in msgs] == [3, 4, 5, 6]
+
+    def test_retention_truncates_base(self):
+        tp = TopicPartition("t", 0, retention=3)
+        for i in range(5):
+            tp.append(None, bytes([i]))
+        assert tp.base_offset == 2
+        assert len(tp) == 3
+        with pytest.raises(BrokerError, match="truncated"):
+            tp.read(0)
+        assert [m.value for m in tp.read(2)] == [b"\x02", b"\x03", b"\x04"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TopicPartition("t", 0, retention=0)
+        tp = TopicPartition("t", 0)
+        with pytest.raises(ValueError):
+            tp.read(0, max_messages=0)
+
+
+class TestMessageBroker:
+    def test_create_and_publish(self):
+        broker = MessageBroker()
+        broker.create_topic("readings", partitions=3)
+        assert broker.partitions("readings") == 3
+        broker.publish("readings", b"v1", key=b"sensor-1")
+        broker.publish("readings", b"v2", key=b"sensor-1")
+        # Same key → same partition, in order.
+        parts = broker.topic("readings")
+        non_empty = [p for p in parts if len(p)]
+        assert len(non_empty) == 1
+        assert [m.value for m in non_empty[0].read(0)] == [b"v1", b"v2"]
+
+    def test_keyless_round_robin(self):
+        broker = MessageBroker()
+        broker.create_topic("rr", partitions=2)
+        for i in range(6):
+            broker.publish("rr", bytes([i]))
+        assert [len(p) for p in broker.topic("rr")] == [3, 3]
+
+    def test_duplicate_topic_rejected(self):
+        broker = MessageBroker()
+        broker.create_topic("t")
+        with pytest.raises(BrokerError, match="already exists"):
+            broker.create_topic("t")
+
+    def test_unknown_topic(self):
+        with pytest.raises(BrokerError, match="unknown topic"):
+            MessageBroker().publish("ghost", b"x")
+
+    def test_consumer_groups_independent(self):
+        broker = MessageBroker()
+        broker.create_topic("t", partitions=1)
+        for i in range(4):
+            broker.publish("t", bytes([i]))
+        a = broker.poll("group-a", "t", 0)
+        b = broker.poll("group-b", "t", 0)
+        assert [m.value for m in a] == [m.value for m in b]
+
+    def test_poll_autocommit_advances(self):
+        broker = MessageBroker()
+        broker.create_topic("t")
+        broker.publish("t", b"1")
+        broker.publish("t", b"2")
+        first = broker.poll("g", "t", 0, max_messages=1)
+        second = broker.poll("g", "t", 0, max_messages=1)
+        assert first[0].value == b"1" and second[0].value == b"2"
+
+    def test_poll_without_commit_replays(self):
+        broker = MessageBroker()
+        broker.create_topic("t")
+        broker.publish("t", b"x")
+        a = broker.poll("g", "t", 0, commit=False)
+        b = broker.poll("g", "t", 0, commit=False)
+        assert a[0].offset == b[0].offset == 0
+
+    def test_commit_backwards_rejected(self):
+        broker = MessageBroker()
+        broker.create_topic("t")
+        cg = broker.consumer_group("g", "t")
+        cg.commit(0, 5)
+        with pytest.raises(BrokerError, match="backwards"):
+            cg.commit(0, 3)
+        cg.seek(0, 3)  # explicit replay is allowed
+        assert cg.committed(0) == 3
+
+    def test_lag(self):
+        broker = MessageBroker()
+        broker.create_topic("t", partitions=2)
+        for i in range(10):
+            broker.publish("t", bytes([i]))
+        assert broker.lag("g", "t") == 10
+        broker.poll("g", "t", 0)
+        assert broker.lag("g", "t") == 5
+
+    def test_concurrent_producers(self):
+        broker = MessageBroker()
+        broker.create_topic("t", partitions=4)
+        errors = []
+
+        def produce(tag):
+            try:
+                for i in range(200):
+                    broker.publish("t", f"{tag}:{i}".encode(), key=str(tag).encode())
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=produce, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(10)
+        assert not errors
+        total = sum(len(p) for p in broker.topic("t"))
+        assert total == 800
+        # Per-key FIFO within its partition.
+        for tag in range(4):
+            from repro.lz4 import xxh32
+
+            part = broker.topic("t")[xxh32(str(tag).encode()) % 4]
+            seq = [
+                int(m.value.split(b":")[1])
+                for m in part.read(part.base_offset, 10_000)
+                if m.key == str(tag).encode()
+            ]
+            assert seq == sorted(seq)
+
+
+def _fill_topic(broker, topic, n, partitions=3):
+    broker.create_topic(topic, partitions=partitions)
+    codec = PacketCodec(RELAY_SCHEMA)
+    for i in range(n):
+        pkt = RELAY_SCHEMA.new_packet(seq=i, emitted_at=0.0, payload=b"iot")
+        broker.publish(topic, codec.encode(pkt), key=str(i % 7).encode())
+
+
+class TestBrokerSourceInGraph:
+    def test_ingest_replay_topic(self):
+        broker = MessageBroker()
+        _fill_topic(broker, "readings", 900)
+        store = []
+        g = StreamProcessingGraph(
+            "ingest", config=NeptuneConfig(buffer_capacity=2048, buffer_max_delay=0.005)
+        )
+        g.add_source(
+            "broker",
+            lambda: BrokerSource(
+                broker, "readings", "job-1", RELAY_SCHEMA, stop_at_end=True
+            ),
+        )
+        g.add_processor("sink", lambda: CollectingSink(store))
+        g.link("broker", "sink")
+        with NeptuneRuntime() as rt:
+            h = rt.submit(g)
+            assert h.await_completion(timeout=60)
+        assert sorted(store) == list(range(900))
+        assert broker.lag("job-1", "readings") == 0
+
+    def test_parallel_instances_share_partitions(self):
+        broker = MessageBroker()
+        _fill_topic(broker, "wide", 600, partitions=4)
+        store = []
+        g = StreamProcessingGraph(
+            "par-ingest",
+            config=NeptuneConfig(buffer_capacity=2048, buffer_max_delay=0.005),
+        )
+        g.add_source(
+            "broker",
+            lambda: BrokerSource(broker, "wide", "g", RELAY_SCHEMA, stop_at_end=True),
+            parallelism=2,
+        )
+        g.add_processor("sink", lambda: CollectingSink(store))
+        g.link("broker", "sink")
+        with NeptuneRuntime() as rt:
+            assert rt.submit(g).await_completion(timeout=60)
+        assert sorted(store) == list(range(600))
+
+    def test_offsets_checkpoint_and_restore(self):
+        broker = MessageBroker()
+        _fill_topic(broker, "ckpt-topic", 300, partitions=1)
+        store = []
+
+        def graph():
+            g = StreamProcessingGraph(
+                "bk", config=NeptuneConfig(buffer_capacity=2048, buffer_max_delay=0.005)
+            )
+            g.add_source(
+                "broker",
+                lambda: BrokerSource(
+                    broker, "ckpt-topic", "g1", RELAY_SCHEMA, stop_at_end=True
+                ),
+            )
+            g.add_processor("sink", lambda: CollectingSink(store))
+            g.link("broker", "sink")
+            return g
+
+        with NeptuneRuntime() as rt:
+            h = rt.submit(graph())
+            assert h.await_completion(timeout=60)
+            ckpt = h.checkpoint()
+        assert ckpt.state_for("broker", 0)["offsets"] == {0: 300}
+        assert len(store) == 300
+
+        # Simulate replay-from-checkpoint: more data arrives, restore.
+        codec = PacketCodec(RELAY_SCHEMA)
+        for i in range(300, 350):
+            broker.publish(
+                "ckpt-topic",
+                codec.encode(
+                    RELAY_SCHEMA.new_packet(seq=i, emitted_at=0.0, payload=b"iot")
+                ),
+            )
+        with NeptuneRuntime() as rt:
+            h2 = rt.submit(graph(), restore_from=ckpt)
+            assert h2.await_completion(timeout=60)
+        assert sorted(store) == list(range(350))  # no re-ingestion of 0-299
+
+    def test_sink_publishes_back(self):
+        broker = MessageBroker()
+        _fill_topic(broker, "in", 100, partitions=1)
+        broker.create_topic("out", partitions=2)
+        g = StreamProcessingGraph(
+            "bridge", config=NeptuneConfig(buffer_capacity=2048, buffer_max_delay=0.005)
+        )
+        g.add_source(
+            "src",
+            lambda: BrokerSource(broker, "in", "g", RELAY_SCHEMA, stop_at_end=True),
+        )
+        g.add_processor(
+            "sink", lambda: BrokerSink(broker, "out", RELAY_SCHEMA, key_field="seq")
+        )
+        g.link("src", "sink")
+        with NeptuneRuntime() as rt:
+            assert rt.submit(g).await_completion(timeout=60)
+        total = sum(len(p) for p in broker.topic("out"))
+        assert total == 100
+
+    def test_source_validation(self):
+        broker = MessageBroker()
+        broker.create_topic("t")
+        with pytest.raises(ValueError):
+            BrokerSource(broker, "t", "g", RELAY_SCHEMA, poll_batch=0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.one_of(st.none(), st.binary(max_size=8)), st.binary(max_size=32)),
+        max_size=60,
+    ),
+    st.integers(min_value=1, max_value=5),
+)
+def test_broker_conservation_property(records, partitions):
+    """Everything published is consumed exactly once, per-key in order."""
+    broker = MessageBroker()
+    broker.create_topic("p", partitions=partitions)
+    broker.publish_many("p", records)
+    consumed = []
+    for part in range(partitions):
+        while True:
+            msgs = broker.poll("g", "p", part, max_messages=7)
+            if not msgs:
+                break
+            consumed.extend(msgs)
+    assert sorted(m.value for m in consumed) == sorted(v for _, v in records)
+    assert broker.lag("g", "p") == 0

@@ -1,0 +1,113 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+DESCRIPTOR = {
+    "name": "cli-relay",
+    "operators": [
+        {
+            "name": "src",
+            "type": "source",
+            "class": "repro.workloads.operators:CountingSource",
+            "kwargs": {"total": 200},
+        },
+        {
+            "name": "relay",
+            "type": "processor",
+            "class": "repro.workloads.operators:RelayProcessor",
+        },
+        {
+            "name": "sink",
+            "type": "processor",
+            "class": "repro.workloads.operators:CollectingSink",
+        },
+    ],
+    "links": [
+        {"from": "src", "to": "relay"},
+        {"from": "relay", "to": "sink"},
+    ],
+}
+
+
+@pytest.fixture
+def descriptor_file(tmp_path):
+    path = tmp_path / "graph.json"
+    path.write_text(json.dumps(DESCRIPTOR))
+    return str(path)
+
+
+class TestValidate:
+    def test_valid_descriptor(self, descriptor_file, capsys):
+        assert main(["validate", descriptor_file]) == 0
+        out = capsys.readouterr().out
+        assert "cli-relay" in out and "OK" in out
+        assert "stages" in out
+
+    def test_invalid_descriptor(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"name": "x", "operators": [], "links": []}))
+        from repro.util.errors import GraphValidationError
+
+        with pytest.raises(GraphValidationError):
+            main(["validate", str(bad)])
+
+
+class TestRun:
+    def test_run_to_completion(self, descriptor_file, capsys):
+        assert main(["run", descriptor_file]) == 0
+        out = capsys.readouterr().out
+        assert "drained" in out
+        assert "in=       200" in out.replace("in=        200", "in=       200") or "200" in out
+
+    def test_run_distributed(self, descriptor_file, capsys):
+        assert main(["run", descriptor_file, "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "resource 0" in out and "resource 1" in out
+        assert "drained" in out
+
+
+class TestExperiment:
+    def test_fig6(self, capsys):
+        assert main(["experiment", "fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "FIG6" in out and "nodes" in out
+
+    def test_fig9(self, capsys):
+        assert main(["experiment", "fig9"]) == 0
+        assert "speedup" in capsys.readouterr().out
+
+    def test_fig10(self, capsys):
+        assert main(["experiment", "fig10"]) == 0
+        out = capsys.readouterr().out
+        assert "one-tailed" in out
+
+    def test_headline(self, capsys):
+        assert main(["experiment", "headline"]) == 0
+        assert "single_pipeline_msg_s" in capsys.readouterr().out
+
+    def test_unknown_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+
+class TestInfo:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        assert "NEPTUNE" in capsys.readouterr().out
+
+
+class TestRunDuration:
+    def test_run_for_duration_then_stop(self, tmp_path, capsys):
+        endless = dict(DESCRIPTOR)
+        endless = json.loads(json.dumps(DESCRIPTOR))
+        endless["operators"][0]["kwargs"] = {"total": None}
+        path = tmp_path / "endless.json"
+        path.write_text(json.dumps(endless))
+        assert main(["run", str(path), "--duration", "0.5", "--drain-timeout", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "drained" in out

@@ -1,0 +1,136 @@
+"""Tests for entropy estimation and the selective compression policy."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression import (
+    CompressionDecision,
+    CompressionPolicy,
+    sampled_entropy,
+    shannon_entropy,
+)
+
+
+class TestShannonEntropy:
+    def test_empty_is_zero(self):
+        assert shannon_entropy(b"") == 0.0
+
+    def test_constant_is_zero(self):
+        assert shannon_entropy(b"\x07" * 1000) == 0.0
+
+    def test_two_symbols_equal_is_one_bit(self):
+        assert shannon_entropy(b"ab" * 500) == pytest.approx(1.0)
+
+    def test_uniform_random_near_eight(self):
+        rng = random.Random(0)
+        data = bytes(rng.getrandbits(8) for _ in range(100_000))
+        assert shannon_entropy(data) > 7.95
+
+    def test_all_256_symbols_uniform_is_eight(self):
+        assert shannon_entropy(bytes(range(256)) * 10) == pytest.approx(8.0)
+
+    def test_monotone_in_alphabet_size(self):
+        e1 = shannon_entropy(b"ab" * 100)
+        e2 = shannon_entropy(b"abcd" * 50)
+        e3 = shannon_entropy(b"abcdefgh" * 25)
+        assert e1 < e2 < e3
+
+
+class TestSampledEntropy:
+    def test_small_input_exact(self):
+        data = b"abcd" * 100
+        assert sampled_entropy(data) == shannon_entropy(data)
+
+    def test_large_input_close_to_exact(self):
+        rng = random.Random(1)
+        data = bytes(rng.getrandbits(8) for _ in range(200_000))
+        assert abs(sampled_entropy(data) - shannon_entropy(data)) < 0.3
+
+    def test_deterministic(self):
+        rng = random.Random(2)
+        data = bytes(rng.getrandbits(8) for _ in range(50_000))
+        assert sampled_entropy(data) == sampled_entropy(data)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.binary(max_size=2048))
+def test_entropy_bounds_property(data):
+    e = shannon_entropy(data)
+    assert 0.0 <= e <= 8.0
+
+
+class TestCompressionPolicy:
+    def test_low_entropy_payload_is_compressed(self):
+        policy = CompressionPolicy(entropy_threshold=6.0)
+        payload = b"sensor=21.5;valve=open;" * 100
+        out = policy.encode(payload)
+        assert out[0] == 0x01
+        assert len(out) < len(payload)
+        assert CompressionPolicy.decode(out) == payload
+
+    def test_high_entropy_payload_is_raw(self):
+        rng = random.Random(3)
+        payload = bytes(rng.getrandbits(8) for _ in range(4096))
+        policy = CompressionPolicy(entropy_threshold=6.0)
+        out = policy.encode(payload)
+        assert out[0] == 0x00
+        assert CompressionPolicy.decode(out) == payload
+        assert policy.stats.decisions[CompressionDecision.ENTROPY_TOO_HIGH] == 1
+
+    def test_disabled_policy_never_compresses(self):
+        policy = CompressionPolicy(enabled=False)
+        payload = b"\x00" * 1000
+        out = policy.encode(payload)
+        assert out[0] == 0x00
+        assert policy.stats.decisions[CompressionDecision.DISABLED] == 1
+
+    def test_tiny_payload_skipped(self):
+        policy = CompressionPolicy(min_size=64)
+        out = policy.encode(b"\x00" * 10)
+        assert out[0] == 0x00
+        assert policy.stats.decisions[CompressionDecision.TOO_SMALL] == 1
+
+    def test_incompressible_falls_back_to_raw(self):
+        # Low entropy threshold satisfied but LZ4 can't shrink it:
+        # short non-repeating payload with a tiny alphabet still repeats,
+        # so use threshold 8.0 and random-ish data instead.
+        rng = random.Random(4)
+        payload = bytes(rng.getrandbits(8) for _ in range(200))
+        policy = CompressionPolicy(entropy_threshold=8.0, min_size=0)
+        out = policy.encode(payload)
+        assert CompressionPolicy.decode(out) == payload
+
+    def test_stats_ratio(self):
+        policy = CompressionPolicy()
+        payload = b"\x00" * 10_000
+        policy.encode(payload)
+        assert policy.stats.ratio < 0.1
+        assert policy.stats.payloads_compressed == 1
+
+    def test_decode_rejects_empty(self):
+        with pytest.raises(ValueError):
+            CompressionPolicy.decode(b"")
+
+    def test_decode_rejects_unknown_flag(self):
+        with pytest.raises(ValueError):
+            CompressionPolicy.decode(b"\x7fdata")
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            CompressionPolicy(entropy_threshold=9.0)
+        with pytest.raises(ValueError):
+            CompressionPolicy(min_size=-1)
+
+    def test_threshold_zero_never_compresses(self):
+        policy = CompressionPolicy(entropy_threshold=0.0)
+        out = policy.encode(b"\x00" * 1000)
+        assert out[0] == 0x00
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.binary(max_size=4096), st.floats(min_value=0.0, max_value=8.0))
+def test_policy_roundtrip_property(payload, threshold):
+    policy = CompressionPolicy(entropy_threshold=threshold, min_size=0)
+    assert CompressionPolicy.decode(policy.encode(payload)) == payload

@@ -1,0 +1,181 @@
+"""Tests for the multi-process control plane (control server, remote
+proxies, coordinated drain, and the worker_main entry point)."""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+import pytest
+
+from repro.core import NeptuneConfig, StreamProcessingGraph
+from repro.core.control import (
+    ControlError,
+    ControlServer,
+    RemoteDistributedJob,
+    RemoteWorker,
+    plan_to_json,
+)
+from repro.core.distributed import DistributedWorker, round_robin_plan
+from repro.core.graph import descriptor_factory
+from repro.util.errors import NeptuneError
+from repro.workloads import CollectingSink, CountingSource, RelayProcessor
+
+
+def relay_graph(total=300):
+    store = []
+    g = StreamProcessingGraph(
+        "ctl-relay",
+        config=NeptuneConfig(buffer_capacity=2048, buffer_max_delay=0.005),
+    )
+    g.add_source("sender", lambda: CountingSource(total=total))
+    g.add_processor("relay", RelayProcessor)
+    g.add_processor("receiver", lambda: CollectingSink(store))
+    g.link("sender", "relay").link("relay", "receiver")
+    return g, store
+
+
+class TestControlServerInProcess:
+    def _workers_with_control(self, graph):
+        plan = round_robin_plan(graph, 2)
+        workers = [DistributedWorker(w, graph, plan) for w in range(2)]
+        endpoints = {w.worker_id: w.address for w in workers}
+        for w in workers:
+            w.connect(endpoints)
+        servers = [ControlServer(w) for w in workers]
+        proxies = [RemoteWorker("127.0.0.1", s.port) for s in servers]
+        return workers, servers, proxies
+
+    def test_remote_coordination_end_to_end(self):
+        graph, store = relay_graph(400)
+        workers, servers, proxies = self._workers_with_control(graph)
+        try:
+            for w in workers:
+                w.start()
+            job = RemoteDistributedJob(proxies)
+            assert job.await_completion(timeout=90)
+        finally:
+            for s in servers:
+                s.close()
+        assert store == list(range(400))
+
+    def test_remote_metrics_and_failures(self):
+        graph, store = relay_graph(100)
+        workers, servers, proxies = self._workers_with_control(graph)
+        try:
+            for w in workers:
+                w.start()
+            job = RemoteDistributedJob(proxies)
+            assert job.await_completion(timeout=60)
+            # Workers are stopped by the drain; metrics were merged
+            # through proxies during the run — query one directly via a
+            # fresh snapshot taken before stop is not possible now, so
+            # just verify protocol-level behaviours below.
+        finally:
+            for s in servers:
+                s.close()
+        assert store == list(range(100))
+
+    def test_ping_identifies_worker(self):
+        graph, _ = relay_graph(10)
+        plan = round_robin_plan(graph, 2)
+        worker = DistributedWorker(1, graph, plan)
+        server = ControlServer(worker)
+        try:
+            proxy = RemoteWorker("127.0.0.1", server.port)
+            assert proxy.worker_id == 1
+            assert proxy.is_quiet() in (True, False)
+            proxy.stop()
+        finally:
+            server.close()
+
+    def test_unknown_command_rejected(self):
+        graph, _ = relay_graph(10)
+        plan = round_robin_plan(graph, 1)
+        worker = DistributedWorker(0, graph, plan)
+        server = ControlServer(worker)
+        try:
+            proxy = RemoteWorker("127.0.0.1", server.port)
+            with pytest.raises(ControlError, match="unknown command"):
+                proxy._call({"cmd": "reboot-the-cluster"})
+            proxy.stop()
+        finally:
+            server.close()
+
+    def test_connect_timeout(self):
+        with pytest.raises(ControlError, match="cannot reach"):
+            RemoteWorker("127.0.0.1", 1, connect_timeout=0.3)
+
+    def test_job_requires_workers(self):
+        with pytest.raises(NeptuneError):
+            RemoteDistributedJob([])
+
+
+class TestPlanSerialization:
+    def test_plan_json_roundtrip(self):
+        graph, _ = relay_graph(10)
+        plan = round_robin_plan(graph, 3)
+        raw = json.loads(plan_to_json(plan))
+        assert raw["n_workers"] == 3
+        rebuilt = {(op, idx): w for op, idx, w in raw["assignment"]}
+        assert rebuilt == plan.assignment
+
+
+@pytest.mark.slow
+class TestWorkerMainSubprocess:
+    def test_two_process_relay(self, tmp_path):
+        """Full worker_main path: separate interpreters, TCP data plane,
+        coordinated drain through the control ports."""
+        graph = StreamProcessingGraph("subproc-relay")
+        graph.add_source(
+            "sender",
+            descriptor_factory(
+                "repro.workloads.operators:CountingSource", total=500, payload_size=50
+            ),
+        )
+        graph.add_processor(
+            "relay", descriptor_factory("repro.workloads.operators:RelayProcessor")
+        )
+        graph.add_processor(
+            "receiver",
+            descriptor_factory("repro.workloads.operators:CollectingSink"),
+        )
+        graph.link("sender", "relay").link("relay", "receiver")
+        desc_path = tmp_path / "g.json"
+        desc_path.write_text(json.dumps(graph.to_descriptor()))
+        plan = round_robin_plan(graph, 2)
+        data_ports = (48411, 48412)
+        control_ports = (48421, 48422)
+        endpoints = {str(w): ["127.0.0.1", data_ports[w]] for w in range(2)}
+
+        procs = []
+        try:
+            for worker_id in range(2):
+                procs.append(
+                    subprocess.Popen(
+                        [
+                            sys.executable, "-m", "repro.core.control",
+                            "--descriptor", str(desc_path),
+                            "--worker-id", str(worker_id),
+                            "--plan", plan_to_json(plan),
+                            "--endpoints", json.dumps(endpoints),
+                            "--listen-port", str(data_ports[worker_id]),
+                            "--control-port", str(control_ports[worker_id]),
+                        ],
+                        stdout=subprocess.PIPE,
+                        stderr=subprocess.STDOUT,
+                    )
+                )
+            proxies = [RemoteWorker("127.0.0.1", p) for p in control_ports]
+            job = RemoteDistributedJob(proxies)
+            metrics_mid = job.metrics()
+            assert "sender" in metrics_mid
+            ok = job.await_completion(timeout=120)
+            assert ok
+            for p in procs:
+                assert p.wait(timeout=30) == 0
+        finally:
+            for p in procs:
+                if p.poll() is None:
+                    p.kill()

@@ -1,0 +1,179 @@
+"""Tests for application-level buffering (capacity + timer flush, §III-B1)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.buffering import FlushTimerService, StreamBuffer
+from repro.util import ManualClock
+
+
+class Sink:
+    def __init__(self):
+        self.flushes = []
+
+    def __call__(self, body, count):
+        self.flushes.append((body, count))
+
+
+class TestCapacityFlush:
+    def test_no_flush_below_capacity(self):
+        sink = Sink()
+        buf = StreamBuffer(capacity=100, sink=sink, clock=ManualClock())
+        assert not buf.append(b"x" * 50)
+        assert sink.flushes == []
+        assert buf.pending_bytes == 50
+        assert buf.pending_count == 1
+
+    def test_flush_at_capacity(self):
+        sink = Sink()
+        buf = StreamBuffer(capacity=100, sink=sink, clock=ManualClock())
+        buf.append(b"a" * 60)
+        assert buf.append(b"b" * 60)  # 120 >= 100 → flush
+        assert sink.flushes == [(b"a" * 60 + b"b" * 60, 2)]
+        assert buf.pending_bytes == 0
+
+    def test_capacity_is_bytes_not_count(self):
+        """Paper: buffers are sized by capacity, not message count."""
+        sink = Sink()
+        buf = StreamBuffer(capacity=1000, sink=sink, clock=ManualClock())
+        for _ in range(999):
+            buf.append(b"x")  # 999 tiny messages: below capacity
+        assert sink.flushes == []
+        buf.append(b"y")
+        assert len(sink.flushes) == 1
+        assert sink.flushes[0][1] == 1000
+
+    def test_single_oversized_payload_flushes_immediately(self):
+        sink = Sink()
+        buf = StreamBuffer(capacity=10, sink=sink, clock=ManualClock())
+        buf.append(b"z" * 100)
+        assert sink.flushes == [(b"z" * 100, 1)]
+
+    def test_flush_order_preserved(self):
+        sink = Sink()
+        buf = StreamBuffer(capacity=4, sink=sink, clock=ManualClock())
+        for i in range(10):
+            buf.append(bytes([i]) * 4)
+        bodies = b"".join(b for b, _ in sink.flushes)
+        assert bodies == b"".join(bytes([i]) * 4 for i in range(10))
+
+    def test_stats(self):
+        sink = Sink()
+        buf = StreamBuffer(capacity=4, sink=sink, clock=ManualClock())
+        buf.append(b"aaaa")
+        buf.append(b"bb")
+        buf.flush()
+        assert buf.capacity_flushes == 1
+        assert buf.manual_flushes == 1
+        assert buf.bytes_flushed == 6
+        assert buf.packets_flushed == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamBuffer(capacity=0, sink=Sink())
+        with pytest.raises(ValueError):
+            StreamBuffer(capacity=10, sink=Sink(), max_delay=0)
+
+
+class TestTimerFlush:
+    def test_flush_if_due_after_max_delay(self):
+        clk = ManualClock()
+        sink = Sink()
+        buf = StreamBuffer(capacity=1000, sink=sink, max_delay=0.5, clock=clk)
+        buf.append(b"data")
+        assert not buf.flush_if_due()  # not yet due
+        clk.advance(0.6)
+        assert buf.flush_if_due()
+        assert sink.flushes == [(b"data", 1)]
+        assert buf.timer_flushes == 1
+
+    def test_deadline_measured_from_first_append(self):
+        """The paper's timer starts at the *first* message's arrival."""
+        clk = ManualClock()
+        sink = Sink()
+        buf = StreamBuffer(capacity=1000, sink=sink, max_delay=1.0, clock=clk)
+        buf.append(b"first")
+        clk.advance(0.8)
+        buf.append(b"second")  # does NOT restart the timer
+        clk.advance(0.3)  # first has now waited 1.1s
+        assert buf.flush_if_due()
+        assert sink.flushes == [(b"firstsecond", 2)]
+
+    def test_next_deadline(self):
+        clk = ManualClock(start=10.0)
+        buf = StreamBuffer(capacity=1000, sink=Sink(), max_delay=0.25, clock=clk)
+        assert buf.next_deadline() is None
+        buf.append(b"x")
+        assert buf.next_deadline() == pytest.approx(10.25)
+
+    def test_empty_manual_flush_is_noop(self):
+        sink = Sink()
+        buf = StreamBuffer(capacity=10, sink=sink, clock=ManualClock())
+        assert not buf.flush()
+        assert sink.flushes == []
+
+
+class TestFlushTimerService:
+    def test_timer_service_flushes_latent_buffer(self):
+        """A slow stream must still meet its latency bound (real time)."""
+        sink = Sink()
+        buf = StreamBuffer(capacity=1 << 20, sink=sink, max_delay=0.02)
+        svc = FlushTimerService()
+        svc.register(buf)
+        svc.start()
+        try:
+            buf.append(b"lonely-message")
+            deadline = time.monotonic() + 2
+            while not sink.flushes and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert sink.flushes == [(b"lonely-message", 1)]
+        finally:
+            svc.stop()
+
+    def test_unregister_stops_flushing(self):
+        sink = Sink()
+        buf = StreamBuffer(capacity=1 << 20, sink=sink, max_delay=0.01)
+        svc = FlushTimerService()
+        svc.register(buf)
+        svc.unregister(buf)
+        svc.start()
+        try:
+            buf.append(b"data")
+            time.sleep(0.1)
+            assert sink.flushes == []
+        finally:
+            svc.stop()
+
+    def test_unregister_unknown_buffer_is_noop(self):
+        svc = FlushTimerService()
+        svc.unregister(StreamBuffer(capacity=1, sink=Sink()))
+
+
+class TestConcurrentFlushOrdering:
+    def test_worker_and_timer_never_reorder(self):
+        """Capacity flushes (worker) and timer flushes must serialize."""
+        order = []
+        lock = threading.Lock()
+
+        def sink(body, count):
+            with lock:
+                order.append(body)
+
+        buf = StreamBuffer(capacity=64, sink=sink, max_delay=0.001)
+        svc = FlushTimerService()
+        svc.register(buf)
+        svc.start()
+        try:
+            payload = []
+            for i in range(2000):
+                chunk = i.to_bytes(4, "little")
+                payload.append(chunk)
+                buf.append(chunk)
+                if i % 100 == 0:
+                    time.sleep(0.002)  # let timer flushes interleave
+            buf.flush()
+        finally:
+            svc.stop()
+        assert b"".join(order) == b"".join(payload)

@@ -1,0 +1,222 @@
+"""Tests for graph construction, validation, and JSON descriptors."""
+
+import json
+
+import pytest
+
+from repro.core import NeptuneConfig, StreamProcessingGraph
+from repro.core.graph import descriptor_factory
+from repro.util.errors import GraphValidationError
+from repro.workloads import CollectingSink, CountingSource, RelayProcessor
+
+
+def relay_graph():
+    g = StreamProcessingGraph("relay")
+    g.add_source("sender", CountingSource)
+    g.add_processor("relay", RelayProcessor)
+    g.add_processor("receiver", CollectingSink)
+    g.link("sender", "relay").link("relay", "receiver")
+    return g
+
+
+class TestConstruction:
+    def test_fluent_api(self):
+        g = relay_graph()
+        assert set(g.operators) == {"sender", "relay", "receiver"}
+        assert len(g.links) == 2
+
+    def test_duplicate_operator_rejected(self):
+        g = StreamProcessingGraph("g")
+        g.add_source("a", CountingSource)
+        with pytest.raises(GraphValidationError, match="duplicate"):
+            g.add_processor("a", RelayProcessor)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(GraphValidationError):
+            StreamProcessingGraph("")
+
+    def test_nonpositive_parallelism_rejected(self):
+        g = StreamProcessingGraph("g")
+        with pytest.raises(GraphValidationError, match="parallelism"):
+            g.add_source("a", CountingSource, parallelism=0)
+
+
+class TestValidation:
+    def test_valid_graph_passes(self):
+        g = relay_graph().validate()
+        assert all(lk.schema is not None for lk in g.links)
+        assert [lk.link_id for lk in g.links] == [0, 1]
+
+    def test_no_operators(self):
+        with pytest.raises(GraphValidationError, match="no operators"):
+            StreamProcessingGraph("g").validate()
+
+    def test_no_source(self):
+        g = StreamProcessingGraph("g")
+        g.add_processor("p", RelayProcessor)
+        with pytest.raises(GraphValidationError, match="no stream source"):
+            g.validate()
+
+    def test_undeclared_endpoint(self):
+        g = StreamProcessingGraph("g")
+        g.add_source("a", CountingSource)
+        g.link("a", "ghost")
+        with pytest.raises(GraphValidationError, match="undeclared"):
+            g.validate()
+
+    def test_link_into_source_rejected(self):
+        g = StreamProcessingGraph("g")
+        g.add_source("a", CountingSource)
+        g.add_source("b", CountingSource)
+        g.link("a", "b")
+        with pytest.raises(GraphValidationError, match="sources cannot receive"):
+            g.validate()
+
+    def test_cycle_rejected(self):
+        g = StreamProcessingGraph("g")
+        g.add_source("s", CountingSource)
+        g.add_processor("p1", RelayProcessor)
+        g.add_processor("p2", RelayProcessor)
+        g.link("s", "p1").link("p1", "p2").link("p2", "p1")
+        with pytest.raises(GraphValidationError, match="cycle"):
+            g.validate()
+
+    def test_unreachable_processor_rejected(self):
+        g = relay_graph()
+        g.add_processor("island", RelayProcessor)
+        with pytest.raises(GraphValidationError, match="unreachable"):
+            g.validate()
+
+    def test_missing_schema_rejected(self):
+        g = StreamProcessingGraph("g")
+        g.add_source("s", CountingSource)
+        g.add_processor("sink", CollectingSink)
+        g.add_processor("beyond", RelayProcessor)
+        g.link("s", "sink")
+        g.link("sink", "beyond")  # CollectingSink declares no output schema
+        with pytest.raises(GraphValidationError, match="declares no schema"):
+            g.validate()
+
+    def test_wrong_factory_type_rejected(self):
+        g = StreamProcessingGraph("g")
+        g.add_source("s", lambda: object())  # type: ignore[arg-type]
+        g.add_processor("p", RelayProcessor)
+        g.link("s", "p")
+        with pytest.raises(GraphValidationError, match="not a StreamOperator"):
+            g.validate()
+
+    def test_source_processor_mixup_rejected(self):
+        g = StreamProcessingGraph("g")
+        g.add_source("s", RelayProcessor)  # processor declared as source
+        g.add_processor("p", RelayProcessor)
+        g.link("s", "p")
+        with pytest.raises(GraphValidationError, match="factory built"):
+            g.validate()
+
+    def test_unknown_partitioning_rejected(self):
+        g = StreamProcessingGraph("g")
+        g.add_source("s", CountingSource)
+        g.add_processor("p", RelayProcessor)
+        g.link("s", "p", partitioning="bogus")
+        with pytest.raises(GraphValidationError, match="unknown partitioning"):
+            g.validate()
+
+    def test_validate_idempotent(self):
+        g = relay_graph()
+        assert g.validate() is g
+        assert g.validate() is g
+
+
+class TestQueries:
+    def test_stages_are_topological(self):
+        g = relay_graph()
+        assert g.stages() == [["sender"], ["relay"], ["receiver"]]
+
+    def test_in_out_links(self):
+        g = relay_graph()
+        assert [lk.to_op for lk in g.outgoing_links("sender")] == ["relay"]
+        assert [lk.from_op for lk in g.incoming_links("receiver")] == ["relay"]
+
+    def test_total_instances(self):
+        g = StreamProcessingGraph("g")
+        g.add_source("s", CountingSource, parallelism=2)
+        g.add_processor("p", RelayProcessor, parallelism=3)
+        g.link("s", "p")
+        assert g.total_instances() == 5
+
+
+class TestJsonDescriptor:
+    def test_roundtrip(self):
+        g = StreamProcessingGraph("json-job")
+        g.add_source(
+            "src",
+            descriptor_factory("repro.workloads.operators:CountingSource", total=10),
+            parallelism=2,
+        )
+        g.add_processor(
+            "relay", descriptor_factory("repro.workloads.operators:RelayProcessor")
+        )
+        g.add_processor(
+            "sink", descriptor_factory("repro.workloads.operators:CollectingSink")
+        )
+        g.link("src", "relay", partitioning="shuffle")
+        g.link("relay", "sink", partitioning={"scheme": "fields", "fields": ["seq"]})
+        text = g.to_json()
+        again = StreamProcessingGraph.from_json(text)
+        again.validate()
+        assert again.name == "json-job"
+        assert again.operators["src"].parallelism == 2
+        desc = json.loads(text)
+        assert desc["links"][0]["partitioning"] == "shuffle"
+
+    def test_descriptor_factory_builds_with_kwargs(self):
+        factory = descriptor_factory(
+            "repro.workloads.operators:CountingSource", total=7, payload_size=100
+        )
+        src = factory()
+        assert isinstance(src, CountingSource)
+        assert src.total == 7
+
+    def test_descriptor_factory_bad_path(self):
+        with pytest.raises(GraphValidationError):
+            descriptor_factory("no-colon-path")
+
+    def test_from_descriptor_missing_class(self):
+        desc = {
+            "name": "x",
+            "operators": [{"name": "s", "type": "source", "parallelism": 1}],
+            "links": [],
+        }
+        with pytest.raises(GraphValidationError, match="no class path"):
+            StreamProcessingGraph.from_descriptor(desc)
+
+    def test_from_descriptor_unknown_type(self):
+        desc = {
+            "name": "x",
+            "operators": [
+                {
+                    "name": "s",
+                    "type": "magic",
+                    "class": "repro.workloads.operators:CountingSource",
+                }
+            ],
+        }
+        with pytest.raises(GraphValidationError, match="unknown operator type"):
+            StreamProcessingGraph.from_descriptor(desc)
+
+    def test_config_attached(self):
+        cfg = NeptuneConfig(buffer_capacity=2048)
+        g = StreamProcessingGraph.from_descriptor(
+            {"name": "x", "operators": [], "links": []}.copy()
+            | {
+                "operators": [
+                    {
+                        "name": "s",
+                        "type": "source",
+                        "class": "repro.workloads.operators:CountingSource",
+                    }
+                ]
+            },
+            config=cfg,
+        )
+        assert g.config.buffer_capacity == 2048

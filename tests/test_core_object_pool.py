@@ -1,0 +1,129 @@
+"""Tests for the object pool (object reuse, §III-B3)."""
+
+import threading
+
+import pytest
+
+from repro.core import ObjectPool
+from repro.core.packet import PacketSchema, StreamPacket
+from repro.core.fieldtypes import FieldType
+from repro.util.errors import PoolExhausted
+
+
+class Thing:
+    def __init__(self):
+        self.state = "new"
+
+
+class TestBasics:
+    def test_acquire_creates_then_reuses(self):
+        pool = ObjectPool(Thing)
+        a = pool.acquire()
+        pool.release(a)
+        b = pool.acquire()
+        assert b is a
+        assert pool.created == 1 and pool.reused == 1
+
+    def test_reset_hook_runs_on_release(self):
+        def reset(t):
+            t.state = "clean"
+
+        pool = ObjectPool(Thing, reset=reset)
+        t = pool.acquire()
+        t.state = "dirty"
+        pool.release(t)
+        assert t.state == "clean"
+
+    def test_lease_context_manager(self):
+        pool = ObjectPool(Thing)
+        with pool.lease() as t:
+            assert isinstance(t, Thing)
+            assert pool.leased_count == 1
+        assert pool.leased_count == 0
+        assert pool.free_count == 1
+
+    def test_lease_releases_on_exception(self):
+        pool = ObjectPool(Thing)
+        with pytest.raises(RuntimeError):
+            with pool.lease():
+                raise RuntimeError("user code fails")
+        assert pool.leased_count == 0
+
+    def test_preallocate(self):
+        pool = ObjectPool(Thing, preallocate=5, max_size=10)
+        assert pool.free_count == 5
+        assert pool.created == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ObjectPool(Thing, max_size=0)
+        with pytest.raises(ValueError):
+            ObjectPool(Thing, max_size=2, preallocate=3)
+
+
+class TestBounds:
+    def test_strict_pool_raises_when_exhausted(self):
+        pool = ObjectPool(Thing, max_size=2, strict=True)
+        pool.acquire(), pool.acquire()
+        with pytest.raises(PoolExhausted):
+            pool.acquire()
+
+    def test_nonstrict_pool_overflows(self):
+        pool = ObjectPool(Thing, max_size=2)
+        objs = [pool.acquire() for _ in range(5)]
+        assert pool.overflow == 3
+        for o in objs:
+            pool.release(o)
+        # Free list is capped at max_size; overflow objects dropped.
+        assert pool.free_count == 2
+
+    def test_reuse_ratio(self):
+        pool = ObjectPool(Thing, max_size=10)
+        a = pool.acquire()
+        pool.release(a)
+        pool.acquire()
+        assert pool.reuse_ratio == pytest.approx(0.5)
+
+    def test_reuse_ratio_ignores_preallocation(self):
+        pool = ObjectPool(Thing, preallocate=4, max_size=10)
+        pool.acquire()
+        assert pool.reuse_ratio == pytest.approx(1.0)
+
+
+class TestPacketPooling:
+    def test_pooled_packets_reset(self):
+        schema = PacketSchema([("n", FieldType.INT64)])
+        pool = ObjectPool(
+            factory=lambda: StreamPacket(schema),
+            reset=StreamPacket.reset,
+            max_size=4,
+        )
+        pkt = pool.acquire()
+        pkt.set("n", 42)
+        pool.release(pkt)
+        again = pool.acquire()
+        assert again is pkt
+        assert again.get("n") is None
+
+
+class TestConcurrency:
+    def test_parallel_acquire_release(self):
+        pool = ObjectPool(Thing, max_size=16)
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(500):
+                    obj = pool.acquire()
+                    pool.release(obj)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(10.0)
+        assert not errors
+        assert pool.leased_count == 0
+        assert pool.free_count <= 16

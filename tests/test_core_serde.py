@@ -1,0 +1,134 @@
+"""Tests for the reusable packet codec (object reuse, §III-B3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import FieldType, PacketCodec, PacketSchema, StreamPacket
+from repro.util.errors import SerializationError
+
+SCHEMA = PacketSchema(
+    [
+        ("ts", FieldType.INT64),
+        ("name", FieldType.STRING),
+        ("reading", FieldType.FLOAT64),
+    ]
+)
+
+
+def make(ts, name, reading):
+    return SCHEMA.new_packet(ts=ts, name=name, reading=reading)
+
+
+class TestEncodeDecode:
+    def test_single_roundtrip(self):
+        codec = PacketCodec(SCHEMA)
+        pkt = make(123, "valve-1", 0.75)
+        body = codec.encode(pkt)
+        decoded, end = codec.decode_one(body)
+        assert end == len(body)
+        assert decoded == pkt
+
+    def test_batch_roundtrip_fresh(self):
+        codec = PacketCodec(SCHEMA)
+        pkts = [make(i, f"s{i}", i / 7) for i in range(50)]
+        body = codec.encode_batch(pkts)
+        out = list(codec.iter_decode(body, count=50, reuse=False))
+        assert out == pkts
+
+    def test_batch_reuse_yields_same_object(self):
+        codec = PacketCodec(SCHEMA)
+        body = codec.encode_batch([make(1, "a", 0.0), make(2, "b", 1.0)])
+        seen_ids = set()
+        values = []
+        for pkt in codec.iter_decode(body, reuse=True):
+            seen_ids.add(id(pkt))
+            values.append(pkt.to_dict())
+        assert len(seen_ids) == 1  # the pooled packet is reused
+        assert values == [
+            {"ts": 1, "name": "a", "reading": 0.0},
+            {"ts": 2, "name": "b", "reading": 1.0},
+        ]
+
+    def test_reuse_clone_detaches(self):
+        codec = PacketCodec(SCHEMA)
+        body = codec.encode_batch([make(1, "a", 0.0), make(2, "b", 1.0)])
+        retained = [p.clone() for p in codec.iter_decode(body, reuse=True)]
+        assert [p["ts"] for p in retained] == [1, 2]
+
+    def test_count_mismatch_detected(self):
+        codec = PacketCodec(SCHEMA)
+        body = codec.encode_batch([make(1, "a", 0.0)])
+        with pytest.raises(SerializationError, match="declared 2"):
+            list(codec.iter_decode(body, count=2))
+
+    def test_incomplete_packet_rejected(self):
+        codec = PacketCodec(SCHEMA)
+        pkt = StreamPacket(SCHEMA).set("ts", 1)
+        with pytest.raises(SerializationError, match="unset fields"):
+            codec.encode(pkt)
+
+    def test_schema_mismatch_rejected(self):
+        other = PacketSchema([("x", FieldType.INT64)])
+        codec = PacketCodec(SCHEMA)
+        with pytest.raises(SerializationError, match="does not match"):
+            codec.encode(other.new_packet(x=1))
+
+    def test_truncated_body_rejected(self):
+        codec = PacketCodec(SCHEMA)
+        body = codec.encode(make(1, "abc", 0.5))
+        with pytest.raises(SerializationError):
+            list(codec.iter_decode(body[:-3]))
+
+    def test_counters(self):
+        codec = PacketCodec(SCHEMA)
+        body = codec.encode_batch([make(i, "x", 0.0) for i in range(5)])
+        list(codec.iter_decode(body))
+        assert codec.packets_encoded == 5
+        assert codec.packets_decoded == 5
+
+    def test_encode_into_returns_size(self):
+        codec = PacketCodec(SCHEMA)
+        out = bytearray()
+        n = codec.encode_into(make(1, "ab", 0.0), out)
+        assert n == len(out) == 8 + 4 + 2 + 8
+
+    def test_encoded_size_matches(self):
+        codec = PacketCodec(SCHEMA)
+        for pkt in (make(1, "", 0.0), make(2, "日本語", 1.5), make(3, "x" * 100, -2.0)):
+            assert codec.encoded_size(pkt) == len(codec.encode(pkt))
+
+
+LIST_SCHEMA = PacketSchema(
+    [("vals", FieldType.FLOAT64_LIST), ("tags", FieldType.INT64_LIST), ("blob", FieldType.BYTES)]
+)
+
+
+class TestVariableWidth:
+    def test_lists_and_bytes(self):
+        codec = PacketCodec(LIST_SCHEMA)
+        pkt = LIST_SCHEMA.new_packet(vals=[1.5, 2.5], tags=[7, 8, 9], blob=b"\x00\x01")
+        decoded, _ = codec.decode_one(codec.encode(pkt))
+        assert decoded == pkt
+
+    def test_encoded_size_variable(self):
+        codec = PacketCodec(LIST_SCHEMA)
+        pkt = LIST_SCHEMA.new_packet(vals=[0.0] * 3, tags=[], blob=b"abcd")
+        assert codec.encoded_size(pkt) == len(codec.encode(pkt))
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=-(2**63), max_value=2**63 - 1),
+            st.text(max_size=30),
+            st.floats(allow_nan=False, allow_infinity=False),
+        ),
+        max_size=30,
+    )
+)
+def test_batch_roundtrip_property(rows):
+    codec = PacketCodec(SCHEMA)
+    pkts = [make(*row) for row in rows]
+    body = codec.encode_batch(pkts)
+    assert list(codec.iter_decode(body, count=len(rows), reuse=False)) == pkts

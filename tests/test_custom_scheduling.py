@@ -1,0 +1,140 @@
+"""Tests for custom processor scheduling strategies through the NEPTUNE
+API (Granules' periodic / count-based / combined scheduling, §II)."""
+
+import time
+
+import pytest
+
+from repro.core import (
+    FieldType,
+    NeptuneConfig,
+    NeptuneRuntime,
+    PacketSchema,
+    StreamProcessingGraph,
+)
+from repro.core.operators import StreamProcessor
+from repro.granules import CombinedStrategy, CountBasedStrategy, DataDrivenStrategy, PeriodicStrategy
+from repro.util.errors import GraphValidationError
+from repro.workloads import CollectingSink, CountingSource
+
+HEARTBEAT = PacketSchema([("beat", FieldType.INT64)])
+
+
+class HeartbeatProcessor(StreamProcessor):
+    """Forwards data AND emits a heartbeat on empty periodic triggers."""
+
+    def __init__(self):
+        super().__init__()
+        self.beats = 0
+        self.data_packets = 0
+
+    def process(self, packet, ctx):
+        self.data_packets += 1
+
+    def on_schedule(self, ctx):
+        self.beats += 1
+        out = ctx.new_packet()
+        out.set("beat", self.beats)
+        ctx.emit(out)
+
+    def output_schema(self, stream):
+        return HEARTBEAT
+
+
+def small_config():
+    return NeptuneConfig(buffer_capacity=1024, buffer_max_delay=0.003)
+
+
+class TestPeriodicProcessor:
+    def test_heartbeats_fire_without_data(self):
+        beats = []
+        proc = HeartbeatProcessor()
+        g = StreamProcessingGraph("hb", config=small_config())
+        # A trickle source: 5 packets then silence.
+        g.add_source("src", lambda: CountingSource(total=5))
+        g.add_processor(
+            "heart",
+            lambda: proc,
+            scheduling=lambda: CombinedStrategy(
+                PeriodicStrategy(0.02), DataDrivenStrategy()
+            ),
+        )
+        g.add_processor("sink", lambda: CollectingSink(beats, field="beat"))
+        g.link("src", "heart").link("heart", "sink")
+        with NeptuneRuntime() as rt:
+            h = rt.submit(g)
+            time.sleep(0.5)
+            h.stop(timeout=30)
+        assert proc.data_packets == 5
+        assert proc.beats >= 5  # periodic triggers kept firing
+        assert beats == list(range(1, len(beats) + 1))
+
+    def test_paper_example_combination(self):
+        """§II: 'run every 500 milliseconds or when data is available'."""
+        proc = HeartbeatProcessor()
+        g = StreamProcessingGraph("combo", config=small_config())
+        g.add_source("src", lambda: CountingSource(total=50))
+        g.add_processor(
+            "heart",
+            lambda: proc,
+            scheduling=lambda: CombinedStrategy(
+                PeriodicStrategy(0.5), DataDrivenStrategy()
+            ),
+        )
+        g.add_processor("sink", CollectingSink)
+        g.link("src", "heart").link("heart", "sink")
+        with NeptuneRuntime() as rt:
+            h = rt.submit(g)
+            # Data flows immediately (data-driven side, not the 500 ms timer).
+            deadline = time.monotonic() + 5
+            while proc.data_packets < 50 and time.monotonic() < deadline:
+                time.sleep(0.005)
+            h.stop(timeout=30)
+        assert proc.data_packets == 50
+
+    def test_count_based_processor_waits_for_threshold(self):
+        """A count-based processor only runs once enough frames queue."""
+        proc = HeartbeatProcessor()
+        g = StreamProcessingGraph(
+            "countb",
+            config=NeptuneConfig(buffer_capacity=64, buffer_max_delay=0.002),
+        )
+        g.add_source("src", lambda: CountingSource(total=None, payload_size=100))
+        g.add_processor(
+            "heart", lambda: proc, scheduling=lambda: CountBasedStrategy(threshold=4)
+        )
+        g.add_processor("sink", CollectingSink)
+        g.link("src", "heart").link("heart", "sink")
+        with NeptuneRuntime() as rt:
+            h = rt.submit(g)
+            deadline = time.monotonic() + 10
+            while proc.data_packets == 0 and time.monotonic() < deadline:
+                time.sleep(0.005)
+            h.stop(timeout=60)
+        assert proc.data_packets > 0
+
+
+class TestValidation:
+    def test_source_cannot_take_scheduling(self):
+        from repro.core.graph import OperatorSpec
+
+        with pytest.raises(GraphValidationError, match="sources control"):
+            OperatorSpec(
+                "s",
+                CountingSource,
+                is_source=True,
+                scheduling=lambda: DataDrivenStrategy(),
+            )
+
+    def test_default_processors_never_get_on_schedule(self):
+        """Without a custom strategy, empty executions are silent."""
+        proc = HeartbeatProcessor()
+        g = StreamProcessingGraph("plain", config=small_config())
+        g.add_source("src", lambda: CountingSource(total=5))
+        g.add_processor("heart", lambda: proc)
+        g.add_processor("sink", CollectingSink)
+        g.link("src", "heart").link("heart", "sink")
+        with NeptuneRuntime() as rt:
+            h = rt.submit(g)
+            h.await_completion(timeout=30)
+        assert proc.beats == 0

@@ -1,0 +1,95 @@
+"""Tests for the capability-weighted deployment planner (§VI future work)."""
+
+import collections
+
+import pytest
+
+from repro.core import StreamProcessingGraph
+from repro.core.distributed import capability_weighted_plan
+from repro.util.errors import GraphValidationError
+from repro.workloads import CollectingSink, CountingSource, RelayProcessor
+
+
+def wide_graph(parallelism=8):
+    g = StreamProcessingGraph("wide")
+    g.add_source("src", lambda: CountingSource(total=1), parallelism=parallelism)
+    g.add_processor("relay", RelayProcessor, parallelism=parallelism)
+    g.add_processor("sink", CollectingSink, parallelism=parallelism)
+    g.link("src", "relay").link("relay", "sink")
+    return g
+
+
+class TestCapabilityWeightedPlan:
+    def test_proportional_assignment(self):
+        g = wide_graph(parallelism=8)  # 24 instances
+        plan = capability_weighted_plan(g, capabilities=[2.0, 1.0, 1.0])
+        counts = collections.Counter(plan.assignment.values())
+        assert counts[0] == 12  # 2/4 of 24
+        assert counts[1] == 6
+        assert counts[2] == 6
+
+    def test_uniform_capabilities_match_even_split(self):
+        g = wide_graph(parallelism=4)  # 12 instances
+        plan = capability_weighted_plan(g, capabilities=[1.0, 1.0, 1.0])
+        counts = collections.Counter(plan.assignment.values())
+        assert set(counts.values()) == {4}
+
+    def test_every_instance_assigned_in_range(self):
+        g = wide_graph(parallelism=5)
+        plan = capability_weighted_plan(g, capabilities=[3.0, 1.0])
+        assert len(plan.assignment) == g.total_instances()
+        assert all(0 <= w < 2 for w in plan.assignment.values())
+
+    def test_operator_instances_spread_not_clustered(self):
+        """An operator's instances should land on several workers, not
+        all on the strongest one."""
+        g = wide_graph(parallelism=6)
+        plan = capability_weighted_plan(g, capabilities=[2.0, 1.0, 1.0])
+        src_workers = {plan.worker_of("src", i) for i in range(6)}
+        assert len(src_workers) >= 2
+
+    def test_largest_remainder_totals(self):
+        g = wide_graph(parallelism=3)  # 9 instances
+        plan = capability_weighted_plan(g, capabilities=[1.0, 1.0, 1.0, 1.0])
+        counts = collections.Counter(plan.assignment.values())
+        assert sum(counts.values()) == 9
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+    def test_validation(self):
+        g = wide_graph(1)
+        with pytest.raises(GraphValidationError):
+            capability_weighted_plan(g, capabilities=[])
+        with pytest.raises(GraphValidationError):
+            capability_weighted_plan(g, capabilities=[1.0, 0.0])
+
+    def test_runs_end_to_end(self):
+        """A weighted plan must actually deploy and drain correctly."""
+        from repro.core import NeptuneConfig
+        from repro.core.distributed import DeploymentPlan, DistributedWorker
+
+        store = []
+        g = StreamProcessingGraph(
+            "weighted", config=NeptuneConfig(buffer_capacity=1024, buffer_max_delay=0.005)
+        )
+        g.add_source("src", lambda: CountingSource(total=200))
+        g.add_processor("relay", RelayProcessor)
+        g.add_processor("sink", lambda: CollectingSink(store))
+        g.link("src", "relay").link("relay", "sink")
+        plan = capability_weighted_plan(g, capabilities=[2.0, 1.0])
+
+        workers = [DistributedWorker(w, g, plan) for w in range(2)]
+        endpoints = {w.worker_id: w.address for w in workers}
+        for w in workers:
+            w.connect(endpoints)
+        for w in workers:
+            w.start()
+        import time
+
+        deadline = time.monotonic() + 60
+        while len(store) < 200 and time.monotonic() < deadline:
+            for w in workers:
+                w.flush_all()
+            time.sleep(0.01)
+        for w in workers:
+            w.stop()
+        assert store == list(range(200))

@@ -1,0 +1,166 @@
+"""Failure injection: corruption, truncation, and protocol violations
+must be *detected*, never silently delivered (paper §I-B: no corrupted
+packets)."""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core import PacketCodec
+from repro.lz4 import compress
+from repro.net import FrameDecoder, FrameEncoder, TcpListener
+from repro.compression import CompressionPolicy
+from repro.util.errors import SerializationError
+from repro.workloads import RELAY_SCHEMA
+
+
+class TestWireCorruption:
+    def _send_raw(self, port, data):
+        with socket.create_connection(("127.0.0.1", port)) as sock:
+            sock.sendall(data)
+            time.sleep(0.2)
+
+    def test_bit_flip_detected_not_delivered(self):
+        got = []
+        lst = TcpListener("127.0.0.1", 0, sink=got.append)
+        try:
+            enc = FrameEncoder()
+            wire = bytearray(enc.encode(1, b"critical-sensor-data", 1))
+            wire[-5] ^= 0x40  # flip one payload bit in flight
+            self._send_raw(lst.port, bytes(wire))
+            deadline = time.monotonic() + 2
+            while not lst.errors and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert got == []  # nothing delivered
+            assert lst.errors
+            assert isinstance(lst.errors[0], SerializationError)
+            assert "checksum" in str(lst.errors[0])
+        finally:
+            lst.close()
+
+    def test_replayed_frame_detected(self):
+        got = []
+        lst = TcpListener("127.0.0.1", 0, sink=got.append)
+        try:
+            enc = FrameEncoder()
+            frame = enc.encode(1, b"once-only", 1)
+            self._send_raw(lst.port, frame + frame)  # replay attack/dup
+            deadline = time.monotonic() + 2
+            while not lst.errors and time.monotonic() < deadline:
+                time.sleep(0.01)
+            # The duplicate never surfaces; whether the first copy was
+            # delivered depends on how the TCP chunks landed (the
+            # connection is poisoned at the point of detection).
+            assert len(got) <= 1
+            assert lst.errors and "out-of-order" in str(lst.errors[0])
+        finally:
+            lst.close()
+
+    def test_garbage_bytes_detected(self):
+        got = []
+        lst = TcpListener("127.0.0.1", 0, sink=got.append)
+        try:
+            self._send_raw(lst.port, b"\xde\xad\xbe\xef" * 10)
+            deadline = time.monotonic() + 2
+            while not lst.errors and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert got == []
+            assert lst.errors and "magic" in str(lst.errors[0])
+        finally:
+            lst.close()
+
+    def test_truncated_connection_delivers_nothing_partial(self):
+        got = []
+        lst = TcpListener("127.0.0.1", 0, sink=got.append)
+        try:
+            enc = FrameEncoder()
+            wire = enc.encode(1, b"X" * 1000, 1)
+            self._send_raw(lst.port, wire[: len(wire) // 2])  # cut mid-frame
+            time.sleep(0.2)
+            assert got == []  # incomplete frame never surfaces
+            assert not lst.errors  # a cut connection is not corruption
+        finally:
+            lst.close()
+
+
+class TestCompressedPayloadCorruption:
+    def test_corrupt_lz4_body_never_silently_correct(self):
+        """A flipped byte either trips the decoder's structural checks
+        or yields different bytes — it can never masquerade as the
+        original payload.  (On the wire, the frame checksum catches it
+        before the decompressor ever runs.)"""
+        payload = b"aaaabbbbcccc" * 50
+        policy = CompressionPolicy(entropy_threshold=8.0, min_size=0)
+        encoded = bytearray(policy.encode(payload))
+        assert encoded[0] == 0x01  # actually compressed
+        for position in range(1, len(encoded), 7):
+            mutated = bytearray(encoded)
+            mutated[position] ^= 0xFF
+            try:
+                decoded = CompressionPolicy.decode(bytes(mutated))
+            except ValueError:
+                continue  # structural violation detected
+            assert decoded != payload or bytes(mutated) == bytes(encoded)
+
+    def test_decompression_bomb_guard(self):
+        # A tiny block claiming to expand hugely must hit the cap.
+        huge = compress(b"\x00" * (10 << 20))
+        from repro.lz4 import decompress
+
+        with pytest.raises(ValueError):
+            decompress(huge, max_size=1 << 20)
+
+
+class TestSerdeCorruption:
+    def test_truncated_batch_detected(self):
+        codec = PacketCodec(RELAY_SCHEMA)
+        body = codec.encode_batch(
+            [
+                RELAY_SCHEMA.new_packet(seq=i, emitted_at=0.0, payload=b"p" * 20)
+                for i in range(10)
+            ]
+        )
+        with pytest.raises(SerializationError):
+            list(codec.iter_decode(body[:-7]))
+
+    def test_garbage_batch_detected(self):
+        codec = PacketCodec(RELAY_SCHEMA)
+        # A bytes field whose length prefix exceeds the buffer.
+        with pytest.raises(SerializationError):
+            list(codec.iter_decode(b"\xff" * 40))
+
+
+class TestBlockedShutdown:
+    def test_listener_close_while_sink_blocked(self):
+        """Closing the listener while its reader thread is blocked in a
+        gated channel must not hang."""
+        from repro.net import ChannelClosed, WatermarkChannel
+
+        ch = WatermarkChannel(high_watermark=64, low_watermark=8)
+
+        def sink(frame):
+            try:
+                ch.put(len(frame.body), frame)
+            except ChannelClosed:
+                pass
+
+        lst = TcpListener("127.0.0.1", 0, sink=sink)
+        enc = FrameEncoder()
+
+        def flood():
+            try:
+                with socket.create_connection(("127.0.0.1", lst.port)) as sock:
+                    for i in range(50):
+                        sock.sendall(enc.encode(1, b"z" * 64, 1))
+            except OSError:
+                pass
+
+        t = threading.Thread(target=flood)
+        t.start()
+        time.sleep(0.2)  # reader is now blocked on the gated channel
+        ch.close()  # release the reader
+        lst.close()  # must join promptly
+        t.join(5.0)
+        assert not t.is_alive()

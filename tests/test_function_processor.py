@@ -1,0 +1,107 @@
+"""Tests for FunctionProcessor and miscellaneous operator ergonomics."""
+
+import pytest
+
+from repro.core import (
+    FieldType,
+    FunctionProcessor,
+    NeptuneConfig,
+    NeptuneRuntime,
+    PacketSchema,
+    StreamProcessingGraph,
+)
+from repro.workloads import CollectingSink, CountingSource, RELAY_SCHEMA
+
+NUM = PacketSchema([("n", FieldType.INT64)])
+
+
+class TestFunctionProcessor:
+    def test_inline_relay(self):
+        store = []
+
+        def forward(pkt, ctx):
+            out = ctx.new_packet()
+            out.set("n", pkt.get("seq") + 1000)
+            ctx.emit(out)
+
+        g = StreamProcessingGraph(
+            "fn", config=NeptuneConfig(buffer_capacity=1024, buffer_max_delay=0.004)
+        )
+        g.add_source("src", lambda: CountingSource(total=50))
+        g.add_processor("fn", lambda: FunctionProcessor(forward, schema=NUM))
+        g.add_processor("sink", lambda: CollectingSink(store, field="n"))
+        g.link("src", "fn").link("fn", "sink")
+        with NeptuneRuntime() as rt:
+            assert rt.submit(g).await_completion(timeout=30)
+        assert store == [1000 + i for i in range(50)]
+
+    def test_terminal_function(self):
+        seen = []
+        g = StreamProcessingGraph(
+            "fn-term",
+            config=NeptuneConfig(buffer_capacity=1024, buffer_max_delay=0.004),
+        )
+        g.add_source("src", lambda: CountingSource(total=20))
+        g.add_processor(
+            "fn", lambda: FunctionProcessor(lambda p, ctx: seen.append(p.get("seq")))
+        )
+        g.link("src", "fn")
+        with NeptuneRuntime() as rt:
+            assert rt.submit(g).await_completion(timeout=30)
+        assert seen == list(range(20))
+
+    def test_no_schema_means_no_outputs(self):
+        fp = FunctionProcessor(lambda p, ctx: None)
+        with pytest.raises(KeyError):
+            fp.output_schema("default")
+
+    def test_custom_name(self):
+        fp = FunctionProcessor(lambda p, ctx: None, name="my-fn")
+        assert fp.name == "my-fn"
+
+
+class TestOperatorDefaults:
+    def test_default_name_is_class_name(self):
+        from repro.workloads import RelayProcessor
+
+        assert RelayProcessor().name == "RelayProcessor"
+
+    def test_runtime_overrides_name_with_graph_name(self):
+        captured = {}
+
+        class Probe(CollectingSink):
+            def setup(self, ctx):
+                captured["name"] = self.name
+
+        g = StreamProcessingGraph(
+            "names", config=NeptuneConfig(buffer_capacity=1024)
+        )
+        g.add_source("src", lambda: CountingSource(total=1))
+        g.add_processor("the-sink", Probe)
+        g.link("src", "the-sink")
+        with NeptuneRuntime() as rt:
+            rt.submit(g).await_completion(timeout=30)
+        assert captured["name"] == "the-sink"
+
+    def test_batch_hooks_called(self):
+        events = []
+
+        class Hooked(CollectingSink):
+            def on_batch_start(self, size, ctx):
+                events.append(("start", size))
+
+            def on_batch_end(self, ctx):
+                events.append(("end", None))
+
+        g = StreamProcessingGraph(
+            "hooks2", config=NeptuneConfig(buffer_capacity=512, buffer_max_delay=0.003)
+        )
+        g.add_source("src", lambda: CountingSource(total=30))
+        g.add_processor("sink", Hooked)
+        g.link("src", "sink")
+        with NeptuneRuntime() as rt:
+            assert rt.submit(g).await_completion(timeout=30)
+        starts = [e for e in events if e[0] == "start"]
+        ends = [e for e in events if e[0] == "end"]
+        assert len(starts) == len(ends) >= 1
+        assert sum(size for _, size in starts) == 30

@@ -1,0 +1,134 @@
+"""Unit and property tests for the pure-Python LZ4 block codec."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lz4 import compress, decompress, max_compressed_length
+from repro.lz4.block import LAST_LITERALS, MFLIMIT
+
+
+class TestRoundTrip:
+    def test_empty(self):
+        assert decompress(compress(b"")) == b""
+
+    def test_single_byte(self):
+        assert decompress(compress(b"x")) == b"x"
+
+    def test_short_input_below_match_limit(self):
+        data = b"hello world!"  # 12 bytes < MFLIMIT+1: literal-only block
+        assert decompress(compress(data)) == data
+
+    def test_ascii_text(self):
+        data = b"the quick brown fox jumps over the lazy dog " * 40
+        assert decompress(compress(data)) == data
+
+    def test_all_zeros_compresses_heavily(self):
+        data = b"\x00" * 10000
+        packed = compress(data)
+        assert decompress(packed) == data
+        assert len(packed) < len(data) // 50
+
+    def test_repeating_pattern(self):
+        data = b"abcd" * 1000
+        packed = compress(data)
+        assert decompress(packed) == data
+        assert len(packed) < len(data) // 10
+
+    def test_overlapping_match_rle(self):
+        # 'aaaa...' forces offset < match_len (RLE-style overlap copy).
+        data = b"a" * 500
+        assert decompress(compress(data)) == data
+
+    def test_random_data_round_trips(self):
+        import random
+
+        rng = random.Random(42)
+        data = bytes(rng.getrandbits(8) for _ in range(5000))
+        packed = compress(data)
+        assert decompress(packed) == data
+
+    def test_binary_sensor_like_payload(self):
+        import struct
+
+        readings = b"".join(
+            struct.pack("<qdd", 1_600_000_000_000 + i, 21.5, 0.0) for i in range(200)
+        )
+        packed = compress(readings)
+        assert decompress(packed) == readings
+        assert len(packed) < len(readings)
+
+    @pytest.mark.parametrize("n", [0, 1, 4, 5, 11, 12, 13, 14, 15, 16, 17, 64, 65, 255, 256, 4096])
+    def test_boundary_sizes(self, n):
+        data = (b"ab" * (n // 2 + 1))[:n]
+        assert decompress(compress(data)) == data
+
+
+class TestFormatConstraints:
+    def test_last_literals_rule(self):
+        # The final LAST_LITERALS bytes must appear literally in the block.
+        data = b"\x01\x02\x03\x04" * 10 + b"UNIQ!"
+        packed = compress(data)
+        assert b"UNIQ!" in packed
+
+    def test_compress_bound_holds_for_incompressible(self):
+        import random
+
+        rng = random.Random(7)
+        for n in (1, 50, 1000):
+            data = bytes(rng.getrandbits(8) for _ in range(n))
+            assert len(compress(data)) <= max_compressed_length(n)
+
+    def test_max_compressed_length_rejects_negative(self):
+        with pytest.raises(ValueError):
+            max_compressed_length(-1)
+
+    def test_constants_match_spec(self):
+        assert MFLIMIT == 12
+        assert LAST_LITERALS == 5
+
+
+class TestDecompressValidation:
+    def test_truncated_literals(self):
+        with pytest.raises(ValueError):
+            decompress(b"\xf0")  # promises >=15 literals, provides none
+
+    def test_truncated_offset(self):
+        with pytest.raises(ValueError):
+            decompress(b"\x14A\x01")  # 1 literal + match but 1-byte offset
+
+    def test_zero_offset_rejected(self):
+        with pytest.raises(ValueError):
+            decompress(b"\x14A\x00\x00")
+
+    def test_offset_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            decompress(b"\x14A\xff\x00")  # offset 255 > output length 1
+
+    def test_max_size_cap(self):
+        data = b"\x00" * 100_000
+        packed = compress(data)
+        with pytest.raises(ValueError):
+            decompress(packed, max_size=1000)
+        assert decompress(packed, max_size=100_000) == data
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.binary(min_size=0, max_size=2000))
+def test_roundtrip_property(data):
+    assert decompress(compress(data)) == data
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.binary(min_size=1, max_size=32),
+    st.integers(min_value=1, max_value=400),
+)
+def test_roundtrip_repeated_blocks(unit, reps):
+    data = unit * reps
+    assert decompress(compress(data)) == data
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.binary(min_size=0, max_size=1500))
+def test_compressed_size_bound_property(data):
+    assert len(compress(data)) <= max_compressed_length(len(data))

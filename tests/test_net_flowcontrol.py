@@ -1,0 +1,177 @@
+"""Tests for the watermark channel — the backpressure building block."""
+
+import threading
+import time
+
+import pytest
+
+from repro.net import ChannelClosed, WatermarkChannel
+
+
+class TestBasics:
+    def test_put_get_fifo(self):
+        ch = WatermarkChannel(high_watermark=1000)
+        for i in range(5):
+            ch.put(10, i)
+        assert [ch.get() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_drain(self):
+        ch = WatermarkChannel(high_watermark=1000)
+        for i in range(5):
+            ch.put(10, i)
+        assert ch.drain(max_items=2) == [0, 1]
+        assert ch.drain() == [2, 3, 4]
+        assert ch.buffered_bytes == 0
+
+    def test_byte_accounting(self):
+        ch = WatermarkChannel(high_watermark=100, low_watermark=20)
+        ch.put(30, "a")
+        ch.put(30, "b")
+        assert ch.buffered_bytes == 60
+        ch.get()
+        assert ch.buffered_bytes == 30
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WatermarkChannel(high_watermark=0)
+        with pytest.raises(ValueError):
+            WatermarkChannel(high_watermark=10, low_watermark=10)
+        with pytest.raises(ValueError):
+            WatermarkChannel(high_watermark=10, low_watermark=-1)
+        ch = WatermarkChannel(high_watermark=10)
+        with pytest.raises(ValueError):
+            ch.put(-1, "x")
+
+    def test_default_low_watermark_is_half(self):
+        assert WatermarkChannel(high_watermark=100).low_watermark == 50
+
+
+class TestWatermarkGate:
+    def test_gate_trips_at_high_watermark(self):
+        ch = WatermarkChannel(high_watermark=100, low_watermark=40)
+        ch.put(50, "a")
+        assert not ch.gated
+        ch.put(50, "b")  # reaches 100
+        assert ch.gated
+
+    def test_gate_holds_until_low_watermark(self):
+        """Hysteresis: the gate must NOT reopen between high and low."""
+        ch = WatermarkChannel(high_watermark=100, low_watermark=30)
+        for _ in range(4):
+            ch.put(25, "x")  # 100 bytes → gated
+        assert ch.gated
+        ch.get()  # 75
+        assert ch.gated
+        ch.get()  # 50
+        assert ch.gated
+        ch.get()  # 25 <= 30 → reopen
+        assert not ch.gated
+
+    def test_blocked_writer_resumes_after_drain(self):
+        ch = WatermarkChannel(high_watermark=20, low_watermark=5)
+        ch.put(20, "big")
+        assert ch.gated
+        done = []
+
+        def writer():
+            ch.put(10, "second")
+            done.append(True)
+
+        t = threading.Thread(target=writer)
+        t.start()
+        time.sleep(0.05)
+        assert not done  # writer is blocked by the gate
+        assert ch.get() == "big"
+        t.join(2.0)
+        assert done
+        assert ch.get() == "second"
+        assert ch.writer_blocks == 1
+
+    def test_put_timeout(self):
+        ch = WatermarkChannel(high_watermark=10, low_watermark=1)
+        ch.put(10, "fill")
+        assert not ch.put(5, "late", timeout=0.05)
+
+    def test_gate_trips_counted(self):
+        ch = WatermarkChannel(high_watermark=10, low_watermark=1)
+        for _ in range(3):
+            ch.put(10, "x")  # allowed: gate only gates *subsequent* puts
+            ch.drain()
+        assert ch.gate_trips == 3
+
+    def test_gate_callback(self):
+        events = []
+        ch = WatermarkChannel(high_watermark=10, low_watermark=1)
+        ch.on_gate_change(events.append)
+        ch.put(10, "x")
+        assert events == [True]
+        ch.drain()
+        assert events == [True, False]
+
+
+class TestClose:
+    def test_put_on_closed_raises(self):
+        ch = WatermarkChannel(high_watermark=10)
+        ch.close()
+        with pytest.raises(ChannelClosed):
+            ch.put(1, "x")
+
+    def test_get_drains_then_raises(self):
+        ch = WatermarkChannel(high_watermark=10)
+        ch.put(1, "x")
+        ch.close()
+        assert ch.get() == "x"
+        with pytest.raises(ChannelClosed):
+            ch.get()
+
+    def test_close_unblocks_writer(self):
+        ch = WatermarkChannel(high_watermark=10, low_watermark=1)
+        ch.put(10, "fill")
+        errors = []
+
+        def writer():
+            try:
+                ch.put(1, "blocked")
+            except ChannelClosed as exc:
+                errors.append(exc)
+
+        t = threading.Thread(target=writer)
+        t.start()
+        time.sleep(0.05)
+        ch.close()
+        t.join(2.0)
+        assert len(errors) == 1
+
+    def test_get_timeout(self):
+        ch = WatermarkChannel(high_watermark=10)
+        with pytest.raises(TimeoutError):
+            ch.get(timeout=0.05)
+
+
+class TestConcurrency:
+    def test_many_producers_one_consumer_no_loss(self):
+        ch = WatermarkChannel(high_watermark=500, low_watermark=100)
+        n_producers, per_producer = 4, 200
+        received = []
+
+        def producer(pid):
+            for i in range(per_producer):
+                ch.put(8, (pid, i))
+
+        def consumer():
+            for _ in range(n_producers * per_producer):
+                received.append(ch.get())
+
+        threads = [threading.Thread(target=producer, args=(p,)) for p in range(n_producers)]
+        ct = threading.Thread(target=consumer)
+        ct.start()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(10.0)
+        ct.join(10.0)
+        assert len(received) == n_producers * per_producer
+        # Per-producer FIFO order is preserved.
+        for p in range(n_producers):
+            seq = [i for pid, i in received if pid == p]
+            assert seq == list(range(per_producer))

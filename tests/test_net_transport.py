@@ -1,0 +1,203 @@
+"""Tests for in-process and TCP transports, including TCP backpressure."""
+
+import threading
+import time
+
+import pytest
+
+from repro.net import (
+    ChannelClosed,
+    InProcessTransport,
+    TcpListener,
+    TcpTransport,
+    WatermarkChannel,
+)
+from repro.util.errors import TransportError
+
+
+class TestInProcessTransport:
+    def test_delivery_order(self):
+        ch = WatermarkChannel(high_watermark=1 << 20)
+        tx = InProcessTransport(ch)
+        for i in range(10):
+            tx.send(link_id=1, body=bytes([i]), count=1)
+        frames = ch.drain()
+        assert [f.body for f in frames] == [bytes([i]) for i in range(10)]
+        assert [f.seq for f in frames] == list(range(10))
+
+    def test_blocks_on_gated_channel(self):
+        ch = WatermarkChannel(high_watermark=10, low_watermark=1)
+        tx = InProcessTransport(ch)
+        tx.send(1, b"0123456789", 1)  # fills to high watermark
+        sent = []
+
+        def sender():
+            tx.send(1, b"x", 1)
+            sent.append(True)
+
+        t = threading.Thread(target=sender)
+        t.start()
+        time.sleep(0.05)
+        assert not sent
+        ch.drain()
+        t.join(2.0)
+        assert sent
+
+    def test_closed_channel_raises_transport_error(self):
+        ch = WatermarkChannel(high_watermark=10)
+        ch.close()
+        with pytest.raises(TransportError):
+            InProcessTransport(ch).send(1, b"x", 1)
+
+
+class TestTcpTransport:
+    def test_end_to_end_frames(self):
+        got = []
+        lst = TcpListener("127.0.0.1", 0, sink=got.append)
+        try:
+            tx = TcpTransport("127.0.0.1", lst.port)
+            for i in range(20):
+                tx.send(link_id=5, body=f"msg-{i}".encode(), count=1)
+            deadline = time.monotonic() + 5
+            while len(got) < 20 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert [f.body.decode() for f in got] == [f"msg-{i}" for i in range(20)]
+            assert [f.seq for f in got] == list(range(20))
+            assert tx.frames_sent == 20
+            tx.close()
+        finally:
+            lst.close()
+
+    def test_multiple_links_multiplexed(self):
+        got = []
+        lst = TcpListener("127.0.0.1", 0, sink=got.append)
+        try:
+            tx = TcpTransport("127.0.0.1", lst.port)
+            for i in range(10):
+                tx.send(link_id=i % 3, body=bytes([i]), count=1)
+            deadline = time.monotonic() + 5
+            while len(got) < 10 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            by_link = {}
+            for f in got:
+                by_link.setdefault(f.link_id, []).append(f.seq)
+            assert by_link == {0: [0, 1, 2, 3], 1: [0, 1, 2], 2: [0, 1, 2]}
+            tx.close()
+        finally:
+            lst.close()
+
+    def test_connect_refused(self):
+        with pytest.raises(TransportError):
+            TcpTransport("127.0.0.1", 1)  # nothing listens on port 1
+
+    def test_send_after_close(self):
+        lst = TcpListener("127.0.0.1", 0, sink=lambda f: None)
+        try:
+            tx = TcpTransport("127.0.0.1", lst.port)
+            tx.close()
+            tx.close()  # idempotent
+            with pytest.raises(TransportError):
+                tx.send(1, b"x", 1)
+        finally:
+            lst.close()
+
+    def test_concurrent_senders_no_interleaving(self):
+        got = []
+        lock = threading.Lock()
+
+        def sink(f):
+            with lock:
+                got.append(f)
+
+        lst = TcpListener("127.0.0.1", 0, sink=sink)
+        try:
+            tx = TcpTransport("127.0.0.1", lst.port)
+
+            def sender(link):
+                for i in range(50):
+                    tx.send(link, f"{link}:{i}".encode() * 20, 1)
+
+            threads = [threading.Thread(target=sender, args=(l,)) for l in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(10.0)
+            deadline = time.monotonic() + 5
+            while len(got) < 200 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert len(got) == 200
+            # Frame decoding would have raised on interleaved bytes; also
+            # verify per-link ordering.
+            for link in range(4):
+                seqs = [f.seq for f in got if f.link_id == link]
+                assert seqs == sorted(seqs)
+            tx.close()
+        finally:
+            lst.close()
+
+
+class TestTcpBackpressure:
+    def test_gated_sink_throttles_sender(self):
+        """A slow/gated receiver must stall the TCP sender (no drops)."""
+        ch = WatermarkChannel(high_watermark=4096, low_watermark=512)
+
+        def sink(frame):
+            try:
+                ch.put(len(frame.body), frame)
+            except ChannelClosed:
+                pass
+
+        lst = TcpListener("127.0.0.1", 0, sink=sink, recv_buffer=4096)
+        sent_count = [0]
+        done = [False]
+
+        def sender():
+            tx = TcpTransport("127.0.0.1", lst.port)
+            # Keep kernel-side buffering small so pressure appears fast.
+            import socket as _socket
+
+            tx._sock.setsockopt(_socket.SOL_SOCKET, _socket.SO_SNDBUF, 4096)
+            body = b"z" * 2048
+            try:
+                for _ in range(500):
+                    tx.send(1, body, 1)
+                    sent_count[0] += 1
+                done[0] = True
+            except TransportError:
+                pass
+            finally:
+                tx.close()
+
+        t = threading.Thread(target=sender)
+        try:
+            t.start()
+            time.sleep(0.4)
+            stalled_at = sent_count[0]
+            # The channel gates after ~2 frames; kernel buffers absorb a
+            # few more; the sender must be far from finished.
+            assert not done[0]
+            assert stalled_at < 400
+            time.sleep(0.2)
+            assert sent_count[0] - stalled_at <= 2  # fully stalled
+
+            # Drain continuously → sender completes, nothing lost.
+            received = [len(ch.drain())]
+
+            def drainer():
+                # Drain until every frame has crossed (the reader thread
+                # may still be blocked in put() after the sender's last
+                # send returns, so "sender done" alone is not enough).
+                deadline = time.monotonic() + 30
+                while received[0] < 500 and time.monotonic() < deadline:
+                    received[0] += len(ch.drain())
+                    time.sleep(0.005)
+
+            d = threading.Thread(target=drainer)
+            d.start()
+            t.join(30.0)
+            d.join(35.0)
+            assert done[0]
+            assert received[0] == 500
+        finally:
+            ch.close()
+            lst.close()

@@ -1,0 +1,75 @@
+"""Tests for the Fig. 3/4 backpressure staircase simulation."""
+
+import pytest
+
+from repro.sim.backpressure import (
+    BackpressureParams,
+    BackpressureSimulation,
+    run_backpressure,
+)
+
+
+@pytest.fixture(scope="module")
+def staircase_result():
+    return run_backpressure(BackpressureParams())
+
+
+class TestStaircase:
+    def test_source_runs_at_arrival_rate_without_sleep(self, staircase_result):
+        r = staircase_result
+        free = r.mean_rate_during(0.0)
+        assert free == pytest.approx(50_000, rel=0.15)
+
+    def test_source_tracks_sink_service_rate(self, staircase_result):
+        """Fig. 4: source throughput inversely proportional to sleep."""
+        r = staircase_result
+        for sleep in (0.001, 0.002, 0.003):
+            expected = 1.0 / sleep
+            measured = r.mean_rate_during(sleep)
+            assert measured == pytest.approx(expected, rel=0.8), (
+                f"sleep={sleep}: {measured} vs {expected}"
+            )
+
+    def test_rate_ordering_is_inverse_in_sleep(self, staircase_result):
+        r = staircase_result
+        r0 = r.mean_rate_during(0.0)
+        r1 = r.mean_rate_during(0.001)
+        r2 = r.mean_rate_during(0.002)
+        r3 = r.mean_rate_during(0.003)
+        assert r0 > r1 > r2 > r3 > 0
+
+    def test_pressure_mechanisms_engaged(self, staircase_result):
+        r = staircase_result
+        assert r.source_blocks > 0  # source actually stalled
+        assert r.gate_trips_c > 0  # stage C's inbound gate tripped
+        assert r.gate_trips_b > 0  # pressure propagated through B
+
+    def test_recovery_after_sleep_removed(self, staircase_result):
+        """After the staircase returns to 0 ms the source recovers."""
+        r = staircase_result
+        tail = [
+            rate
+            for t, rate, s in zip(r.times, r.source_rate, r.sleep_in_force)
+            if t > 22.0 and s == 0.0
+        ]
+        assert tail, "no samples after recovery"
+        assert max(tail) > 30_000
+
+
+class TestConstruction:
+    def test_custom_schedule(self):
+        params = BackpressureParams(
+            sleep_schedule=((0.0, 0.0), (1.0, 0.002)),
+            duration=3.0,
+            probe_interval=0.25,
+        )
+        r = run_backpressure(params)
+        assert len(r.times) >= 10
+        # Later windows are pressure-limited.
+        assert r.source_rate[-1] < r.source_rate[1]
+
+    def test_simulation_object_reusable_api(self):
+        sim = BackpressureSimulation(BackpressureParams(duration=1.0))
+        result = sim.run()
+        assert sim.generated > 0
+        assert result.times

@@ -1,0 +1,174 @@
+"""Tests for the cluster-scale contention model (Figs. 5, 6, 9, 10)."""
+
+import statistics
+
+import pytest
+
+from repro.sim.cluster import (
+    ClusterParams,
+    JobProfile,
+    NodeSpec,
+    job_profile,
+    paper_testbed,
+    run_cluster,
+)
+
+MFG = dict(stages=4, message_size=64, deployment="pipeline", app_cpu_per_message=2.5e-6)
+
+
+class TestTestbed:
+    def test_paper_testbed_composition(self):
+        nodes = paper_testbed()
+        assert len(nodes) == 50
+        assert sum(1 for n in nodes if n.cores == 8) == 46
+        assert sum(1 for n in nodes if n.cores == 4) == 4
+
+
+class TestJobProfile:
+    def test_neptune_cheaper_per_message_than_storm(self):
+        n = job_profile("neptune", 100, 4)
+        s = job_profile("storm", 100, 4)
+        assert n.cpu_per_message < s.cpu_per_message
+        assert n.peak_rate > s.peak_rate
+
+    def test_storm_wire_overhead_larger(self):
+        n = job_profile("neptune", 50, 2)
+        s = job_profile("storm", 50, 2)
+        assert s.wire_bytes_per_message > n.wire_bytes_per_message
+
+    def test_app_cpu_lowers_peak(self):
+        light = job_profile("neptune", 64, 4)
+        heavy = job_profile("neptune", 64, 4, app_cpu_per_message=2.5e-6)
+        assert heavy.peak_rate < light.peak_rate
+
+    def test_unknown_framework(self):
+        with pytest.raises(ValueError):
+            job_profile("flink", 100, 2)
+
+
+class TestValidation:
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            ClusterParams(n_jobs=0)
+        with pytest.raises(ValueError):
+            ClusterParams(nodes=[])
+        with pytest.raises(ValueError):
+            ClusterParams(deployment="mesh")
+        with pytest.raises(ValueError):
+            ClusterParams(stages=1)
+
+
+class TestFig5Shape:
+    def test_rises_to_fifty_then_declines(self):
+        cums = {}
+        for j in (10, 25, 50, 100, 150):
+            cums[j] = run_cluster(ClusterParams(n_jobs=j)).cumulative_throughput
+        assert cums[10] < cums[25] < cums[50]  # rising phase
+        assert cums[100] < cums[50]  # overprovisioned decline
+        assert cums[150] < cums[100]
+
+    def test_peak_near_hundred_million(self):
+        """§VI headline: 'cumulative throughput closer to 100 million
+        packets per-second' at 50 jobs on 50 nodes."""
+        r = run_cluster(ClusterParams(n_jobs=50))
+        assert 8e7 < r.cumulative_throughput < 1.5e8
+
+    def test_bandwidth_near_optimal_at_peak(self):
+        r = run_cluster(ClusterParams(n_jobs=50))
+        # 50 nodes x 1 Gbps egress = 50 Gbps ceiling.
+        assert r.cumulative_bandwidth_gbps > 40.0
+
+    def test_rise_is_roughly_linear(self):
+        r10 = run_cluster(ClusterParams(n_jobs=10)).cumulative_throughput
+        r20 = run_cluster(ClusterParams(n_jobs=20)).cumulative_throughput
+        assert r20 == pytest.approx(2 * r10, rel=0.15)
+
+
+class TestFig6Shape:
+    def test_linear_in_cluster_size(self):
+        testbed = paper_testbed()
+        cums = [
+            run_cluster(ClusterParams(n_jobs=50, nodes=testbed[:n])).cumulative_throughput
+            for n in (10, 20, 40)
+        ]
+        assert cums[1] == pytest.approx(2 * cums[0], rel=0.15)
+        assert cums[2] == pytest.approx(4 * cums[0], rel=0.15)
+
+
+class TestFig9Shape:
+    def test_neptune_roughly_8x_storm_at_32_jobs(self):
+        rn = run_cluster(ClusterParams(n_jobs=32, **MFG))
+        rs = run_cluster(ClusterParams(framework="storm", n_jobs=32, **MFG))
+        ratio = rn.cumulative_throughput / rs.cumulative_throughput
+        assert 5 < ratio < 12  # paper: 8x
+
+    def test_both_scale_linearly(self):
+        for fw in ("neptune", "storm"):
+            r16 = run_cluster(
+                ClusterParams(framework=fw, n_jobs=16, **MFG)
+            ).cumulative_throughput
+            r32 = run_cluster(
+                ClusterParams(framework=fw, n_jobs=32, **MFG)
+            ).cumulative_throughput
+            assert r32 == pytest.approx(2 * r16, rel=0.2), fw
+
+    def test_manufacturing_headline(self):
+        """§VI: cumulative throughput of 15 M msgs/s for the 4-stage
+        manufacturing application."""
+        r = run_cluster(ClusterParams(n_jobs=50, **MFG))
+        assert 1.0e7 < r.cumulative_throughput < 2.5e7
+
+    def test_storm_capped_at_node_count(self):
+        r = run_cluster(ClusterParams(framework="storm", n_jobs=80, **MFG))
+        assert len(r.per_job_rate) == 50  # one worker slot per node
+
+
+class TestFig10:
+    def test_storm_cpu_consistently_higher(self):
+        rn = run_cluster(ClusterParams(n_jobs=50, **MFG))
+        rs = run_cluster(ClusterParams(framework="storm", n_jobs=50, seed=29, **MFG))
+        assert statistics.mean(rs.per_node_cpu_pct) > statistics.mean(
+            rn.per_node_cpu_pct
+        )
+
+    def test_memory_means_close(self):
+        rn = run_cluster(ClusterParams(n_jobs=50, **MFG))
+        rs = run_cluster(ClusterParams(framework="storm", n_jobs=50, seed=29, **MFG))
+        mn = statistics.mean(rn.per_node_mem_pct)
+        ms = statistics.mean(rs.per_node_mem_pct)
+        assert abs(mn - ms) / mn < 0.10  # "no noticeable difference"
+
+    def test_per_node_vectors_cover_cluster(self):
+        r = run_cluster(ClusterParams(n_jobs=50, **MFG))
+        assert len(r.per_node_cpu_pct) == 50
+        assert len(r.per_node_mem_pct) == 50
+        assert all(0 <= u <= 1 for u in r.per_node_nic_util)
+
+    def test_deterministic_given_seed(self):
+        a = run_cluster(ClusterParams(n_jobs=50, seed=5, **MFG))
+        b = run_cluster(ClusterParams(n_jobs=50, seed=5, **MFG))
+        assert a.per_node_cpu_pct == b.per_node_cpu_pct
+
+
+class TestHeterogeneousNodes:
+    def test_small_nodes_limit_all_pairs_less_with_weighted_spread(self):
+        uniform = [NodeSpec(8, 12.0)] * 50
+        r_uniform = run_cluster(ClusterParams(n_jobs=50, nodes=uniform))
+        r_paper = run_cluster(ClusterParams(n_jobs=50))
+        # The 4 weak nodes cost some capacity but not a 2x collapse.
+        assert r_paper.cumulative_throughput > 0.7 * r_uniform.cumulative_throughput
+
+
+class TestCrossValidation:
+    def test_profile_peak_agrees_with_relay_des(self):
+        """The cluster model's derived single-pipeline peak must agree
+        with the discrete-event relay at the same configuration (the
+        cluster model is a coarse view of the same cost constants)."""
+        from repro.sim.relay import RelayParams, run_relay
+
+        des = run_relay(
+            RelayParams(message_size=50, buffer_size=1 << 20, duration=1.5)
+        )
+        profile = job_profile("neptune", 50, 2)
+        ratio = profile.peak_rate / des.throughput
+        assert 0.5 < ratio < 2.0, (profile.peak_rate, des.throughput)

@@ -1,0 +1,214 @@
+"""Tests for the statistics package (Tukey HSD, t-tests, descriptive)."""
+
+import random
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.stats import (
+    confidence_interval,
+    summarize,
+    t_test_ind,
+    tukey_hsd,
+)
+
+
+class TestTukeyHSD:
+    def test_clearly_different_groups_significant(self):
+        rng = random.Random(0)
+        a = [rng.gauss(10, 1) for _ in range(30)]
+        b = [rng.gauss(20, 1) for _ in range(30)]
+        res = tukey_hsd({"a": a, "b": b})
+        comp = res.comparison("a", "b")
+        assert comp.significant
+        assert comp.p_value < 1e-4
+        assert comp.mean_diff == pytest.approx(-10, abs=1)
+
+    def test_identical_distributions_not_significant(self):
+        rng = random.Random(1)
+        groups = {
+            name: [rng.gauss(5, 1) for _ in range(25)] for name in ("x", "y", "z")
+        }
+        res = tukey_hsd(groups)
+        # With identical populations, significance would be a (rare)
+        # false positive; check all p-values are comfortably large.
+        assert all(c.p_value > 0.01 for c in res.comparisons)
+
+    def test_familywise_three_groups(self):
+        rng = random.Random(2)
+        a = [rng.gauss(0, 1) for _ in range(20)]
+        b = [rng.gauss(0, 1) for _ in range(20)]
+        c = [rng.gauss(4, 1) for _ in range(20)]
+        res = tukey_hsd({"a": a, "b": b, "c": c})
+        assert not res.comparison("a", "b").significant
+        assert res.comparison("a", "c").significant
+        assert res.comparison("b", "c").significant
+        assert res.any_significant()
+
+    def test_against_scipy_reference(self):
+        """Cross-check p-values against scipy's own tukey_hsd."""
+        rng = np.random.default_rng(3)
+        a = rng.normal(0, 1, 15)
+        b = rng.normal(0.8, 1, 15)
+        c = rng.normal(1.6, 1, 15)
+        ours = tukey_hsd({"a": list(a), "b": list(b), "c": list(c)})
+        ref = sps.tukey_hsd(a, b, c)
+        assert ours.comparison("a", "b").p_value == pytest.approx(
+            ref.pvalue[0][1], abs=1e-6
+        )
+        assert ours.comparison("a", "c").p_value == pytest.approx(
+            ref.pvalue[0][2], abs=1e-6
+        )
+        assert ours.comparison("b", "c").p_value == pytest.approx(
+            ref.pvalue[1][2], abs=1e-6
+        )
+
+    def test_unequal_group_sizes(self):
+        rng = random.Random(4)
+        res = tukey_hsd(
+            {
+                "small": [rng.gauss(0, 1) for _ in range(5)],
+                "large": [rng.gauss(3, 1) for _ in range(50)],
+            }
+        )
+        assert res.comparison("small", "large").significant
+
+    def test_confidence_interval_contains_diff(self):
+        rng = random.Random(5)
+        a = [rng.gauss(10, 1) for _ in range(30)]
+        b = [rng.gauss(12, 1) for _ in range(30)]
+        comp = tukey_hsd({"a": a, "b": b}).comparison("a", "b")
+        assert comp.ci_low < comp.mean_diff < comp.ci_high
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tukey_hsd({"only": [1.0, 2.0]})
+        with pytest.raises(ValueError):
+            tukey_hsd({"a": [1.0], "b": [1.0, 2.0]})
+        with pytest.raises(ValueError):
+            tukey_hsd({"a": [1.0, 2.0], "b": [3.0, 4.0]}, alpha=2)
+
+    def test_unknown_comparison_lookup(self):
+        res = tukey_hsd({"a": [1.0, 2.0, 3.0], "b": [4.0, 5.0, 6.0]})
+        with pytest.raises(KeyError):
+            res.comparison("a", "nope")
+
+
+class TestTTest:
+    def test_one_tailed_greater(self):
+        rng = random.Random(6)
+        high = [rng.gauss(10, 1) for _ in range(40)]
+        low = [rng.gauss(8, 1) for _ in range(40)]
+        res = t_test_ind(high, low, tail="greater")
+        assert res.p_value < 1e-4
+        assert res.significant()
+        assert res.mean_a > res.mean_b
+
+    def test_one_tailed_wrong_direction(self):
+        rng = random.Random(7)
+        high = [rng.gauss(10, 1) for _ in range(40)]
+        low = [rng.gauss(8, 1) for _ in range(40)]
+        res = t_test_ind(low, high, tail="greater")
+        assert res.p_value > 0.9
+
+    def test_two_sided_similar_groups(self):
+        rng = random.Random(8)
+        a = [rng.gauss(5, 1) for _ in range(30)]
+        b = [rng.gauss(5, 1) for _ in range(30)]
+        res = t_test_ind(a, b)
+        assert res.p_value > 0.05
+
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(9)
+        a = rng.normal(0, 1, 25)
+        b = rng.normal(0.5, 1.5, 30)
+        ours = t_test_ind(list(a), list(b), tail="two-sided")
+        ref = sps.ttest_ind(a, b, equal_var=False)
+        assert ours.statistic == pytest.approx(float(ref.statistic))
+        assert ours.p_value == pytest.approx(float(ref.pvalue))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            t_test_ind([1.0], [2.0, 3.0])
+        with pytest.raises(ValueError):
+            t_test_ind([1.0, 2.0], [3.0, 4.0], tail="sideways")
+
+
+class TestDescriptive:
+    def test_summary_fields(self):
+        s = summarize(range(1, 101))
+        assert s.n == 100
+        assert s.mean == pytest.approx(50.5)
+        assert s.minimum == 1 and s.maximum == 100
+        assert s.p50 == pytest.approx(50.5)
+        assert s.p99 == pytest.approx(99.01)
+
+    def test_summary_single_value(self):
+        s = summarize([7.0])
+        assert s.std == 0.0 and s.mean == 7.0
+
+    def test_summary_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_summary_str(self):
+        assert "mean=" in str(summarize([1.0, 2.0]))
+
+    def test_confidence_interval_covers_mean(self):
+        rng = random.Random(10)
+        data = [rng.gauss(100, 5) for _ in range(50)]
+        lo, hi = confidence_interval(data)
+        assert lo < 100 < hi or abs(sum(data) / len(data) - 100) > 1
+
+    def test_confidence_interval_validation(self):
+        with pytest.raises(ValueError):
+            confidence_interval([1.0])
+        with pytest.raises(ValueError):
+            confidence_interval([1.0, 2.0], confidence=1.5)
+
+
+class TestOneWayAnova:
+    def test_matches_scipy_f_oneway(self):
+        from repro.stats import one_way_anova
+
+        rng = np.random.default_rng(11)
+        a = rng.normal(0, 1, 20)
+        b = rng.normal(0.5, 1, 25)
+        c = rng.normal(1.0, 1, 15)
+        ours = one_way_anova({"a": list(a), "b": list(b), "c": list(c)})
+        ref = sps.f_oneway(a, b, c)
+        assert ours.f_statistic == pytest.approx(float(ref.statistic))
+        assert ours.p_value == pytest.approx(float(ref.pvalue))
+        assert ours.df_between == 2
+        assert ours.df_within == 57
+
+    def test_identical_groups_not_significant(self):
+        from repro.stats import one_way_anova
+
+        rng = random.Random(12)
+        groups = {n: [rng.gauss(3, 1) for _ in range(20)] for n in "xyz"}
+        res = one_way_anova(groups)
+        assert res.p_value > 0.001  # rarely a false positive at worst
+
+    def test_effect_size_bounds(self):
+        from repro.stats import one_way_anova
+
+        res = one_way_anova({"a": [1.0, 1.1, 0.9], "b": [5.0, 5.1, 4.9]})
+        assert 0.9 < res.eta_squared <= 1.0
+        assert res.significant()
+
+    def test_validation(self):
+        from repro.stats import one_way_anova
+
+        with pytest.raises(ValueError):
+            one_way_anova({"only": [1.0, 2.0]})
+        with pytest.raises(ValueError):
+            one_way_anova({"a": [1.0], "b": [1.0, 2.0]})
+
+    def test_zero_within_variance(self):
+        from repro.stats import one_way_anova
+
+        res = one_way_anova({"a": [1.0, 1.0], "b": [2.0, 2.0]})
+        assert res.p_value == 0.0
+        assert res.f_statistic == float("inf")
