@@ -1,0 +1,65 @@
+"""Deterministic fault injection (chaos) subsystem.
+
+NEPTUNE's correctness story (§I-B: no corrupted, dropped, duplicated,
+or reordered packets) is only credible if it survives failures that are
+*reproducible*: a fault scenario that cannot be replayed cannot be
+debugged or regression-tested.  This package provides that substrate:
+
+- :mod:`repro.chaos.plan` — :class:`FaultPlan`: a seeded, deterministic
+  description of *which* fault fires at *which* hook point; the n-th
+  interception at a site always yields the same decision for the same
+  seed, independent of wall-clock timing or thread interleaving.
+- :mod:`repro.chaos.injector` — :class:`FaultInjector`: the runtime
+  object threaded through the net/sim layers; it evaluates the plan at
+  each hook point and records a :class:`FaultTrace` whose byte
+  serialization is identical across runs with the same seed.
+- :mod:`repro.chaos.simfaults` — node-kill and link-partition events
+  for the discrete-event simulator (:mod:`repro.sim.engine`).
+- :mod:`repro.chaos.scenario` — canned, seeded end-to-end scenarios
+  (wire-level and two-resource pipeline) used by the ``repro chaos``
+  CLI subcommand and the chaos test suite.
+- :mod:`repro.chaos.recovery` — :class:`RecoveryCoordinator`:
+  checkpoint-based job supervision that restores a failed job from its
+  last consistent checkpoint (node-kill recovery).
+
+Hook points (site names are stable identifiers recorded in traces):
+
+========================  ====================================================
+site                      where / what can fire
+========================  ====================================================
+``tcp.send``              :meth:`TcpTransport.send`, once per first-time
+                          frame send (replays are never re-injected):
+                          ``kill_connection``, ``bitflip``, ``truncate``,
+                          ``duplicate``, ``delay``, ``drop``
+``tcp.recv``              :class:`TcpListener` reader loop, once per
+                          received chunk: ``kill_connection``, ``delay``
+``channel.put``           :meth:`WatermarkChannel.put`: ``delay``
+``sim.node``              simulator node-kill events
+``sim.link``              simulator link partition/heal events
+========================  ====================================================
+"""
+
+from repro.chaos.plan import (
+    FaultAction,
+    FaultDecision,
+    FaultPlan,
+    FaultRates,
+    ScriptedFault,
+)
+from repro.chaos.injector import FaultInjector, FaultTrace, TraceRecord
+from repro.chaos.simfaults import SimFault, schedule_sim_faults
+from repro.chaos.recovery import RecoveryCoordinator
+
+__all__ = [
+    "FaultAction",
+    "FaultDecision",
+    "FaultPlan",
+    "FaultRates",
+    "ScriptedFault",
+    "FaultInjector",
+    "FaultTrace",
+    "TraceRecord",
+    "SimFault",
+    "schedule_sim_faults",
+    "RecoveryCoordinator",
+]

@@ -1,0 +1,182 @@
+"""Runtime fault injection and trace recording.
+
+A :class:`FaultInjector` is threaded through the hook points (transport
+send/receive, channel put, simulator events).  Each hook calls
+:meth:`FaultInjector.intercept` with its site name; the injector bumps
+the site's interception counter, consults the :class:`FaultPlan`, and
+records every fired fault in its :class:`FaultTrace`.
+
+The trace is the reproducibility artifact: its byte serialization
+(:meth:`FaultTrace.to_bytes`) and digest (:meth:`FaultTrace.digest`)
+are identical across runs with the same plan, because decisions depend
+only on ``(seed, site, index)`` and hook sites intercept in a
+deterministic per-site order (each site's interceptions are serialized
+by the owning component: a transport's send lock, a listener's reader
+loop, the simulator's event loop).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.chaos.plan import FaultAction, FaultDecision, FaultPlan
+from repro.lz4 import xxh32
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One fired fault, as recorded in the trace."""
+
+    site: str
+    index: int
+    action: str
+    param: float
+
+    def to_line(self) -> str:
+        """Canonical single-line form (stable across runs/processes)."""
+        return f"{self.site} {self.index} {self.action} {self.param!r}"
+
+
+class FaultTrace:
+    """Append-only record of every fault an injector fired."""
+
+    def __init__(self) -> None:
+        self._records: list[TraceRecord] = []
+        self._lock = threading.Lock()
+
+    def append(self, record: TraceRecord) -> None:
+        """Record one fired fault (thread-safe)."""
+        with self._lock:
+            self._records.append(record)
+
+    @property
+    def records(self) -> list[TraceRecord]:
+        """Snapshot of all records so far."""
+        with self._lock:
+            return list(self._records)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def to_bytes(self) -> bytes:
+        """Canonical byte serialization (sorted: order within a site is
+        deterministic; interleaving *across* independently-threaded
+        sites is not, so the canonical form sorts by site then index)."""
+        lines = sorted(r.to_line() for r in self.records)
+        return ("\n".join(lines) + ("\n" if lines else "")).encode()
+
+    def digest(self) -> int:
+        """xxh32 over the canonical serialization."""
+        return xxh32(self.to_bytes())
+
+
+class FaultInjector:
+    """Evaluates a :class:`FaultPlan` at hook points and records a trace.
+
+    One injector per scenario; it may be shared by any number of
+    components.  Per-site counters are independent, so adding a new
+    hook site never perturbs decisions at existing sites.
+
+    Parameters
+    ----------
+    plan:
+        The deterministic fault plan.
+    sleep:
+        Injected sleep function for ``delay`` faults (tests substitute
+        a no-op to keep suites fast while still tracing the decision).
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.plan = plan
+        self.trace = FaultTrace()
+        self._sleep = sleep
+        self._counters: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    # -- core -----------------------------------------------------------------
+    def intercept(self, site: str) -> FaultDecision | None:
+        """Evaluate the next interception at ``site``; record any fault."""
+        with self._lock:
+            index = self._counters.get(site, 0)
+            self._counters[site] = index + 1
+        decision = self.plan.decide(site, index)
+        if decision is not None:
+            self.trace.append(
+                TraceRecord(decision.site, decision.index, decision.action, decision.param)
+            )
+        return decision
+
+    def interceptions(self, site: str) -> int:
+        """How many times ``site`` has been intercepted so far."""
+        with self._lock:
+            return self._counters.get(site, 0)
+
+    # -- hook helpers -------------------------------------------------------
+    def maybe_delay(self, site: str) -> FaultDecision | None:
+        """Channel-style hook: only ``delay`` faults apply; others are
+        traced but have no effect at this site."""
+        decision = self.intercept(site)
+        if decision is not None and decision.action == FaultAction.DELAY:
+            self._sleep(decision.param)
+        return decision
+
+    def apply_to_wire(
+        self, site: str, wire: bytes
+    ) -> tuple[list[bytes], bool, FaultDecision | None]:
+        """Transport-send hook: mutate one outgoing wire frame.
+
+        Returns ``(chunks, kill_after, decision)``: the byte chunks to
+        actually write (possibly empty, mutated, or doubled) and
+        whether the connection must be severed after writing them.
+        """
+        decision = self.intercept(site)
+        if decision is None:
+            return [wire], False, None
+        action = decision.action
+        if action == FaultAction.DROP:
+            return [], False, decision
+        if action == FaultAction.DELAY:
+            self._sleep(decision.param)
+            return [wire], False, decision
+        if action == FaultAction.DUPLICATE:
+            return [wire, wire], False, decision
+        if action == FaultAction.TRUNCATE:
+            cut = max(1, min(len(wire) - 1, int(len(wire) * decision.param)))
+            return [wire[:cut]], True, decision
+        if action == FaultAction.BITFLIP:
+            mutated = bytearray(wire)
+            bit = int(decision.param * len(mutated) * 8) % (len(mutated) * 8)
+            mutated[bit // 8] ^= 1 << (bit % 8)
+            return [bytes(mutated)], False, decision
+        if action == FaultAction.KILL_CONNECTION:
+            return [wire], True, decision
+        # Node-level actions are meaningless for a single wire frame;
+        # trace-only (the decision was already recorded).
+        return [wire], False, decision
+
+    def should_kill_connection(self, site: str) -> bool:
+        """Receive-side hook: sever the connection at this interception?
+
+        ``delay`` faults sleep in place; only ``kill_connection`` (and
+        ``truncate``, which has no payload to cut here) report True.
+        """
+        decision = self.intercept(site)
+        if decision is None:
+            return False
+        if decision.action == FaultAction.DELAY:
+            self._sleep(decision.param)
+            return False
+        return decision.action in (FaultAction.KILL_CONNECTION, FaultAction.TRUNCATE)
+
+    def should_kill_node(self, site: str) -> bool:
+        """Operator/node hook: crash at this interception?"""
+        decision = self.intercept(site)
+        return decision is not None and decision.action == FaultAction.KILL_NODE

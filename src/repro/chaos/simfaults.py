@@ -1,0 +1,107 @@
+"""Node-kill and link-partition events for the discrete-event simulator.
+
+The real runtime's chaos hooks (transport/channel) exercise the
+*implementation*; these exercise the *models* in :mod:`repro.sim`, so
+failure-mode experiments (what does a 30-second node outage do to
+end-to-end latency?) run deterministically on the simulator's virtual
+clock.
+
+A :class:`SimFault` is an absolute-time event against a named target:
+
+- ``kill_node`` — interrupt the target's processes with
+  :class:`~repro.sim.engine.Interrupt` (cause ``"chaos:kill"``); model
+  code catches the interrupt to implement crash/restart behaviour.
+- ``partition`` / ``heal`` — toggle a named link; the target is any
+  object with a ``set_partitioned(bool)`` method or a plain
+  ``callable(bool)``.
+
+:func:`schedule_sim_faults` registers everything up front, so the
+schedule is part of the simulation's deterministic event order.  Fired
+events are recorded in the injector's trace (sites ``sim.node`` /
+``sim.link``) when an injector is supplied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.chaos.plan import FaultAction
+from repro.chaos.injector import FaultInjector, TraceRecord
+from repro.sim.engine import Process, Simulator
+
+#: Interrupt cause carried into killed processes.
+KILL_CAUSE = "chaos:kill"
+
+
+@dataclass(frozen=True)
+class SimFault:
+    """One scheduled simulator fault."""
+
+    at: float
+    action: str  # FaultAction.KILL_NODE | PARTITION | HEAL
+    target: str
+
+    def __post_init__(self) -> None:
+        if self.action not in (
+            FaultAction.KILL_NODE,
+            FaultAction.PARTITION,
+            FaultAction.HEAL,
+        ):
+            raise ValueError(
+                f"simulator faults support kill_node/partition/heal, not {self.action!r}"
+            )
+        if self.at < 0:
+            raise ValueError(f"fault time must be >= 0: {self.at}")
+
+
+def _set_partitioned(link: Any, up: bool) -> None:
+    if callable(link) and not hasattr(link, "set_partitioned"):
+        link(up)
+    else:
+        link.set_partitioned(up)
+
+
+def schedule_sim_faults(
+    sim: Simulator,
+    faults: Iterable[SimFault],
+    processes: Mapping[str, Process | list[Process]] | None = None,
+    links: Mapping[str, Any] | None = None,
+    injector: FaultInjector | None = None,
+    on_fire: Callable[[SimFault], None] | None = None,
+) -> list[SimFault]:
+    """Register ``faults`` on the simulator's event heap.
+
+    ``processes`` maps node names to the process(es) a ``kill_node``
+    interrupts; ``links`` maps link names to partitionable objects.
+    Targets missing from the maps raise ``KeyError`` immediately —
+    a silently ignored fault would falsify the scenario.
+
+    Returns the faults sorted by fire time (the deterministic order in
+    which they will trigger).
+    """
+    processes = processes or {}
+    links = links or {}
+    ordered = sorted(faults, key=lambda f: (f.at, f.action, f.target))
+    for idx, fault in enumerate(ordered):
+        if fault.action == FaultAction.KILL_NODE:
+            victims = processes[fault.target]
+            victim_list = victims if isinstance(victims, list) else [victims]
+            for proc in victim_list:
+                sim.schedule_interrupt(fault.at, proc, KILL_CAUSE)
+        else:
+            link = links[fault.target]
+            up = fault.action == FaultAction.PARTITION
+
+            def fire(link=link, up=up):
+                _set_partitioned(link, up)
+
+            sim.call_at(fault.at, fire)
+        if injector is not None:
+            site = (
+                "sim.node" if fault.action == FaultAction.KILL_NODE else "sim.link"
+            )
+            injector.trace.append(TraceRecord(site, idx, fault.action, fault.at))
+        if on_fire is not None:
+            sim.call_at(fault.at, lambda f=fault: on_fire(f))
+    return ordered

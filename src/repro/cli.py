@@ -5,12 +5,15 @@
     python -m repro.cli validate graph.json
     python -m repro.cli run graph.json [--duration 10] [--workers 2]
     python -m repro.cli experiment fig2|table1|gc|fig4|fig5|fig6|fig7|fig9|fig10|headline
+    python -m repro.cli chaos [--mode wire|pipeline] [--seed N] [...]
     python -m repro.cli info
 
 ``run`` deploys a JSON graph descriptor on the local runtime (or the
 distributed multi-resource runtime with ``--workers > 1``) and prints
 per-operator metrics; ``experiment`` regenerates one of the paper's
-tables/figures on the simulator.
+tables/figures on the simulator; ``chaos`` runs a seeded
+fault-injection scenario against the TCP recovery protocol and exits
+0 iff delivery stayed exactly-once.
 """
 
 from __future__ import annotations
@@ -144,6 +147,53 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """`chaos` subcommand: seeded fault-injection scenario.
+
+    Exit code 0 iff every packet was delivered exactly once (content
+    verified) despite the injected faults.  The printed trace digest is
+    the reproducibility receipt: the same seed and options must yield
+    the same digest on any machine.
+    """
+    from repro.chaos.plan import FaultRates
+    from repro.chaos.scenario import run_pipeline_scenario, run_wire_scenario
+
+    if args.mode == "wire":
+        try:
+            rates = FaultRates(
+                drop=args.drop,
+                delay=args.delay,
+                duplicate=args.duplicate,
+                truncate=args.truncate,
+                bitflip=args.bitflip,
+                kill_connection=args.kill,
+            )
+        except ValueError as exc:
+            raise SystemExit(f"repro.cli chaos: error: {exc}")
+        result = run_wire_scenario(
+            seed=args.seed,
+            frames=args.frames,
+            payload_size=args.payload_size,
+            rates=rates,
+        )
+    else:
+        try:
+            kill_frames = tuple(int(x) for x in args.kill_at.split(",") if x)
+        except ValueError:
+            raise SystemExit(
+                f"repro.cli chaos: error: --kill-at expects comma-separated "
+                f"frame indexes, got {args.kill_at!r}"
+            )
+        result = run_pipeline_scenario(
+            seed=args.seed, total=args.total, kill_frames=kill_frames
+        )
+    print(result.summary())
+    if args.trace:
+        for line in result.trace_lines:
+            print(f"  fault: {line}")
+    return 0 if result.exactly_once else 1
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     """`info` subcommand: version and usage."""
     import repro
@@ -189,6 +239,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_exp.add_argument("--full", action="store_true", help="full-resolution sweep")
     p_exp.set_defaults(fn=cmd_experiment)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="run a seeded fault-injection scenario"
+    )
+    p_chaos.add_argument(
+        "--mode",
+        choices=["wire", "pipeline"],
+        default="wire",
+        help="wire: raw transport link under a rate plan; "
+        "pipeline: two-resource relay with scripted socket kills",
+    )
+    p_chaos.add_argument("--seed", type=int, default=0)
+    p_chaos.add_argument("--frames", type=int, default=60, help="wire mode: frames to send")
+    p_chaos.add_argument("--payload-size", type=int, default=256)
+    p_chaos.add_argument("--drop", type=float, default=0.04)
+    p_chaos.add_argument("--delay", type=float, default=0.0)
+    p_chaos.add_argument("--duplicate", type=float, default=0.04)
+    p_chaos.add_argument("--truncate", type=float, default=0.03)
+    p_chaos.add_argument("--bitflip", type=float, default=0.03)
+    p_chaos.add_argument("--kill", type=float, default=0.03)
+    p_chaos.add_argument("--total", type=int, default=800, help="pipeline mode: packets")
+    p_chaos.add_argument(
+        "--kill-at",
+        default="3,9",
+        help="pipeline mode: comma-separated frame ordinals to sever at",
+    )
+    p_chaos.add_argument("--trace", action="store_true", help="print fired faults")
+    p_chaos.set_defaults(fn=cmd_chaos)
 
     p_info = sub.add_parser("info", help="version and usage")
     p_info.set_defaults(fn=cmd_info)

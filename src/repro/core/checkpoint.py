@@ -32,7 +32,9 @@ offsets, which :class:`ReplayableSource` sketches).
 
 from __future__ import annotations
 
+import os
 import pickle
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any
@@ -91,6 +93,48 @@ def take_checkpoint(job_runtime) -> Checkpoint:
         if state is not None:
             ckpt.states[(inst.spec.name, inst.index)] = state
     return ckpt
+
+
+class CheckpointStore:
+    """Bounded in-memory (optionally disk-backed) checkpoint history.
+
+    The recovery path (:class:`~repro.chaos.recovery.RecoveryCoordinator`,
+    link-failure notifications) needs "the last good checkpoint" without
+    threading a Checkpoint object through every call site.  The store
+    keeps the most recent ``keep`` checkpoints per job and can mirror
+    each one to ``directory`` (pickle files) for cross-process recovery.
+    """
+
+    def __init__(self, keep: int = 3, directory: str | None = None) -> None:
+        if keep <= 0:
+            raise ValueError(f"keep must be positive: {keep}")
+        self._keep = keep
+        self._dir = directory
+        self._history: dict[str, list[Checkpoint]] = {}
+        self._lock = threading.Lock()
+
+    def put(self, ckpt: Checkpoint) -> None:
+        """Record a checkpoint (evicting beyond the keep bound)."""
+        with self._lock:
+            history = self._history.setdefault(ckpt.job_name, [])
+            history.append(ckpt)
+            del history[: -self._keep]
+        if self._dir is not None:
+            path = os.path.join(
+                self._dir, f"{ckpt.job_name}-{ckpt.taken_at:.6f}.ckpt"
+            )
+            ckpt.save(path)
+
+    def latest(self, job_name: str) -> Checkpoint | None:
+        """Most recent checkpoint for ``job_name``, or None."""
+        with self._lock:
+            history = self._history.get(job_name)
+            return history[-1] if history else None
+
+    def history(self, job_name: str) -> list[Checkpoint]:
+        """All retained checkpoints, oldest first."""
+        with self._lock:
+            return list(self._history.get(job_name, []))
 
 
 class ReplayableSource:

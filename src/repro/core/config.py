@@ -42,6 +42,25 @@ class NeptuneConfig:
         How long a blocked emit waits before raising
         :class:`~repro.util.errors.BackpressureTimeout`.  None = wait
         forever (the paper's semantics: never drop).
+    transport_recovery:
+        Whether cross-resource TCP links run the recovery protocol
+        (ack-pruned replay window, reconnect with backoff, receiver
+        duplicate suppression).  Off = legacy fail-fast links.
+    transport_max_retries / transport_backoff_base /
+    transport_backoff_max / transport_backoff_jitter:
+        Reconnect schedule: up to ``max_retries`` attempts, attempt
+        ``n`` backing off ``min(max, base * 2**n)`` seconds with a
+        ``±jitter`` random factor (seeded — see ``fault_seed``).
+    transport_send_timeout:
+        Bound on how long one send may block on a full replay window
+        (i.e. on a receiver that stopped acknowledging).
+    transport_replay_window:
+        Replay-buffer capacity in bytes per TCP peer; unacknowledged
+        frames beyond it block the sender (never evicted — eviction
+        would forfeit the zero-loss guarantee).
+    fault_seed:
+        Seed for transport jitter and chaos scenarios; pinning it makes
+        a failure run reproducible.
     """
 
     buffer_capacity: int = 1 << 20
@@ -54,6 +73,14 @@ class NeptuneConfig:
     compression_min_size: int = 64
     batch_max_packets: int = 8192
     emit_timeout: float | None = None
+    transport_recovery: bool = True
+    transport_max_retries: int = 6
+    transport_backoff_base: float = 0.05
+    transport_backoff_max: float = 2.0
+    transport_backoff_jitter: float = 0.25
+    transport_send_timeout: float | None = 10.0
+    transport_replay_window: int = 8 << 20
+    fault_seed: int = 0
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -74,6 +101,14 @@ class NeptuneConfig:
             raise ValueError(f"worker_threads must be positive: {self.worker_threads}")
         if self.batch_max_packets <= 0:
             raise ValueError(f"batch_max_packets must be positive: {self.batch_max_packets}")
+        if self.transport_max_retries < 0:
+            raise ValueError(
+                f"transport_max_retries must be >= 0: {self.transport_max_retries}"
+            )
+        if self.transport_replay_window <= 0:
+            raise ValueError(
+                f"transport_replay_window must be positive: {self.transport_replay_window}"
+            )
 
     def effective_workers(self, hosted_instances: int) -> int:
         """Resolve the worker-pool size for a runtime hosting
@@ -87,3 +122,20 @@ class NeptuneConfig:
         if self.inbound_low_watermark is not None:
             return self.inbound_low_watermark
         return self.inbound_high_watermark // 2
+
+    def retry_policy(self):
+        """The transport :class:`~repro.net.transport.RetryPolicy` these
+        knobs describe, or None when recovery is disabled."""
+        if not self.transport_recovery:
+            return None
+        from repro.net.transport import RetryPolicy
+
+        return RetryPolicy(
+            max_retries=self.transport_max_retries,
+            backoff_base=self.transport_backoff_base,
+            backoff_max=self.transport_backoff_max,
+            backoff_jitter=self.transport_backoff_jitter,
+            send_timeout=self.transport_send_timeout,
+            replay_window_bytes=self.transport_replay_window,
+            seed=self.fault_seed,
+        )

@@ -137,6 +137,7 @@ class DistributedWorker:
         plan: DeploymentPlan,
         listen_host: str = "127.0.0.1",
         listen_port: int = 0,
+        injector=None,
     ) -> None:
         graph.validate()
         if not 0 <= worker_id < plan.n_workers:
@@ -151,10 +152,41 @@ class DistributedWorker:
         self._resource: Resource | None = None
         # Inbound routing: global wire id → (channel, in_info).
         self._inbound: dict[int, tuple] = {}
-        self._listener = TcpListener(listen_host, listen_port, sink=self._on_frame)
+        self._injector = injector
+        # Recovery protocol (ack + replay + duplicate suppression) is
+        # symmetric: the listener speaks it iff our outbound transports
+        # do, and every worker derives that from the shared config.
+        self._retry = graph.config.retry_policy()
+        recovery = self._retry is not None
+        self._listener = TcpListener(
+            listen_host,
+            listen_port,
+            sink=self._on_frame,
+            ack=recovery,
+            resume=recovery,
+            injector=injector,
+            site=f"tcp.recv.w{worker_id}",
+        )
         self._transports: dict[int, TcpTransport] = {}
+        #: Terminal link failures (retry budget exhausted), keyed by
+        #: destination worker id.
+        self.link_failures: dict[int, BaseException] = {}
+        self._link_failure_callbacks: list = []
         self._started = False
         self._lock = threading.Lock()
+
+    def on_link_failure(self, callback) -> None:
+        """Register ``callback(dest_worker_id, exc)`` fired when a link's
+        retry budget is exhausted (the checkpoint-replay trigger)."""
+        self._link_failure_callbacks.append(callback)
+
+    def _record_link_failure(self, worker: int, exc: BaseException) -> None:
+        self.link_failures.setdefault(worker, exc)
+        for cb in self._link_failure_callbacks:
+            try:
+                cb(worker, exc)
+            except Exception:
+                pass  # notification must not mask the link failure
 
     # -- addressing -----------------------------------------------------------
     @property
@@ -290,7 +322,16 @@ class DistributedWorker:
                 deadline = time.monotonic() + connect_window
                 while True:
                     try:
-                        self._transports[worker] = TcpTransport(host, port)
+                        self._transports[worker] = TcpTransport(
+                            host,
+                            port,
+                            retry=self._retry,
+                            injector=self._injector,
+                            site=f"tcp.send.w{self.worker_id}->w{worker}",
+                            on_link_failure=lambda exc, w=worker: self._record_link_failure(
+                                w, exc
+                            ),
+                        )
                         break
                     except TransportError:
                         if time.monotonic() >= deadline:
@@ -349,12 +390,19 @@ class DistributedWorker:
                     pass
 
     def flush_all(self) -> None:
-        """Force-flush every outbound buffer."""
+        """Force-flush every outbound buffer and nudge transport
+        delivery (replay stalled/unacknowledged frames)."""
         for inst in self.job.all_instances():
             inst.flush_all()
+        with self._lock:
+            transports = list(self._transports.values())
+        for t in transports:
+            if t.unacked_frames:
+                t.ensure_delivered(timeout=0.05, stall=0.3)
 
     def is_quiet(self) -> bool:
-        """Locally quiescent: no running task, empty channels/buffers."""
+        """Locally quiescent: no running task, empty channels/buffers,
+        and every sent frame acknowledged by its receiver."""
         for inst in self.job.all_instances():
             if inst.spec.is_source and not inst.finished:
                 return False
@@ -364,15 +412,20 @@ class DistributedWorker:
                 return False
             if inst.pending_out_bytes > 0:
                 return False
-        return True
+        with self._lock:
+            transports = list(self._transports.values())
+        return not any(t.unacked_frames for t in transports)
 
     @property
     def failures(self) -> dict[str, BaseException]:
-        """Operator-instance failures keyed by 'operator[index]'."""
+        """Operator-instance failures keyed by 'operator[index]',
+        plus terminal link failures keyed by 'link->workerN'."""
         out = {}
         for inst in self.job.all_instances():
             if inst.failure is not None:
                 out[f"{inst.spec.name}[{inst.index}]"] = inst.failure
+        for worker, exc in self.link_failures.items():
+            out[f"link->worker{worker}"] = exc
         return out
 
     def metrics(self) -> dict:
@@ -405,11 +458,14 @@ class DistributedJob:
     and exchange endpoints out of band, then drive the same methods.
     """
 
-    def __init__(self, graph: StreamProcessingGraph, n_workers: int = 2) -> None:
+    def __init__(
+        self, graph: StreamProcessingGraph, n_workers: int = 2, injector=None
+    ) -> None:
         self.graph = graph
         self.plan = round_robin_plan(graph, n_workers)
         self.workers = [
-            DistributedWorker(w, graph, self.plan) for w in range(n_workers)
+            DistributedWorker(w, graph, self.plan, injector=injector)
+            for w in range(n_workers)
         ]
         endpoints = {w.worker_id: w.address for w in self.workers}
         for w in self.workers:

@@ -549,6 +549,24 @@ class NeptuneRuntime:
             res._threads.append(t)
         res.workers = workers
 
+    # -- link failures ------------------------------------------------------
+    def notify_link_failure(self, exc: BaseException, link: str = "link") -> None:
+        """Record a terminal transport failure against every running job.
+
+        Wire this as a :class:`~repro.net.transport.TcpTransport`
+        ``on_link_failure`` callback (or a
+        :meth:`DistributedWorker.on_link_failure` subscriber): an
+        exhausted reconnect budget then surfaces through
+        ``JobHandle.failures`` exactly like an operator crash, which is
+        what checkpoint-based supervisors such as
+        :class:`~repro.chaos.recovery.RecoveryCoordinator` key on.
+        """
+        with self._lock:
+            jobs = list(self._jobs)
+        for job in jobs:
+            if job.state is JobState.RUNNING:
+                job.failures.setdefault(link, exc)
+
     # -- checkpointing -----------------------------------------------------
     def _checkpoint_job(self, job: _JobRuntime, quiesce: bool, timeout: float):
         """Snapshot operator state (see repro.core.checkpoint).

@@ -12,11 +12,18 @@ realized here as:
   (same Granules resource) and TCP sockets (across resources/machines).
 """
 
-from repro.net.framing import Frame, FrameEncoder, FrameDecoder, FrameHeader
+from repro.net.framing import (
+    Frame,
+    FrameEncoder,
+    FrameDecoder,
+    FrameHeader,
+    SequenceTracker,
+)
 from repro.net.flowcontrol import WatermarkChannel, ChannelClosed
 from repro.net.transport import (
     Transport,
     InProcessTransport,
+    RetryPolicy,
     TcpTransport,
     TcpListener,
 )
@@ -26,10 +33,12 @@ __all__ = [
     "FrameHeader",
     "FrameEncoder",
     "FrameDecoder",
+    "SequenceTracker",
     "WatermarkChannel",
     "ChannelClosed",
     "Transport",
     "InProcessTransport",
+    "RetryPolicy",
     "TcpTransport",
     "TcpListener",
 ]

@@ -43,7 +43,13 @@ class WatermarkChannel:
         Byte level the queue must drain to before writers resume.
     """
 
-    def __init__(self, high_watermark: int, low_watermark: int | None = None) -> None:
+    def __init__(
+        self,
+        high_watermark: int,
+        low_watermark: int | None = None,
+        injector=None,
+        site: str = "channel.put",
+    ) -> None:
         if high_watermark <= 0:
             raise ValueError(f"high_watermark must be positive: {high_watermark}")
         if low_watermark is None:
@@ -54,6 +60,10 @@ class WatermarkChannel:
             )
         self.high_watermark = high_watermark
         self.low_watermark = low_watermark
+        # Chaos hook: an optional FaultInjector consulted on every put
+        # (delay faults stall the writer, modelling a slow IO thread).
+        self._injector = injector
+        self._site = site
         self._items: list[tuple[int, Any]] = []
         self._bytes = 0
         self._gated = False  # True between high trip and low drain
@@ -100,6 +110,8 @@ class WatermarkChannel:
         """
         if size < 0:
             raise ValueError(f"negative size: {size}")
+        if self._injector is not None:
+            self._injector.maybe_delay(self._site)
         with self._writable:
             if self._closed:
                 raise ChannelClosed("put on closed channel")

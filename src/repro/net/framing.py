@@ -22,6 +22,7 @@ requirements: no corrupted, dropped, duplicated, or reordered packets.
 from __future__ import annotations
 
 import struct
+import threading
 from dataclasses import dataclass
 
 from repro.lz4 import xxh32
@@ -156,3 +157,55 @@ class FrameDecoder:
     def pending_bytes(self) -> int:
         """Bytes buffered awaiting a complete frame."""
         return len(self._buf)
+
+
+class SequenceTracker:
+    """Cross-connection per-link sequence bookkeeping for resumable links.
+
+    A :class:`FrameDecoder` lives for one TCP connection; when a
+    transport reconnects after a failure and *replays* its unacked
+    frames, the receiver must carry its per-link expectations across
+    connections and classify each arriving frame:
+
+    - ``DELIVER`` — ``seq`` is exactly the next expected frame;
+      delivered and the expectation advances.
+    - ``DUPLICATE`` — ``seq`` was already delivered (a replay of a
+      frame that survived the failure); suppressed, never re-delivered.
+    - ``GAP`` — ``seq`` skips ahead: at least one frame was lost and
+      has not (yet) been replayed.  The caller severs the connection,
+      which makes the sender reconnect and replay from its oldest
+      unacknowledged frame — turning detected loss into retransmission
+      instead of an error.
+
+    One tracker per listener, shared by all reader threads.
+    """
+
+    DELIVER = "deliver"
+    DUPLICATE = "duplicate"
+    GAP = "gap"
+
+    def __init__(self) -> None:
+        self._expected: dict[int, int] = {}
+        self._lock = threading.Lock()
+        self.delivered = 0
+        self.duplicates = 0
+        self.gaps = 0
+
+    def check(self, link_id: int, seq: int) -> str:
+        """Classify one frame and advance expectations on delivery."""
+        with self._lock:
+            expected = self._expected.get(link_id, 0)
+            if seq == expected:
+                self._expected[link_id] = seq + 1
+                self.delivered += 1
+                return self.DELIVER
+            if seq < expected:
+                self.duplicates += 1
+                return self.DUPLICATE
+            self.gaps += 1
+            return self.GAP
+
+    def expected(self, link_id: int) -> int:
+        """Next sequence number that will be accepted for ``link_id``."""
+        with self._lock:
+            return self._expected.get(link_id, 0)

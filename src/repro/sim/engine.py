@@ -172,6 +172,21 @@ class Simulator:
             raise ValueError(f"cannot schedule in the past: {when} < {self.now}")
         self._schedule(when - self.now, fn, None)
 
+    def schedule_interrupt(
+        self, when: float, proc: "Process", cause: Any = None
+    ) -> None:
+        """Chaos hook: interrupt ``proc`` at absolute simulated time
+        ``when`` (no-op if it already finished by then).
+
+        This is the engine-level primitive behind node-kill events:
+        :mod:`repro.chaos.simfaults` schedules one of these per victim
+        process.  Deterministic like every other event — ties at the
+        same timestamp fire in schedule order.
+        """
+        if when < self.now:
+            raise ValueError(f"cannot schedule in the past: {when} < {self.now}")
+        self.call_at(when, lambda: proc.interrupt(cause))
+
     def any_of(self, waitables: Iterable[Event | Process]) -> Event:
         """Event that fires when the first of ``waitables`` does."""
         combined = self.event()

@@ -4,7 +4,6 @@ packets)."""
 
 import socket
 import threading
-import time
 
 import pytest
 
@@ -15,12 +14,22 @@ from repro.compression import CompressionPolicy
 from repro.util.errors import SerializationError
 from repro.workloads import RELAY_SCHEMA
 
+from waiters import wait_until
+
 
 class TestWireCorruption:
-    def _send_raw(self, port, data):
-        with socket.create_connection(("127.0.0.1", port)) as sock:
+    def _send_raw(self, lst, data):
+        """Write raw bytes, close, and wait for the reader to finish.
+
+        The reader thread exiting (EOF after the connection closes) is
+        the deterministic "everything sent has been processed" signal —
+        no fixed sleeps.
+        """
+        with socket.create_connection(("127.0.0.1", lst.port)) as sock:
             sock.sendall(data)
-            time.sleep(0.2)
+        assert wait_until(
+            lambda: lst._threads and all(not t.is_alive() for t in lst._threads)
+        )
 
     def test_bit_flip_detected_not_delivered(self):
         got = []
@@ -29,12 +38,9 @@ class TestWireCorruption:
             enc = FrameEncoder()
             wire = bytearray(enc.encode(1, b"critical-sensor-data", 1))
             wire[-5] ^= 0x40  # flip one payload bit in flight
-            self._send_raw(lst.port, bytes(wire))
-            deadline = time.monotonic() + 2
-            while not lst.errors and time.monotonic() < deadline:
-                time.sleep(0.01)
+            self._send_raw(lst, bytes(wire))
+            assert lst.wait_error(2.0)
             assert got == []  # nothing delivered
-            assert lst.errors
             assert isinstance(lst.errors[0], SerializationError)
             assert "checksum" in str(lst.errors[0])
         finally:
@@ -46,15 +52,13 @@ class TestWireCorruption:
         try:
             enc = FrameEncoder()
             frame = enc.encode(1, b"once-only", 1)
-            self._send_raw(lst.port, frame + frame)  # replay attack/dup
-            deadline = time.monotonic() + 2
-            while not lst.errors and time.monotonic() < deadline:
-                time.sleep(0.01)
+            self._send_raw(lst, frame + frame)  # replay attack/dup
+            assert lst.wait_error(2.0)
             # The duplicate never surfaces; whether the first copy was
             # delivered depends on how the TCP chunks landed (the
             # connection is poisoned at the point of detection).
             assert len(got) <= 1
-            assert lst.errors and "out-of-order" in str(lst.errors[0])
+            assert "out-of-order" in str(lst.errors[0])
         finally:
             lst.close()
 
@@ -62,12 +66,10 @@ class TestWireCorruption:
         got = []
         lst = TcpListener("127.0.0.1", 0, sink=got.append)
         try:
-            self._send_raw(lst.port, b"\xde\xad\xbe\xef" * 10)
-            deadline = time.monotonic() + 2
-            while not lst.errors and time.monotonic() < deadline:
-                time.sleep(0.01)
+            self._send_raw(lst, b"\xde\xad\xbe\xef" * 10)
+            assert lst.wait_error(2.0)
             assert got == []
-            assert lst.errors and "magic" in str(lst.errors[0])
+            assert "magic" in str(lst.errors[0])
         finally:
             lst.close()
 
@@ -77,8 +79,7 @@ class TestWireCorruption:
         try:
             enc = FrameEncoder()
             wire = enc.encode(1, b"X" * 1000, 1)
-            self._send_raw(lst.port, wire[: len(wire) // 2])  # cut mid-frame
-            time.sleep(0.2)
+            self._send_raw(lst, wire[: len(wire) // 2])  # cut mid-frame
             assert got == []  # incomplete frame never surfaces
             assert not lst.errors  # a cut connection is not corruption
         finally:
@@ -159,7 +160,9 @@ class TestBlockedShutdown:
 
         t = threading.Thread(target=flood)
         t.start()
-        time.sleep(0.2)  # reader is now blocked on the gated channel
+        # One 64-byte frame fills the channel to its high watermark, so
+        # once anything is queued the reader is gated.
+        assert wait_until(lambda: len(ch) >= 1)
         ch.close()  # release the reader
         lst.close()  # must join promptly
         t.join(5.0)

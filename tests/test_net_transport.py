@@ -1,7 +1,6 @@
 """Tests for in-process and TCP transports, including TCP backpressure."""
 
 import threading
-import time
 
 import pytest
 
@@ -13,6 +12,8 @@ from repro.net import (
     WatermarkChannel,
 )
 from repro.util.errors import TransportError
+
+from waiters import FrameCollector, wait_stalled, wait_until
 
 
 class TestInProcessTransport:
@@ -29,19 +30,18 @@ class TestInProcessTransport:
         ch = WatermarkChannel(high_watermark=10, low_watermark=1)
         tx = InProcessTransport(ch)
         tx.send(1, b"0123456789", 1)  # fills to high watermark
-        sent = []
+        done = threading.Event()
 
         def sender():
             tx.send(1, b"x", 1)
-            sent.append(True)
+            done.set()
 
         t = threading.Thread(target=sender)
         t.start()
-        time.sleep(0.05)
-        assert not sent
+        assert not done.wait(0.05)  # gated: the send must not complete
         ch.drain()
+        assert done.wait(2.0)
         t.join(2.0)
-        assert sent
 
     def test_closed_channel_raises_transport_error(self):
         ch = WatermarkChannel(high_watermark=10)
@@ -52,34 +52,31 @@ class TestInProcessTransport:
 
 class TestTcpTransport:
     def test_end_to_end_frames(self):
-        got = []
-        lst = TcpListener("127.0.0.1", 0, sink=got.append)
+        got = FrameCollector()
+        lst = TcpListener("127.0.0.1", 0, sink=got)
         try:
             tx = TcpTransport("127.0.0.1", lst.port)
             for i in range(20):
                 tx.send(link_id=5, body=f"msg-{i}".encode(), count=1)
-            deadline = time.monotonic() + 5
-            while len(got) < 20 and time.monotonic() < deadline:
-                time.sleep(0.01)
-            assert [f.body.decode() for f in got] == [f"msg-{i}" for i in range(20)]
-            assert [f.seq for f in got] == list(range(20))
+            assert got.wait(20, timeout=5.0)
+            frames = got.snapshot()
+            assert [f.body.decode() for f in frames] == [f"msg-{i}" for i in range(20)]
+            assert [f.seq for f in frames] == list(range(20))
             assert tx.frames_sent == 20
             tx.close()
         finally:
             lst.close()
 
     def test_multiple_links_multiplexed(self):
-        got = []
-        lst = TcpListener("127.0.0.1", 0, sink=got.append)
+        got = FrameCollector()
+        lst = TcpListener("127.0.0.1", 0, sink=got)
         try:
             tx = TcpTransport("127.0.0.1", lst.port)
             for i in range(10):
                 tx.send(link_id=i % 3, body=bytes([i]), count=1)
-            deadline = time.monotonic() + 5
-            while len(got) < 10 and time.monotonic() < deadline:
-                time.sleep(0.01)
+            assert got.wait(10, timeout=5.0)
             by_link = {}
-            for f in got:
+            for f in got.snapshot():
                 by_link.setdefault(f.link_id, []).append(f.seq)
             assert by_link == {0: [0, 1, 2, 3], 1: [0, 1, 2], 2: [0, 1, 2]}
             tx.close()
@@ -102,14 +99,8 @@ class TestTcpTransport:
             lst.close()
 
     def test_concurrent_senders_no_interleaving(self):
-        got = []
-        lock = threading.Lock()
-
-        def sink(f):
-            with lock:
-                got.append(f)
-
-        lst = TcpListener("127.0.0.1", 0, sink=sink)
+        got = FrameCollector()
+        lst = TcpListener("127.0.0.1", 0, sink=got)
         try:
             tx = TcpTransport("127.0.0.1", lst.port)
 
@@ -122,14 +113,13 @@ class TestTcpTransport:
                 t.start()
             for t in threads:
                 t.join(10.0)
-            deadline = time.monotonic() + 5
-            while len(got) < 200 and time.monotonic() < deadline:
-                time.sleep(0.01)
-            assert len(got) == 200
+            assert got.wait(200, timeout=5.0)
+            frames = got.snapshot()
+            assert len(frames) == 200
             # Frame decoding would have raised on interleaved bytes; also
             # verify per-link ordering.
             for link in range(4):
-                seqs = [f.seq for f in got if f.link_id == link]
+                seqs = [f.seq for f in frames if f.link_id == link]
                 assert seqs == sorted(seqs)
             tx.close()
         finally:
@@ -171,14 +161,12 @@ class TestTcpBackpressure:
         t = threading.Thread(target=sender)
         try:
             t.start()
-            time.sleep(0.4)
-            stalled_at = sent_count[0]
-            # The channel gates after ~2 frames; kernel buffers absorb a
-            # few more; the sender must be far from finished.
+            # Wait for the send counter to flatline: the channel gates
+            # after ~2 frames, kernel buffers absorb a few more, and the
+            # sender must then be fully stalled, far from finished.
+            stalled_at = wait_stalled(lambda: sent_count[0], quiet=0.3, timeout=10.0)
             assert not done[0]
             assert stalled_at < 400
-            time.sleep(0.2)
-            assert sent_count[0] - stalled_at <= 2  # fully stalled
 
             # Drain continuously → sender completes, nothing lost.
             received = [len(ch.drain())]
@@ -187,10 +175,13 @@ class TestTcpBackpressure:
                 # Drain until every frame has crossed (the reader thread
                 # may still be blocked in put() after the sender's last
                 # send returns, so "sender done" alone is not enough).
-                deadline = time.monotonic() + 30
-                while received[0] < 500 and time.monotonic() < deadline:
+                # This loop IS the consumer, so it polls by necessity.
+                import time as _time
+
+                deadline = _time.monotonic() + 30
+                while received[0] < 500 and _time.monotonic() < deadline:
                     received[0] += len(ch.drain())
-                    time.sleep(0.005)
+                    _time.sleep(0.005)
 
             d = threading.Thread(target=drainer)
             d.start()

@@ -1,0 +1,80 @@
+"""Condition-based wait helpers shared by the networking tests.
+
+Sleep-polling (``while not done: time.sleep(...)``) makes suites both
+slow (fixed sleeps sized for the worst machine) and flaky (sleeps sized
+for the best one).  These helpers block on conditions instead: tests
+wake the moment the state they await materializes, and time out loudly
+when it never does.
+"""
+
+import threading
+import time
+
+
+def wait_until(predicate, timeout=5.0, interval=0.002):
+    """Poll ``predicate`` until truthy or ``timeout``; returns its last value.
+
+    The fallback for states with no event to wait on (e.g. another
+    component's counter).  The interval is short because the predicate
+    is assumed cheap.
+    """
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(interval)
+    return predicate()
+
+
+def wait_stalled(sample, quiet=0.25, timeout=10.0):
+    """Block until ``sample()`` stops changing for ``quiet`` seconds.
+
+    Returns the stable value (or the latest one on timeout).  Used for
+    "the sender must stall under backpressure" assertions: instead of
+    sleeping a fixed guess and hoping the stall happened, wait for the
+    counter to actually flatline.
+    """
+    deadline = time.monotonic() + timeout
+    last = sample()
+    last_change = time.monotonic()
+    while time.monotonic() < deadline:
+        time.sleep(quiet / 10)
+        current = sample()
+        if current != last:
+            last = current
+            last_change = time.monotonic()
+        elif time.monotonic() - last_change >= quiet:
+            return current
+    return last
+
+
+class FrameCollector:
+    """A transport/listener sink that supports waiting for arrivals.
+
+    Use as ``TcpListener(..., sink=collector)``; tests then block on
+    :meth:`wait` instead of sleep-polling a plain list.
+    """
+
+    def __init__(self):
+        self.frames = []
+        self._cond = threading.Condition()
+
+    def __call__(self, frame):
+        with self._cond:
+            self.frames.append(frame)
+            self._cond.notify_all()
+
+    def __len__(self):
+        with self._cond:
+            return len(self.frames)
+
+    def wait(self, n, timeout=10.0):
+        """Block until at least ``n`` frames arrived; True on success."""
+        with self._cond:
+            return self._cond.wait_for(lambda: len(self.frames) >= n, timeout)
+
+    def snapshot(self):
+        """A consistent copy of the frames received so far."""
+        with self._cond:
+            return list(self.frames)
