@@ -23,10 +23,11 @@ from repro.workloads import (
 )
 
 
-def main():
-    sleep_holder = [0.0]
-    source = CountingSource(total=None, payload_size=100)  # endless
-    sink = VariableRateProcessor(sleep_holder)
+def build_graph(source=None, sink=None):
+    if source is None:
+        source = CountingSource(total=None, payload_size=100)  # endless
+    if sink is None:
+        sink = VariableRateProcessor([0.0])
 
     graph = StreamProcessingGraph(
         "backpressure-demo",
@@ -41,6 +42,14 @@ def main():
     graph.add_processor("relay", RelayProcessor)
     graph.add_processor("slow-sink", lambda: sink)
     graph.link("source", "relay").link("relay", "slow-sink")
+    return graph
+
+
+def main():
+    sleep_holder = [0.0]
+    source = CountingSource(total=None, payload_size=100)  # endless
+    sink = VariableRateProcessor(sleep_holder)
+    graph = build_graph(source, sink)
 
     phases = [(0.0, 1.0), (0.001, 2.0), (0.002, 2.0), (0.0, 1.0)]
     with NeptuneRuntime() as runtime:

@@ -41,12 +41,11 @@ def gateway_publishes(broker: MessageBroker) -> None:
     )
 
 
-def main():
-    broker = MessageBroker()
-    broker.create_topic("telemetry", partitions=4)
-    broker.create_topic("enriched", partitions=2)
-    gateway_publishes(broker)
-    print(f"gateway published {N_READINGS} readings into 4 partitions")
+def build_graph(broker=None):
+    if broker is None:
+        broker = MessageBroker()
+        broker.create_topic("telemetry", partitions=4)
+        broker.create_topic("enriched", partitions=2)
 
     graph = StreamProcessingGraph(
         "broker-ingestion",
@@ -65,6 +64,17 @@ def main():
         lambda: BrokerSink(broker, "enriched", SENSOR_SCHEMA, key_field="sensor_id"),
     )
     graph.link("ingest", "publish", partitioning="round-robin")
+    return graph
+
+
+def main():
+    broker = MessageBroker()
+    broker.create_topic("telemetry", partitions=4)
+    broker.create_topic("enriched", partitions=2)
+    gateway_publishes(broker)
+    print(f"gateway published {N_READINGS} readings into 4 partitions")
+
+    graph = build_graph(broker)
 
     with NeptuneRuntime() as runtime:
         handle = runtime.submit(graph)

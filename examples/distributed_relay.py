@@ -20,8 +20,9 @@ from repro.workloads import CollectingSink, CountingSource, RelayProcessor
 TOTAL = 10_000
 
 
-def main():
-    store = []
+def build_graph(store=None):
+    if store is None:
+        store = []
     graph = StreamProcessingGraph(
         "distributed-relay",
         config=NeptuneConfig(buffer_capacity=32 * 1024, buffer_max_delay=0.005),
@@ -30,6 +31,12 @@ def main():
     graph.add_processor("relay", RelayProcessor)
     graph.add_processor("receiver", lambda: CollectingSink(store))
     graph.link("sender", "relay").link("relay", "receiver")
+    return graph
+
+
+def main():
+    store = []
+    graph = build_graph(store)
 
     plan = round_robin_plan(graph, n_workers=2)
     print("deployment plan:")

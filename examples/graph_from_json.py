@@ -45,6 +45,10 @@ DESCRIPTOR = {
 }
 
 
+def build_graph():
+    return StreamProcessingGraph.from_descriptor(DESCRIPTOR)
+
+
 def main():
     text = json.dumps(DESCRIPTOR, indent=2)
     print("descriptor:")

@@ -77,6 +77,17 @@ class AnomalyDetector(StreamProcessor):
         super().__init__()
         self._windows: dict[str, SlidingWindow] = {}
 
+    def input_schema(self, stream):
+        # Static contract (NEPG113): the detector reads these three
+        # fields; upstream must produce (at least) them.
+        return PacketSchema(
+            [
+                ("ts", FieldType.INT64),
+                ("sensor_id", FieldType.STRING),
+                ("temperature", FieldType.FLOAT64),
+            ]
+        )
+
     def process(self, packet, ctx):
         sensor = packet.get("sensor_id")
         temp = packet.get("temperature")
@@ -110,8 +121,9 @@ class AlertSink(StreamProcessor):
         raise KeyError(stream)
 
 
-def main():
-    alerts = []
+def build_graph(alerts=None):
+    if alerts is None:
+        alerts = []
     graph = StreamProcessingGraph(
         "iot-anomaly",
         config=NeptuneConfig(buffer_capacity=32 * 1024, buffer_max_delay=0.005),
@@ -126,6 +138,12 @@ def main():
         partitioning={"scheme": "fields", "fields": ["sensor_id"]},
     )
     graph.link("detector", "alerts")
+    return graph
+
+
+def main():
+    alerts = []
+    graph = build_graph(alerts)
 
     with NeptuneRuntime() as runtime:
         handle = runtime.submit(graph)

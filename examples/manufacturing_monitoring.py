@@ -159,9 +159,9 @@ class DelayMonitor(StreamProcessor):
         raise KeyError(stream)
 
 
-def main():
-    results = []
-    monitor = DelayMonitor(results)
+def build_graph(monitor=None):
+    if monitor is None:
+        monitor = DelayMonitor([])
     graph = StreamProcessingGraph(
         "manufacturing-monitoring",
         config=NeptuneConfig(buffer_capacity=128 * 1024, buffer_max_delay=0.010),
@@ -176,6 +176,13 @@ def main():
         "detect", "match", partitioning={"scheme": "fields", "fields": ["sensor"]}
     )
     graph.link("match", "monitor")
+    return graph
+
+
+def main():
+    results = []
+    monitor = DelayMonitor(results)
+    graph = build_graph(monitor)
 
     with NeptuneRuntime() as runtime:
         handle = runtime.submit(graph)

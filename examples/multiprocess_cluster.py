@@ -47,6 +47,10 @@ def build_descriptor() -> dict:
     return graph.to_descriptor()
 
 
+def build_graph():
+    return StreamProcessingGraph.from_descriptor(build_descriptor())
+
+
 def main():
     desc = build_descriptor()
     graph = StreamProcessingGraph.from_descriptor(desc)

@@ -73,17 +73,24 @@ class Averager(StreamProcessor):
         raise KeyError(stream)  # terminal stage: no outputs
 
 
-def main():
+def build_graph(averager=None):
     # 4. Compose the stream-processing graph (§III-A7).
     graph = StreamProcessingGraph(
         "quickstart",
         config=NeptuneConfig(buffer_capacity=64 * 1024, buffer_max_delay=0.005),
     )
-    averager = Averager()
+    if averager is None:
+        averager = Averager()
     graph.add_source("thermometer", TemperatureSource)
     graph.add_processor("convert", CelsiusToFahrenheit)
     graph.add_processor("average", lambda: averager)
     graph.link("thermometer", "convert").link("convert", "average")
+    return graph
+
+
+def main():
+    averager = Averager()
+    graph = build_graph(averager)
 
     # 5. Submit to the runtime and wait for the source to drain.
     with NeptuneRuntime() as runtime:

@@ -1,0 +1,45 @@
+"""Static analysis for NEPTUNE jobs and for the runtime itself.
+
+Two pillars, both producing structured :class:`Diagnostic` records
+instead of runtime surprises:
+
+- :mod:`repro.analysis.graphcheck` — a multi-pass verifier for
+  stream-processing graphs (API-built or JSON descriptors): structure,
+  schema flow, partitioning soundness, backpressure/watermark
+  consistency, and latency-budget feasibility.  Catches the class of
+  misconfiguration that otherwise only surfaces mid-run on a deployed
+  cluster.
+- :mod:`repro.analysis.lintrules` (driven by
+  :mod:`repro.analysis.threadmodel`) — an AST concurrency lint over the
+  runtime's own two-tier (worker / IO) thread code: unsynchronized
+  cross-thread mutation, inconsistent locking, lock-order cycles,
+  state locks held across blocking calls, and callbacks invoked under
+  a state lock.
+
+Both are exposed through ``python -m repro.cli analyze`` and run in CI
+as a gate.  The package is stdlib-only (``ast`` + the repro core) so it
+can run anywhere the code parses.
+"""
+
+from repro.analysis.diagnostics import Diagnostic, DiagnosticReport, Severity
+from repro.analysis.graphcheck import (
+    GraphVerifier,
+    verify_descriptor,
+    verify_descriptor_file,
+    verify_graph,
+)
+from repro.analysis.lint import lint_paths
+from repro.analysis.schemaflow import is_assignable, unsatisfied_requirements
+
+__all__ = [
+    "Diagnostic",
+    "DiagnosticReport",
+    "GraphVerifier",
+    "Severity",
+    "is_assignable",
+    "lint_paths",
+    "unsatisfied_requirements",
+    "verify_descriptor",
+    "verify_descriptor_file",
+    "verify_graph",
+]

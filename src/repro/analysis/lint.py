@@ -1,0 +1,53 @@
+"""Concurrency lint driver: files in → :class:`DiagnosticReport` out.
+
+Walks the given files/directories, extracts each class's thread model
+(:mod:`repro.analysis.threadmodel`) and evaluates the NEPL rules
+(:mod:`repro.analysis.lintrules`) across all of them together — the
+whole-set view is what makes cross-class lock-order cycles visible.
+
+Used by ``repro analyze --lint PATH`` and by CI, where it gates on the
+runtime's own source tree (``src/repro``).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.analysis.diagnostics import DiagnosticReport, Severity
+from repro.analysis.lintrules import evaluate
+from repro.analysis.threadmodel import ClassModel, build_models
+
+
+def collect_files(paths: list[str]) -> list[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: set[str] = set()
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs[:] = [d for d in dirs if d != "__pycache__"]
+                for name in names:
+                    if name.endswith(".py"):
+                        found.add(os.path.join(root, name))
+        else:
+            found.add(path)
+    return sorted(found)
+
+
+def lint_paths(paths: list[str]) -> DiagnosticReport:
+    """Lint every ``.py`` file under ``paths``."""
+    report = DiagnosticReport(subject=", ".join(paths))
+    models: list[ClassModel] = []
+    for filename in collect_files(paths):
+        try:
+            with open(filename, "r", encoding="utf-8") as fh:
+                source = fh.read()
+            models.extend(build_models(filename, source))
+        except (OSError, SyntaxError) as exc:
+            report.add(
+                "NEPL200",
+                Severity.ERROR,
+                f"cannot lint file: {exc}",
+                where=filename,
+            )
+    evaluate(models, report)
+    return report

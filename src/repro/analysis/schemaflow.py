@@ -1,0 +1,80 @@
+"""Schema-flow inference helpers: field-type compatibility across links.
+
+A link carries its producer's declared :class:`PacketSchema`.  The
+verifier checks, per link, that whatever the consumer *requires* (an
+optional declared input contract) or *keys on* (fields partitioning,
+direct partitioning) is actually present in the flowing schema with a
+compatible wire type.
+
+Compatibility is a small widening lattice, not equality: an operator
+that requires ``int64`` is satisfied by an upstream ``int32`` (every
+int32 value round-trips through int64), and ``float64`` absorbs
+``float32``.  Narrowing is never allowed — that is exactly the silent
+truncation the strict encoders in :mod:`repro.core.fieldtypes` exist
+to reject at runtime.
+"""
+
+from __future__ import annotations
+
+from repro.core.fieldtypes import FieldType
+from repro.core.packet import PacketSchema
+
+#: For each *required* type, the producer types that satisfy it.
+_WIDENS: dict[FieldType, frozenset[FieldType]] = {
+    FieldType.BOOL: frozenset({FieldType.BOOL}),
+    FieldType.INT32: frozenset({FieldType.INT32}),
+    FieldType.INT64: frozenset({FieldType.INT64, FieldType.INT32}),
+    FieldType.FLOAT32: frozenset({FieldType.FLOAT32}),
+    FieldType.FLOAT64: frozenset({FieldType.FLOAT64, FieldType.FLOAT32}),
+    FieldType.STRING: frozenset({FieldType.STRING}),
+    FieldType.BYTES: frozenset({FieldType.BYTES}),
+    FieldType.FLOAT64_LIST: frozenset({FieldType.FLOAT64_LIST}),
+    FieldType.INT64_LIST: frozenset({FieldType.INT64_LIST}),
+}
+
+#: Types whose values make unstable partitioning keys (rounding and
+#: representation noise scatter "equal" readings across instances).
+FLOAT_TYPES: frozenset[FieldType] = frozenset(
+    {FieldType.FLOAT32, FieldType.FLOAT64}
+)
+
+#: Integer types accepted by direct partitioning's index field.
+INTEGER_TYPES: frozenset[FieldType] = frozenset(
+    {FieldType.INT32, FieldType.INT64}
+)
+
+
+def is_assignable(produced: FieldType, required: FieldType) -> bool:
+    """Whether a ``produced`` wire type satisfies a ``required`` one."""
+    return produced in _WIDENS[required]
+
+
+def unsatisfied_requirements(
+    produced: PacketSchema, required: PacketSchema
+) -> list[str]:
+    """Explain every way ``produced`` fails to satisfy ``required``.
+
+    The contract is subset-based: the producer may carry extra fields,
+    but every required field must exist with an assignable type.
+    Returns human-ready problem strings; empty means compatible.
+    """
+    problems: list[str] = []
+    for name, req_type in required:
+        try:
+            got = produced.type_of(name)
+        except KeyError:
+            problems.append(
+                f"field {name!r} ({req_type.value}) is not produced upstream"
+            )
+            continue
+        if not is_assignable(got, req_type):
+            problems.append(
+                f"field {name!r}: upstream emits {got.value}, "
+                f"consumer requires {req_type.value}"
+            )
+    return problems
+
+
+def describe_schema(schema: PacketSchema) -> str:
+    """Compact ``name:type`` rendering for diagnostics."""
+    return "{" + ", ".join(f"{n}:{t.value}" for n, t in schema) + "}"

@@ -1,0 +1,490 @@
+"""AST extraction of each class's threading model.
+
+The concurrency lint reasons about *classes*, because that is how the
+runtime organizes its concurrency: a class owns locks (``self._lock =
+threading.Lock()``), spawns tier threads (``threading.Thread(
+target=self._loop)``), and guards its attributes.  This module turns a
+parsed source file into per-class facts; :mod:`repro.analysis.lintrules`
+evaluates the rules over them.
+
+Extracted per class:
+
+- **Lock groups** — lock/RLock/Condition attributes, with aliasing
+  resolved: ``self._cv = threading.Condition(self._lock)`` puts
+  ``_cv`` in ``_lock``'s group (holding either is holding the group).
+- **Thread entry points** — methods used as ``Thread(target=self.X)``.
+- **Per-method events**, each annotated with the lock groups held at
+  that statement (``with self._lock:`` nesting, plus linear
+  ``.acquire()``/``.release()`` tracking): attribute *mutations*
+  (augmented assignment, subscript stores, mutating container method
+  calls — plain rebinds are atomic under the GIL and excluded),
+  *blocking calls* (``sleep``/``sendall``/``recv``/``accept``/
+  ``connect``/``join``/condition ``wait``...), *callback invocations*
+  (``self._on_x(...)``), lock *acquisitions*, and intra-class *calls*.
+- **Held-lock annotations** — a ``_locked`` name suffix or a
+  "Caller must hold ``_lock``" docstring line marks a method as
+  entered with that lock already held, so the lint does not treat it
+  as a lock-free entry point.
+- **Attribute classes** — ``self._chan = WatermarkChannel(...)`` maps
+  ``_chan`` to that class, enabling cross-class lock-order edges.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+
+#: Method calls that mutate their receiver in place.
+MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "extend",
+        "extendleft",
+        "insert",
+        "pop",
+        "popleft",
+        "popitem",
+        "remove",
+        "clear",
+        "update",
+        "add",
+        "discard",
+        "setdefault",
+        "sort",
+        "reverse",
+    }
+)
+
+#: Method names that block the calling thread regardless of receiver.
+BLOCKING_METHODS = frozenset(
+    {"sendall", "recv", "recv_into", "recvfrom", "accept", "connect", "join", "select"}
+)
+
+#: ``module.fn`` calls that block (matched on the attribute name, so
+#: ``import time as _time; _time.sleep(...)`` is still caught).
+BLOCKING_MODULE_FUNCS = frozenset({"sleep", "create_connection"})
+
+#: Receiver classes whose ``get``/``put`` block (bounded queues).
+BLOCKING_QUEUE_CLASSES = frozenset({"Queue", "SimpleQueue", "WatermarkChannel"})
+
+_MUST_HOLD = re.compile(r"[Cc]aller must hold\s+``?([A-Za-z_][A-Za-z0-9_]*)``?")
+
+
+@dataclass(frozen=True)
+class Event:
+    """One fact inside a method body.
+
+    ``kind`` is one of ``mutate`` (of attr ``name``), ``blocking``
+    (``name`` describes the call), ``callback`` (invocation of callable
+    attr ``name``), ``acquire`` (of lock group ``name``), ``call``
+    (intra-class, of method ``name``), or ``xcall`` (cross-class,
+    ``name`` is ``"attr.method"``).  ``held`` is the statement-level
+    set of lock groups held; entry-context locks are added later by the
+    rule engine.  ``detail`` carries the wait-whitelist group for
+    condition waits.
+    """
+
+    kind: str
+    name: str
+    lineno: int
+    held: frozenset[str]
+    detail: str = ""
+
+
+@dataclass
+class MethodModel:
+    """Facts for one method."""
+
+    name: str
+    lineno: int
+    events: list[Event] = field(default_factory=list)
+    #: Lock groups documented as already held on entry.
+    requires: frozenset[str] = frozenset()
+    is_public: bool = False
+
+
+@dataclass
+class ClassModel:
+    """Facts for one class in one file."""
+
+    name: str
+    path: str
+    lineno: int
+    #: lock attr name -> canonical group name.
+    lock_groups: dict[str, str] = field(default_factory=dict)
+    thread_targets: set[str] = field(default_factory=set)
+    methods: dict[str, MethodModel] = field(default_factory=dict)
+    #: self attr -> class name it was constructed from.
+    attr_classes: dict[str, str] = field(default_factory=dict)
+    #: attrs holding user callbacks (``_on_*`` or Callable-annotated).
+    callback_attrs: set[str] = field(default_factory=set)
+
+    @property
+    def groups(self) -> frozenset[str]:
+        """All canonical lock group names of this class."""
+        return frozenset(self.lock_groups.values())
+
+    def has_concurrency(self) -> bool:
+        """Whether the lint should analyze this class at all."""
+        return bool(self.lock_groups) or bool(self.thread_targets)
+
+
+def build_models(path: str, source: str) -> list[ClassModel]:
+    """Parse one file and extract a model per (top-level) class."""
+    tree = ast.parse(source, filename=path)
+    models = []
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef):
+            models.append(_build_class(path, node))
+    return models
+
+
+# -- class-level extraction ----------------------------------------------------
+
+
+def _build_class(path: str, node: ast.ClassDef) -> ClassModel:
+    model = ClassModel(name=node.name, path=path, lineno=node.lineno)
+    methods = [
+        n
+        for n in node.body
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    _collect_lock_groups(model, methods)
+    for meth in methods:
+        _collect_thread_targets(model, meth)
+        _collect_attr_classes(model, meth)
+        _collect_callback_attrs(model, meth)
+    for meth in methods:
+        model.methods[meth.name] = _build_method(model, meth)
+    return model
+
+
+def _self_attr(expr: ast.expr) -> str | None:
+    """``self.X`` -> ``"X"``; anything else -> None."""
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+    ):
+        return expr.attr
+    return None
+
+
+def _called_name(call: ast.Call) -> str | None:
+    """The trailing name of the called expression (``a.b.c()`` -> c)."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _collect_lock_groups(model: ClassModel, methods: list) -> None:
+    """Find lock attrs and resolve Condition aliasing (two passes)."""
+    assignments: list[tuple[str, ast.Call]] = []
+    for meth in methods:
+        for stmt in ast.walk(meth):
+            if not isinstance(stmt, ast.Assign) or not isinstance(
+                stmt.value, ast.Call
+            ):
+                continue
+            for target in stmt.targets:
+                attr = _self_attr(target)
+                if attr is not None:
+                    assignments.append((attr, stmt.value))
+    for attr, call in assignments:
+        if _called_name(call) in ("Lock", "RLock"):
+            model.lock_groups[attr] = attr
+    # Second pass so ``Condition(self._lock)`` resolves even when the
+    # lock assignment appears later in the source.
+    for attr, call in assignments:
+        if _called_name(call) != "Condition":
+            continue
+        if call.args:
+            base = _self_attr(call.args[0])
+            if base is not None and base in model.lock_groups:
+                model.lock_groups[attr] = model.lock_groups[base]
+                continue
+        model.lock_groups[attr] = attr  # standalone Condition: own group
+
+
+def _collect_thread_targets(model: ClassModel, meth: ast.AST) -> None:
+    for node in ast.walk(meth):
+        if not isinstance(node, ast.Call):
+            continue
+        if _called_name(node) not in ("Thread", "Timer"):
+            continue
+        for kw in node.keywords:
+            if kw.arg == "target":
+                target = _self_attr(kw.value)
+                if target is not None:
+                    model.thread_targets.add(target)
+
+
+def _collect_attr_classes(model: ClassModel, meth: ast.AST) -> None:
+    """``self._x = SomeClass(...)`` / annotated ctor params."""
+    annotations: dict[str, str] = {}
+    if isinstance(meth, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        for arg in meth.args.args + meth.args.kwonlyargs:
+            if arg.annotation is not None:
+                annotations[arg.arg] = ast.unparse(arg.annotation)
+    for node in ast.walk(meth):
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            attr = _self_attr(target)
+            if attr is None:
+                continue
+            value = node.value
+            if isinstance(value, ast.Call):
+                name = _called_name(value)
+                if name and name[:1].isupper():
+                    model.attr_classes.setdefault(attr, name)
+            elif isinstance(value, ast.Name) and value.id in annotations:
+                ann = annotations[value.id]
+                head = ann.split("[")[0].split(".")[-1]
+                if head[:1].isupper() and "Callable" not in ann:
+                    model.attr_classes.setdefault(attr, head)
+
+
+def _collect_callback_attrs(model: ClassModel, meth: ast.AST) -> None:
+    """Attrs that hold injected callables (flagged when invoked under a
+    state lock — NEPL205)."""
+    annotations: dict[str, str] = {}
+    if isinstance(meth, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        for arg in meth.args.args + meth.args.kwonlyargs:
+            if arg.annotation is not None:
+                annotations[arg.arg] = ast.unparse(arg.annotation)
+    for node in ast.walk(meth):
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            attr = _self_attr(target)
+            if attr is None:
+                continue
+            if attr.startswith("_on_") or attr.endswith("_cb"):
+                model.callback_attrs.add(attr)
+            elif (
+                isinstance(node.value, ast.Name)
+                and "Callable" in annotations.get(node.value.id, "")
+            ):
+                model.callback_attrs.add(attr)
+
+
+# -- method-level extraction ---------------------------------------------------
+
+
+def _build_method(model: ClassModel, meth: ast.FunctionDef) -> MethodModel:
+    requires: set[str] = set()
+    if meth.name.endswith("_locked"):
+        if "_lock" in model.lock_groups:
+            requires.add(model.lock_groups["_lock"])
+        elif len(model.groups) == 1:
+            requires.update(model.groups)
+    doc = ast.get_docstring(meth) or ""
+    for match in _MUST_HOLD.finditer(doc):
+        attr = match.group(1)
+        if attr in model.lock_groups:
+            requires.add(model.lock_groups[attr])
+    mm = MethodModel(
+        name=meth.name,
+        lineno=meth.lineno,
+        requires=frozenset(requires),
+        is_public=not meth.name.startswith("_") or (
+            meth.name.startswith("__") and meth.name.endswith("__")
+        ),
+    )
+    _visit_block(model, mm, meth.body, set())
+    return mm
+
+
+def _visit_block(
+    model: ClassModel, mm: MethodModel, stmts: list[ast.stmt], held: set[str]
+) -> None:
+    """Walk a statement list tracking held lock groups.
+
+    ``with self._lock:`` scopes its body; bare ``.acquire()`` /
+    ``.release()`` calls toggle linearly for the rest of the block.
+    """
+    held = set(held)  # linear-tracking updates stay in this block
+    for stmt in stmts:
+        if isinstance(stmt, ast.With):
+            newly: set[str] = set()
+            for item in stmt.items:
+                group = _lock_group_of(model, item.context_expr)
+                if group is not None:
+                    mm.events.append(
+                        Event("acquire", group, stmt.lineno, frozenset(held | newly))
+                    )
+                    newly.add(group)
+                else:
+                    _scan_expr(model, mm, item.context_expr, held | newly)
+            _visit_block(model, mm, stmt.body, held | newly)
+        elif isinstance(stmt, ast.If):
+            acquired = _scan_expr(model, mm, stmt.test, held)
+            _visit_block(model, mm, stmt.body, held | acquired)
+            _visit_block(model, mm, stmt.orelse, held)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            _scan_expr(model, mm, stmt.iter, held)
+            _visit_block(model, mm, stmt.body, held)
+            _visit_block(model, mm, stmt.orelse, held)
+        elif isinstance(stmt, ast.While):
+            _scan_expr(model, mm, stmt.test, held)
+            _visit_block(model, mm, stmt.body, held)
+            _visit_block(model, mm, stmt.orelse, held)
+        elif isinstance(stmt, ast.Try):
+            _visit_block(model, mm, stmt.body, held)
+            for handler in stmt.handlers:
+                _visit_block(model, mm, handler.body, held)
+            _visit_block(model, mm, stmt.orelse, held)
+            _visit_block(model, mm, stmt.finalbody, held)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue  # nested defs run later, in an unknown context
+        else:
+            for change in _scan_stmt(model, mm, stmt, held):
+                if change[0] == "+":
+                    held.add(change[1])
+                else:
+                    held.discard(change[1])
+
+
+def _lock_group_of(model: ClassModel, expr: ast.expr) -> str | None:
+    attr = _self_attr(expr)
+    if attr is not None and attr in model.lock_groups:
+        return model.lock_groups[attr]
+    return None
+
+
+def _scan_stmt(
+    model: ClassModel, mm: MethodModel, stmt: ast.stmt, held: set[str]
+) -> list[tuple[str, str]]:
+    """Record events for one simple statement; return lock toggles."""
+    changes: list[tuple[str, str]] = []
+    if isinstance(stmt, ast.AugAssign):
+        attr = _mutated_attr(stmt.target)
+        if attr is not None:
+            mm.events.append(Event("mutate", attr, stmt.lineno, frozenset(held)))
+        changes.extend(("+", g) for g in _scan_expr(model, mm, stmt.value, held))
+        return changes
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            if isinstance(target, ast.Subscript):
+                attr = _self_attr(target.value)
+                if attr is not None:
+                    mm.events.append(
+                        Event("mutate", attr, stmt.lineno, frozenset(held))
+                    )
+        changes.extend(("+", g) for g in _scan_expr(model, mm, stmt.value, held))
+        return changes
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.Call):
+            toggle = _scan_call(model, mm, node, held)
+            if toggle is not None:
+                changes.append(toggle)
+    return changes
+
+
+def _scan_expr(
+    model: ClassModel, mm: MethodModel, expr: ast.expr, held: set[str]
+) -> set[str]:
+    """Record events inside one expression; return groups acquired by a
+    bare ``.acquire()`` in it (the ``if self._lock.acquire():`` idiom)."""
+    acquired: set[str] = set()
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Call):
+            toggle = _scan_call(model, mm, node, held | acquired)
+            if toggle is not None and toggle[0] == "+":
+                acquired.add(toggle[1])
+    return acquired
+
+
+def _mutated_attr(target: ast.expr) -> str | None:
+    """The self attr an AugAssign target mutates."""
+    attr = _self_attr(target)
+    if attr is not None:
+        return attr
+    if isinstance(target, ast.Subscript):
+        return _self_attr(target.value)
+    return None
+
+
+def _scan_call(
+    model: ClassModel, mm: MethodModel, call: ast.Call, held: set[str]
+) -> tuple[str, str] | None:
+    """Record events for one call; return a lock toggle if any."""
+    func = call.func
+    lineno = call.lineno
+    frozen = frozenset(held)
+    # self._cb(...) — direct invocation of a stored callable / method.
+    direct = _self_attr(func)
+    if direct is not None:
+        if direct in model.callback_attrs:
+            mm.events.append(Event("callback", direct, lineno, frozen))
+        else:
+            mm.events.append(Event("call", direct, lineno, frozen))
+        return None
+    if not isinstance(func, ast.Attribute):
+        return None
+    method = func.attr
+    recv_attr = _self_attr(func.value)
+    if recv_attr is not None and recv_attr in model.lock_groups:
+        group = model.lock_groups[recv_attr]
+        if method == "acquire":
+            mm.events.append(Event("acquire", group, lineno, frozen))
+            return ("+", group)
+        if method == "release":
+            return ("-", group)
+        if method == "wait":
+            # Waiting on a condition releases ITS lock, but any other
+            # held lock stays held across the (blocking) wait.
+            mm.events.append(
+                Event("blocking", f"self.{recv_attr}.wait", lineno, frozen, detail=group)
+            )
+            return None
+    if recv_attr is not None:
+        if method in MUTATING_METHODS:
+            mm.events.append(Event("mutate", recv_attr, lineno, frozen))
+            return None
+        if method in BLOCKING_METHODS:
+            mm.events.append(
+                Event("blocking", f"self.{recv_attr}.{method}", lineno, frozen)
+            )
+            return None
+        if (
+            method in ("get", "put")
+            and model.attr_classes.get(recv_attr) in BLOCKING_QUEUE_CLASSES
+        ):
+            mm.events.append(
+                Event("blocking", f"self.{recv_attr}.{method}", lineno, frozen)
+            )
+            return None
+        if method == "wait":
+            mm.events.append(
+                Event("blocking", f"self.{recv_attr}.wait", lineno, frozen)
+            )
+            return None
+        # Cross-class call on a typed attribute (lock-order edges).
+        if recv_attr in model.attr_classes:
+            mm.events.append(
+                Event("xcall", f"{recv_attr}.{method}", lineno, frozen)
+            )
+        return None
+    # module-style blocking calls: time.sleep, socket.create_connection.
+    if method in BLOCKING_MODULE_FUNCS and isinstance(func.value, ast.Name):
+        receiver = func.value.id
+        if receiver != "self":
+            mm.events.append(
+                Event("blocking", f"{receiver}.{method}", lineno, frozen)
+            )
+        return None
+    if method in BLOCKING_METHODS:
+        # Blocking call on a local (e.g. ``conn.recv``, ``sock.sendall``,
+        # ``t.join()``) — only interesting if a lock is held.
+        if held:
+            mm.events.append(
+                Event("blocking", ast.unparse(func), lineno, frozen)
+            )
+    return None

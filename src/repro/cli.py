@@ -3,6 +3,7 @@
 ::
 
     python -m repro.cli validate graph.json
+    python -m repro.cli analyze [--graph DESC.json ...] [--lint PATH ...]
     python -m repro.cli run graph.json [--duration 10] [--workers 2]
     python -m repro.cli experiment fig2|table1|gc|fig4|fig5|fig6|fig7|fig9|fig10|headline
     python -m repro.cli chaos [--mode wire|pipeline] [--seed N] [...]
@@ -10,10 +11,13 @@
 
 ``run`` deploys a JSON graph descriptor on the local runtime (or the
 distributed multi-resource runtime with ``--workers > 1``) and prints
-per-operator metrics; ``experiment`` regenerates one of the paper's
-tables/figures on the simulator; ``chaos`` runs a seeded
-fault-injection scenario against the TCP recovery protocol and exits
-0 iff delivery stayed exactly-once.
+per-operator metrics; ``analyze`` runs the static analyzers — the
+stream-graph verifier over descriptors and/or the AST concurrency lint
+over runtime source — and exits non-zero on findings (the CI gate);
+``experiment`` regenerates one of the paper's tables/figures on the
+simulator; ``chaos`` runs a seeded fault-injection scenario against
+the TCP recovery protocol and exits 0 iff delivery stayed
+exactly-once.
 """
 
 from __future__ import annotations
@@ -42,6 +46,31 @@ def cmd_validate(args: argparse.Namespace) -> int:
     print(f"  links:     {len(graph.links)}")
     print(f"  stages:    {graph.stages()}")
     return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """`analyze` subcommand: graph verifier + concurrency lint.
+
+    Exit code 0 iff no report reaches the ``--fail-on`` severity
+    (default: error; warnings still print).
+    """
+    from repro.analysis import Severity, lint_paths, verify_descriptor_file
+
+    if not args.graph and not args.lint:
+        raise SystemExit(
+            "repro.cli analyze: error: nothing to do "
+            "(give --graph DESC.json and/or --lint PATH)"
+        )
+    fail_on = Severity.WARNING if args.fail_on == "warning" else Severity.ERROR
+    reports = [verify_descriptor_file(path) for path in args.graph]
+    if args.lint:
+        reports.append(lint_paths(args.lint))
+    if args.json:
+        print(json.dumps([json.loads(r.to_json()) for r in reports], indent=2))
+    else:
+        for report in reports:
+            print(report.render())
+    return max((r.exit_code(fail_on) for r in reports), default=0)
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -211,6 +240,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_val = sub.add_parser("validate", help="validate a JSON graph descriptor")
     p_val.add_argument("descriptor")
     p_val.set_defaults(fn=cmd_validate)
+
+    p_an = sub.add_parser(
+        "analyze", help="static analysis: stream-graph verifier / concurrency lint"
+    )
+    p_an.add_argument(
+        "--graph",
+        nargs="+",
+        default=[],
+        metavar="DESC.json",
+        help="JSON graph descriptor(s) to verify",
+    )
+    p_an.add_argument(
+        "--lint",
+        nargs="+",
+        default=[],
+        metavar="PATH",
+        help="Python files/directories to concurrency-lint",
+    )
+    p_an.add_argument(
+        "--json", action="store_true", help="machine-readable findings"
+    )
+    p_an.add_argument(
+        "--fail-on",
+        choices=["error", "warning"],
+        default="error",
+        help="lowest severity that makes the exit code non-zero",
+    )
+    p_an.set_defaults(fn=cmd_analyze)
 
     p_run = sub.add_parser("run", help="run a JSON graph descriptor")
     p_run.add_argument("descriptor")

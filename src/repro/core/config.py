@@ -61,6 +61,12 @@ class NeptuneConfig:
     fault_seed:
         Seed for transport jitter and chaos scenarios; pinning it makes
         a failure run reproducible.
+    latency_budget:
+        Optional end-to-end queuing-latency budget in seconds for one
+        packet traversing the deepest source→sink path.  Purely a
+        declared intent: the static analyzer checks that the flush
+        timer (``buffer_max_delay``) can honour it across every hop
+        (``repro analyze`` code NEPG119).  None = no declared bound.
     """
 
     buffer_capacity: int = 1 << 20
@@ -81,6 +87,7 @@ class NeptuneConfig:
     transport_send_timeout: float | None = 10.0
     transport_replay_window: int = 8 << 20
     fault_seed: int = 0
+    latency_budget: float | None = None
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -108,6 +115,10 @@ class NeptuneConfig:
         if self.transport_replay_window <= 0:
             raise ValueError(
                 f"transport_replay_window must be positive: {self.transport_replay_window}"
+            )
+        if self.latency_budget is not None and self.latency_budget <= 0:
+            raise ValueError(
+                f"latency_budget must be positive when set: {self.latency_budget}"
             )
 
     def effective_workers(self, hosted_instances: int) -> int:

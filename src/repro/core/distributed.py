@@ -317,27 +317,37 @@ class DistributedWorker:
         self, worker: int, endpoints: dict[int, tuple], connect_window: float = 30.0
     ) -> TcpTransport:
         with self._lock:
-            if worker not in self._transports:
-                host, port = endpoints[worker]
-                deadline = time.monotonic() + connect_window
-                while True:
-                    try:
-                        self._transports[worker] = TcpTransport(
-                            host,
-                            port,
-                            retry=self._retry,
-                            injector=self._injector,
-                            site=f"tcp.send.w{self.worker_id}->w{worker}",
-                            on_link_failure=lambda exc, w=worker: self._record_link_failure(
-                                w, exc
-                            ),
-                        )
-                        break
-                    except TransportError:
-                        if time.monotonic() >= deadline:
-                            raise
-                        time.sleep(0.05)
-            return self._transports[worker]
+            transport = self._transports.get(worker)
+        if transport is not None:
+            return transport
+        # Connect OUTSIDE the lock: a slow-starting peer can take most
+        # of ``connect_window``, and holding ``_lock`` for that long
+        # would stall every other wire's first flush and the stats
+        # snapshots.  Losing a connect race is handled below.
+        host, port = endpoints[worker]
+        deadline = time.monotonic() + connect_window
+        while True:
+            try:
+                transport = TcpTransport(
+                    host,
+                    port,
+                    retry=self._retry,
+                    injector=self._injector,
+                    site=f"tcp.send.w{self.worker_id}->w{worker}",
+                    on_link_failure=lambda exc, w=worker: self._record_link_failure(
+                        w, exc
+                    ),
+                )
+                break
+            except TransportError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.05)
+        with self._lock:
+            existing = self._transports.setdefault(worker, transport)
+        if existing is not transport:
+            transport.close()  # lost the race; the winner carries the wire
+        return existing
 
     # -- inbound ------------------------------------------------------------------
     def _on_frame(self, frame: Frame) -> None:

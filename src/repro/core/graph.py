@@ -23,10 +23,15 @@ from typing import Any, Callable
 import networkx as nx
 
 from repro.core.config import NeptuneConfig
-from repro.core.operators import StreamOperator, StreamProcessor, StreamSource
+from repro.core.operators import StreamOperator
 from repro.core.packet import PacketSchema
 from repro.core.partitioning import PartitioningScheme, resolve_partitioning
-from repro.util.errors import GraphValidationError
+from repro.util.errors import (
+    DescriptorError,
+    DuplicateLinkError,
+    GraphValidationError,
+    UnknownOperatorError,
+)
 
 OperatorFactory = Callable[[], StreamOperator]
 
@@ -142,78 +147,23 @@ class StreamProcessingGraph:
 
     # -- validation -----------------------------------------------------------
     def validate(self) -> "StreamProcessingGraph":
-        """Check structure and resolve link schemas/ids.  Idempotent."""
+        """Check structure and resolve link schemas/ids.  Idempotent.
+
+        Delegates to the static verifier
+        (:class:`repro.analysis.graphcheck.GraphVerifier`) and raises
+        :class:`GraphValidationError` with the first error-severity
+        finding.  ``repro analyze --graph`` runs the same verifier with
+        the advisory (warning) passes included and reports everything.
+        """
         if self._validated:
             return self
-        if not self.operators:
-            raise GraphValidationError("graph has no operators")
-        if not any(s.is_source for s in self.operators.values()):
-            raise GraphValidationError("graph has no stream source")
+        # Local import: repro.analysis depends on repro.core types.
+        from repro.analysis.graphcheck import GraphVerifier
 
-        g = nx.DiGraph()
-        g.add_nodes_from(self.operators)
-        for lk in self.links:
-            for endpoint in (lk.from_op, lk.to_op):
-                if endpoint not in self.operators:
-                    raise GraphValidationError(
-                        f"link references undeclared operator {endpoint!r}"
-                    )
-            if self.operators[lk.to_op].is_source:
-                raise GraphValidationError(
-                    f"link {lk.from_op!r}->{lk.to_op!r}: sources cannot receive streams"
-                )
-            g.add_edge(lk.from_op, lk.to_op)
-        if not nx.is_directed_acyclic_graph(g):
-            cycle = nx.find_cycle(g)
-            raise GraphValidationError(
-                f"graph contains a cycle {cycle}; backpressure over a "
-                "pressure cycle would deadlock"
-            )
-        # Every processor must be reachable from some source (else it
-        # can never receive data — almost certainly a wiring mistake).
-        sources = [n for n, s in self.operators.items() if s.is_source]
-        reachable = set(sources)
-        for s in sources:
-            reachable |= nx.descendants(g, s)
-        unreachable = set(self.operators) - reachable
-        if unreachable:
-            raise GraphValidationError(
-                f"operators unreachable from any source: {sorted(unreachable)}"
-            )
-
-        # Resolve schemas: instantiate one probe per operator with
-        # outgoing links and ask for each stream's schema.
-        probes: dict[str, StreamOperator] = {}
-        for idx, lk in enumerate(self.links):
-            lk.link_id = idx
-            probe = probes.get(lk.from_op)
-            if probe is None:
-                probe = self.operators[lk.from_op].factory()
-                if not isinstance(probe, StreamOperator):
-                    raise GraphValidationError(
-                        f"factory for {lk.from_op!r} returned {type(probe).__name__}, "
-                        "not a StreamOperator"
-                    )
-                expected = StreamSource if self.operators[lk.from_op].is_source else StreamProcessor
-                if not isinstance(probe, expected):
-                    raise GraphValidationError(
-                        f"operator {lk.from_op!r} declared as "
-                        f"{'source' if expected is StreamSource else 'processor'} "
-                        f"but factory built a {type(probe).__name__}"
-                    )
-                probes[lk.from_op] = probe
-            try:
-                lk.schema = probe.output_schema(lk.stream)
-            except KeyError as exc:
-                raise GraphValidationError(
-                    f"operator {lk.from_op!r} declares no schema for stream {lk.stream!r}"
-                ) from exc
-            if not isinstance(lk.schema, PacketSchema):
-                raise GraphValidationError(
-                    f"output_schema of {lk.from_op!r} for {lk.stream!r} returned "
-                    f"{type(lk.schema).__name__}"
-                )
-            lk.resolved_partitioning()  # raises on unknown scheme
+        report = GraphVerifier(self).run(deep=False)
+        errors = report.errors()
+        if errors:
+            raise GraphValidationError(errors[0].message)
         self._validated = True
         return self
 
@@ -274,33 +224,97 @@ class StreamProcessingGraph:
 
     @classmethod
     def from_descriptor(
-        cls, desc: dict, config: NeptuneConfig | None = None
+        cls,
+        desc: dict,
+        config: NeptuneConfig | None = None,
+        validate_wiring: bool = True,
     ) -> "StreamProcessingGraph":
         """Build a graph from a parsed JSON descriptor.
 
         Operator classes are referenced as ``"pkg.module:ClassName"``
-        and constructed with the descriptor's ``kwargs``.
+        and constructed with the descriptor's ``kwargs``.  A descriptor
+        may carry a ``"config"`` object of :class:`NeptuneConfig`
+        field overrides (ignored when an explicit ``config`` is given).
+
+        With ``validate_wiring`` (the default), wiring mistakes raise
+        typed errors at build time — :class:`UnknownOperatorError` for
+        a link endpoint never declared, :class:`DuplicateLinkError` for
+        a repeated (sender, receiver, stream) triple,
+        :class:`~repro.util.errors.PartitioningError` for an unknown or
+        unbuildable partitioning spec — instead of surfacing later as a
+        bare ``KeyError``.  The static analyzer builds with it off so
+        it can report *every* problem instead of stopping at the first.
         """
-        graph = cls(desc["name"], config=config)
-        for op in desc["operators"]:
+        if not isinstance(desc, dict):
+            raise DescriptorError(
+                f"descriptor must be an object, got {type(desc).__name__}"
+            )
+        try:
+            name = desc["name"]
+            operators = desc["operators"]
+        except KeyError as exc:
+            raise DescriptorError(
+                f"descriptor is missing required key {exc.args[0]!r}"
+            ) from exc
+        if config is None and "config" in desc:
+            overrides = desc["config"]
+            if not isinstance(overrides, dict):
+                raise DescriptorError(
+                    "descriptor 'config' must be an object of NeptuneConfig fields"
+                )
+            try:
+                config = NeptuneConfig(**overrides)
+            except (TypeError, ValueError) as exc:
+                raise DescriptorError(f"bad descriptor config: {exc}") from exc
+        graph = cls(name, config=config)
+        for op in operators:
+            if not isinstance(op, dict) or not op.get("name"):
+                raise DescriptorError(f"operator entry needs a 'name': {op!r}")
             path = op.get("class")
             if not path:
-                raise GraphValidationError(
+                raise DescriptorError(
                     f"operator {op.get('name')!r} has no class path in descriptor"
                 )
             factory = descriptor_factory(path, **op.get("kwargs", {}))
-            if op["type"] == "source":
+            op_type = op.get("type")
+            if op_type == "source":
                 graph.add_source(op["name"], factory, op.get("parallelism", 1))
-            elif op["type"] == "processor":
+            elif op_type == "processor":
                 graph.add_processor(op["name"], factory, op.get("parallelism", 1))
             else:
-                raise GraphValidationError(f"unknown operator type {op['type']!r}")
+                raise DescriptorError(f"unknown operator type {op_type!r}")
+        seen_links: set[tuple[str, str, str]] = set()
         for lk in desc.get("links", []):
+            if not isinstance(lk, dict):
+                raise DescriptorError(
+                    f"link entry must be an object, got {type(lk).__name__}"
+                )
+            try:
+                from_op, to_op = lk["from"], lk["to"]
+            except KeyError as exc:
+                raise DescriptorError(
+                    f"link entry is missing required key {exc.args[0]!r}: {lk!r}"
+                ) from exc
+            stream = lk.get("stream", "default")
+            partitioning = lk.get("partitioning", "round-robin")
+            if validate_wiring:
+                for endpoint in (from_op, to_op):
+                    if endpoint not in graph.operators:
+                        raise UnknownOperatorError(
+                            f"link references undeclared operator {endpoint!r}"
+                        )
+                key = (from_op, to_op, stream)
+                if key in seen_links:
+                    raise DuplicateLinkError(
+                        f"duplicate link {from_op!r}->{to_op!r} on stream {stream!r}"
+                    )
+                seen_links.add(key)
+                resolve_partitioning(partitioning)  # PartitioningError on bad spec
             graph.link(
-                lk["from"],
-                lk["to"],
-                stream=lk.get("stream", "default"),
-                partitioning=lk.get("partitioning", "round-robin"),
+                from_op,
+                to_op,
+                stream=stream,
+                partitioning=partitioning,
                 compression=lk.get("compression"),
             )
         return graph

@@ -79,6 +79,19 @@ class StreamOperator(ABC):
         ``KeyError``.
         """
 
+    def input_schema(self, stream: str) -> PacketSchema | None:
+        """Optional declared *input contract* for an incoming stream.
+
+        Return a :class:`PacketSchema` naming the fields (and wire
+        types) this operator requires on the named inbound stream, or
+        None to accept anything.  The contract is subset-based: the
+        producer may carry extra fields, and integer/float widening
+        (int32→int64, float32→float64) satisfies it.  Checked
+        statically at graph validation (diagnostic NEPG113) — never
+        consulted at runtime.
+        """
+        return None
+
 
 class StreamSource(StreamOperator):
     """Ingests an external stream into the graph.

@@ -19,7 +19,7 @@ from typing import Sequence
 
 from repro.core.packet import StreamPacket
 from repro.lz4 import xxh32
-from repro.util.errors import GraphValidationError
+from repro.util.errors import GraphValidationError, PartitioningError
 
 
 class PartitioningScheme(ABC):
@@ -154,11 +154,17 @@ def resolve_partitioning(spec: dict | str | PartitioningScheme) -> PartitioningS
     name = spec.get("scheme")
     cls = _REGISTRY.get(name)  # type: ignore[arg-type]
     if cls is None:
-        raise GraphValidationError(
+        raise PartitioningError(
             f"unknown partitioning scheme {name!r}; registered: {sorted(_REGISTRY)}"
         )
     kwargs = {k: v for k, v in spec.items() if k != "scheme"}
-    return cls(**kwargs)
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise PartitioningError(
+            f"partitioning scheme {name!r} cannot be built "
+            f"from {kwargs!r}: {exc}"
+        ) from exc
 
 
 for _cls in (

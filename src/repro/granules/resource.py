@@ -112,8 +112,11 @@ class Resource:
     def set_strategy(self, task_id: str, strategy: SchedulingStrategy) -> None:
         """Swap a task's scheduling strategy during execution (§II)."""
         with self._lock:
-            self._entries[task_id].strategy = strategy
-        self._maybe_enqueue(self._entries[task_id])
+            entry = self._entries[task_id]
+            entry.strategy = strategy
+        # Enqueue with the entry captured under the lock: re-reading
+        # _entries here would race a concurrent terminate_task.
+        self._maybe_enqueue(entry)
 
     @property
     def tasks(self) -> tuple[ComputationalTask, ...]:
@@ -200,8 +203,10 @@ class Resource:
             try:
                 entry.task._framework_execute()
             except BaseException as exc:  # noqa: BLE001 — isolate task faults
-                self.task_failures[entry.task.task_id] = exc
                 with self._work_available:
+                    # Worker threads fail concurrently; the failure map
+                    # shares the scheduling lock.
+                    self.task_failures[entry.task.task_id] = exc
                     entry.state = _SchedState.IDLE
                 return
             now = self._clock.now()

@@ -93,13 +93,21 @@ class WatermarkChannel:
         """
         self._on_gate = callback
 
-    def _set_gate(self, gated: bool) -> None:
-        if gated != self._gated:
-            self._gated = gated
-            if gated:
-                self.gate_trips += 1
-            if self._on_gate is not None:
-                self._on_gate(gated)
+    def _set_gate(self, gated: bool) -> Callable[[bool], None] | None:
+        """Flip the gate state; caller must hold ``_lock``.
+
+        Returns the gate-change callback to invoke (or None) — the
+        CALLER runs it *after releasing the lock*.  Invoking it under
+        the lock would let a callback that re-enters the channel (or
+        blocks, e.g. pausing a scheduler) deadlock every reader and
+        writer.
+        """
+        if gated == self._gated:
+            return None
+        self._gated = gated
+        if gated:
+            self.gate_trips += 1
+        return self._on_gate
 
     def put(self, size: int, item: Any, timeout: float | None = None) -> bool:
         """Enqueue ``item`` accounting ``size`` bytes.
@@ -112,6 +120,7 @@ class WatermarkChannel:
             raise ValueError(f"negative size: {size}")
         if self._injector is not None:
             self._injector.maybe_delay(self._site)
+        gate_cb: Callable[[bool], None] | None = None
         with self._writable:
             if self._closed:
                 raise ChannelClosed("put on closed channel")
@@ -128,8 +137,10 @@ class WatermarkChannel:
             self._items.append((size, item))
             self._bytes += size
             if self._bytes >= self.high_watermark:
-                self._set_gate(True)
+                gate_cb = self._set_gate(True)
             self._readable.notify()
+        if gate_cb is not None:
+            gate_cb(True)
         if self._on_data is not None:
             self._on_data()
         return True
@@ -148,8 +159,10 @@ class WatermarkChannel:
                 if not self._readable.wait(timeout):
                     raise TimeoutError("get timed out")
             size, item = self._items.pop(0)
-            self._release(size)
-            return item
+            gate_cb = self._release(size)
+        if gate_cb is not None:
+            gate_cb(False)
+        return item
 
     def drain(self, max_items: int | None = None) -> list[Any]:
         """Dequeue up to ``max_items`` (all if None) without blocking."""
@@ -158,14 +171,20 @@ class WatermarkChannel:
             taken = self._items[:n]
             del self._items[:n]
             freed = sum(s for s, _ in taken)
-            self._release(freed)
-            return [item for _, item in taken]
+            gate_cb = self._release(freed)
+            items = [item for _, item in taken]
+        if gate_cb is not None:
+            gate_cb(False)
+        return items
 
-    def _release(self, freed: int) -> None:
+    def _release(self, freed: int) -> Callable[[bool], None] | None:
+        """Caller must hold ``_lock``; returns the gate callback to run
+        after release (see :meth:`_set_gate`)."""
         self._bytes -= freed
         if self._gated and self._bytes <= self.low_watermark:
-            self._set_gate(False)
             self._writable.notify_all()
+            return self._set_gate(False)
+        return None
 
     def close(self) -> None:
         """Release underlying resources. Idempotent."""

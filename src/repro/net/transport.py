@@ -345,8 +345,11 @@ class TcpTransport(Transport):
                 if self._retry is None:
                     raise TransportError(f"send failed: {exc}") from exc
                 self._recover()
-            self.bytes_sent += len(wire)
-            self.frames_sent += 1
+            # Stats live under _state (shared with the ack reader);
+            # _lock only serializes the send/recovery pipeline.
+            with self._state:
+                self.bytes_sent += len(wire)
+                self.frames_sent += 1
 
     def _wait_window(self, incoming: int) -> None:
         """Block until the replay window can absorb ``incoming`` bytes."""
@@ -416,8 +419,9 @@ class TcpTransport(Transport):
                 # first-time sends only, keeping traces deterministic.
                 for _link, _seq, wire in replay:
                     sock.sendall(wire)
-                self.reconnects += 1
-                self.replayed_frames += len(replay)
+                with self._state:
+                    self.reconnects += 1
+                    self.replayed_frames += len(replay)
                 return
             except OSError as exc:
                 attempt += 1
@@ -628,7 +632,8 @@ class TcpListener:
                 if self._injector is not None and self._injector.should_kill_connection(
                     self._site
                 ):
-                    self.injected_resets += 1
+                    with self._lock:
+                        self.injected_resets += 1
                     return
                 for frame in decoder.feed(chunk):
                     if not self._deliver(conn, frame):
@@ -638,13 +643,15 @@ class TcpListener:
         except OSError:
             return
         except BaseException as exc:  # noqa: BLE001 — surfaced for tests/ops
-            self.errors.append(exc)
+            # Reader threads run one per connection, concurrently.
+            with self._lock:
+                self.errors.append(exc)
+                if self._resume and isinstance(exc, SerializationError):
+                    # Corrupted frame: closing the connection (finally)
+                    # makes the sender reconnect and retransmit a clean
+                    # copy — checksum + replay self-heals corruption.
+                    self.corruption_resets += 1
             self._error_event.set()
-            if self._resume and isinstance(exc, SerializationError):
-                # Corrupted frame: closing the connection (finally)
-                # makes the sender reconnect and retransmit a clean
-                # copy — checksum + replay self-heals corruption.
-                self.corruption_resets += 1
         finally:
             conn.close()
 
@@ -664,11 +671,15 @@ class TcpListener:
         with lock:
             verdict = self.tracker.check(frame.link_id, frame.seq)
             if verdict == SequenceTracker.DUPLICATE:
-                self.duplicates_suppressed += 1
+                # Counters are shared across per-link reader threads;
+                # the link lock only serializes one link's deliveries.
+                with self._lock:
+                    self.duplicates_suppressed += 1
                 self._send_ack(conn, frame)  # re-ack lost acks
                 return True
             if verdict == SequenceTracker.GAP:
-                self.gap_resets += 1
+                with self._lock:
+                    self.gap_resets += 1
                 return False
             self._sink(frame)  # may block: that IS backpressure
             self._send_ack(conn, frame)

@@ -19,6 +19,22 @@ class GraphValidationError(NeptuneError):
     """
 
 
+class DescriptorError(GraphValidationError):
+    """A JSON graph descriptor is malformed (missing or mistyped keys)."""
+
+
+class UnknownOperatorError(GraphValidationError):
+    """A link references an operator the graph never declared."""
+
+
+class DuplicateLinkError(GraphValidationError):
+    """The same (sender, receiver, stream) link was declared twice."""
+
+
+class PartitioningError(GraphValidationError):
+    """A partitioning spec names an unknown scheme or cannot be built."""
+
+
 class SerializationError(NeptuneError):
     """A stream packet could not be encoded or decoded.
 

@@ -156,10 +156,18 @@ class CollectingSink(StreamProcessor):
 class LatencySink(StreamProcessor):
     """Terminal stage computing end-to-end latency from ``emitted_at``."""
 
+    #: Static input contract (checked by ``repro analyze``, NEPG113):
+    #: upstream must carry the emission timestamp this sink subtracts.
+    REQUIRES = PacketSchema([("emitted_at", FieldType.FLOAT64)])
+
     def __init__(self, samples: list | None = None) -> None:
         super().__init__()
         self.samples = samples if samples is not None else []
         self._lock = threading.Lock()
+
+    def input_schema(self, stream: str) -> PacketSchema:
+        """Declare the fields this sink requires on its inbound stream."""
+        return self.REQUIRES
 
     def process(self, packet: StreamPacket, ctx) -> None:
         """Handle one stream packet (StreamProcessor contract)."""

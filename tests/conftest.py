@@ -1,0 +1,13 @@
+"""Shared test setup.
+
+The graph-verifier fixture descriptors reference deliberately-broken
+operator classes by import path (``badops:...``); make that module
+importable without polluting the installed package.
+"""
+
+import os
+import sys
+
+_FIXTURE_OPS = os.path.join(os.path.dirname(__file__), "fixtures", "graphs")
+if _FIXTURE_OPS not in sys.path:
+    sys.path.insert(0, _FIXTURE_OPS)

@@ -1,0 +1,51 @@
+"""Deliberately-defective operators for the graph-verifier fixtures.
+
+Referenced by import path from the JSON descriptors in this directory
+(``badops:ClassName``); ``tests/conftest.py`` puts this directory on
+``sys.path``.
+"""
+
+from repro.core.fieldtypes import FieldType
+from repro.core.operators import StreamSource
+from repro.core.packet import PacketSchema
+
+#: A schema with a sequence number only — no ``emitted_at`` timestamp.
+BARE_SCHEMA = PacketSchema([("seq", FieldType.INT64)])
+
+
+class NoTimestampSource(StreamSource):
+    """Emits packets lacking the fields latency sinks require."""
+
+    def __init__(self, total: int = 100) -> None:
+        super().__init__()
+        self.total = total
+        self.emitted = 0
+
+    def generate(self, ctx) -> None:
+        if self.emitted >= self.total:
+            ctx.finish()
+            return
+        pkt = ctx.new_packet()
+        pkt.set("seq", self.emitted)
+        ctx.emit(pkt)
+        self.emitted += 1
+
+    def output_schema(self, stream: str) -> PacketSchema:
+        return BARE_SCHEMA
+
+
+class BrokenFactorySource(StreamSource):
+    """Constructor always raises — a factory fault the verifier reports."""
+
+    def __init__(self) -> None:
+        raise RuntimeError("boom: misconfigured operator")
+
+    def generate(self, ctx) -> None:  # pragma: no cover — never constructed
+        ctx.finish()
+
+    def output_schema(self, stream: str) -> PacketSchema:  # pragma: no cover
+        return BARE_SCHEMA
+
+
+class NotAnOperator:
+    """Builds fine but is not a StreamOperator at all."""

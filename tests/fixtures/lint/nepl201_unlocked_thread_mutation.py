@@ -1,0 +1,21 @@
+"""Lint fixture: a worker thread mutates shared state without the lock."""
+
+import threading
+
+
+class Worker:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.items = []
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+
+    def start(self):
+        self._thread.start()
+
+    def _loop(self):
+        while True:
+            self.items.append(1)  # NEPL201: thread entry, no lock held
+
+    def add(self, item):
+        with self._lock:
+            self.items.append(item)

@@ -1,0 +1,16 @@
+"""Lint fixture: an attribute locked on one path, bare on another."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.values = []
+
+    def add(self, v):
+        with self._lock:
+            self.values.append(v)
+
+    def reset(self):
+        self.values.clear()  # NEPL202: locked in add(), bare here

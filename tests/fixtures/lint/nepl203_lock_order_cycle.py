@@ -1,0 +1,20 @@
+"""Lint fixture: two locks acquired in opposite orders (ABBA deadlock)."""
+
+import threading
+
+
+class Transfer:
+    def __init__(self):
+        self._accounts = threading.Lock()
+        self._journal = threading.Lock()
+        self.log = []
+
+    def forward(self):
+        with self._accounts:
+            with self._journal:
+                self.log.append("f")
+
+    def backward(self):
+        with self._journal:
+            with self._accounts:  # NEPL203: reverses forward()'s order
+                self.log.append("b")

@@ -1,0 +1,16 @@
+"""Lint fixture: a blocking socket call while holding the state lock."""
+
+import socket
+import threading
+
+
+class Publisher:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._sock = socket.create_connection(("localhost", 9999))
+        self.sent = 0
+
+    def publish(self, data):
+        with self._lock:
+            self._sock.sendall(data)  # NEPL204: blocking under state lock
+            self.sent += 1

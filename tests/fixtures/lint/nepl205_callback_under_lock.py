@@ -1,0 +1,19 @@
+"""Lint fixture: a registered callback invoked while holding the lock."""
+
+import threading
+
+
+class Notifier:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._on_change = None
+        self.history = []
+
+    def set_callback(self, cb):
+        self._on_change = cb
+
+    def update(self, value):
+        with self._lock:
+            self.history.append(value)
+            if self._on_change is not None:
+                self._on_change(value)  # NEPL205: callback under state lock

@@ -1,0 +1,125 @@
+"""Graph-verifier tests: the seeded-bad corpus and the clean examples.
+
+Each descriptor under ``tests/fixtures/graphs/`` is named for the one
+diagnostic code it must trigger — the parametrized test asserts that
+code fires exactly once and nothing else does.  The example programs
+under ``examples/`` must all verify clean (the same invariant CI
+gates on).
+"""
+
+import glob
+import importlib.util
+import os
+
+import pytest
+
+from repro.analysis import (
+    Severity,
+    verify_descriptor,
+    verify_descriptor_file,
+    verify_graph,
+)
+
+HERE = os.path.dirname(__file__)
+REPO = os.path.dirname(HERE)
+FIXTURES = sorted(glob.glob(os.path.join(HERE, "fixtures", "graphs", "*.json")))
+
+#: Codes whose finding is advisory, not a validate()-blocking error.
+WARNING_CODES = {"NEPG111", "NEPG114", "NEPG116", "NEPG118", "NEPG120", "NEPG121"}
+
+
+def _expected_code(path: str) -> str:
+    # nepg105_duplicate_link.json -> NEPG105
+    return os.path.basename(path).split("_", 1)[0].upper()
+
+
+@pytest.mark.parametrize("path", FIXTURES, ids=[os.path.basename(p) for p in FIXTURES])
+def test_bad_fixture_fires_its_code_exactly_once(path):
+    code = _expected_code(path)
+    report = verify_descriptor_file(path)
+    assert report.count(code) == 1, report.render()
+    assert len(report) == 1, f"unexpected extra findings:\n{report.render()}"
+    diag = report.diagnostics[0]
+    expected = Severity.WARNING if code in WARNING_CODES else Severity.ERROR
+    assert diag.severity is expected
+    assert diag.message
+
+
+def test_fixture_corpus_covers_every_graph_code():
+    covered = {_expected_code(p) for p in FIXTURES}
+    assert covered == {f"NEPG{n}" for n in range(101, 122)}
+
+
+def _load_example(name):
+    spec = importlib.util.spec_from_file_location(
+        name, os.path.join(REPO, "examples", f"{name}.py")
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+EXAMPLES = [
+    "quickstart",
+    "backpressure_demo",
+    "broker_ingestion",
+    "iot_sensor_pipeline",
+    "manufacturing_monitoring",
+    "distributed_relay",
+    "multiprocess_cluster",
+    "graph_from_json",
+]
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_graphs_verify_clean(name):
+    graph = _load_example(name).build_graph()
+    report = verify_graph(graph, deep=True)
+    assert not report.diagnostics, report.render()
+
+
+def test_checkpoint_recovery_example_verifies_clean(tmp_path):
+    mod = _load_example("checkpoint_recovery")
+    path = str(tmp_path / "events.jsonl")
+    mod.write_events(path)
+    report = verify_graph(mod.build_graph(path, {}), deep=True)
+    assert not report.diagnostics, report.render()
+
+
+def test_shipped_descriptors_verify_clean():
+    descriptors = sorted(
+        glob.glob(os.path.join(REPO, "examples", "descriptors", "*.json"))
+    )
+    assert descriptors, "descriptor corpus missing"
+    for path in descriptors:
+        report = verify_descriptor_file(path)
+        assert not report.diagnostics, report.render()
+
+
+def test_verify_descriptor_rejects_non_dict():
+    report = verify_descriptor(["not", "a", "descriptor"])
+    assert report.count("NEPG101") == 1
+    assert report.exit_code() == 1
+
+
+def test_verify_descriptor_file_parse_error(tmp_path):
+    bad = tmp_path / "broken.json"
+    bad.write_text("{ not json", encoding="utf-8")
+    report = verify_descriptor_file(str(bad))
+    assert report.count("NEPG101") == 1
+
+
+def test_deep_false_skips_config_feasibility():
+    # The NEPG119 fixture is config-infeasible but structurally sound:
+    # a validate()-style shallow run must pass it.
+    import json
+
+    from repro.core.graph import StreamProcessingGraph
+
+    path = os.path.join(HERE, "fixtures", "graphs", "nepg119_latency_infeasible.json")
+    with open(path, encoding="utf-8") as fh:
+        desc = json.load(fh)
+    graph = StreamProcessingGraph.from_descriptor(desc)
+    report = verify_graph(graph, deep=False)
+    assert not report.diagnostics, report.render()
+    assert verify_graph(graph, deep=True).count("NEPG119") == 1

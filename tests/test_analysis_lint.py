@@ -1,0 +1,186 @@
+"""Concurrency-lint tests: rule fixtures and the clean-tree gate."""
+
+import glob
+import os
+import textwrap
+
+import pytest
+
+from repro.analysis import Severity, lint_paths
+from repro.analysis.lintrules import evaluate
+from repro.analysis.threadmodel import build_models
+
+HERE = os.path.dirname(__file__)
+REPO = os.path.dirname(HERE)
+FIXTURES = sorted(glob.glob(os.path.join(HERE, "fixtures", "lint", "*")))
+
+WARNING_CODES = {"NEPL204", "NEPL205"}
+
+
+def _expected_code(path: str) -> str:
+    # nepl204_blocking_under_lock.py -> NEPL204
+    return os.path.basename(path).split("_", 1)[0].upper()
+
+
+@pytest.mark.parametrize("path", FIXTURES, ids=[os.path.basename(p) for p in FIXTURES])
+def test_lint_fixture_fires_its_code_exactly_once(path):
+    code = _expected_code(path)
+    report = lint_paths([path])
+    assert report.count(code) == 1, report.render()
+    assert len(report) == 1, f"unexpected extra findings:\n{report.render()}"
+    diag = report.diagnostics[0]
+    expected = Severity.WARNING if code in WARNING_CODES else Severity.ERROR
+    assert diag.severity is expected
+
+
+def test_fixture_corpus_covers_every_lint_code():
+    covered = {_expected_code(p) for p in FIXTURES}
+    assert covered == {f"NEPL{n}" for n in range(200, 206)}
+
+
+def test_runtime_source_tree_lints_clean():
+    """The satellite invariant: the lint gates src/repro at zero findings."""
+    report = lint_paths([os.path.join(REPO, "src", "repro")])
+    assert not report.diagnostics, report.render()
+    assert report.exit_code(fail_on=Severity.WARNING) == 0
+
+
+def _lint_source(source: str):
+    from repro.analysis.diagnostics import DiagnosticReport
+
+    report = DiagnosticReport(subject="<inline>")
+    evaluate(build_models("<inline>", textwrap.dedent(source)), report)
+    return report
+
+
+def test_condition_aliases_join_the_lock_group():
+    # A Condition wrapping self._lock guards the same state: holding
+    # the condition counts as holding the lock.
+    report = _lint_source(
+        """
+        import threading
+
+        class Channel:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._ready = threading.Condition(self._lock)
+                self.items = []
+                self._t = threading.Thread(target=self._loop)
+
+            def _loop(self):
+                with self._ready:
+                    self.items.append(1)
+
+            def put(self, item):
+                with self._lock:
+                    self.items.append(item)
+        """
+    )
+    assert not report.diagnostics, report.render()
+
+
+def test_must_hold_docstring_suppresses_helper_findings():
+    # A helper annotated "Caller must hold ``_lock``" is analyzed as if
+    # the lock were held at entry.
+    report = _lint_source(
+        """
+        import threading
+
+        class Store:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.rows = []
+                self._t = threading.Thread(target=self._loop)
+
+            def _loop(self):
+                with self._lock:
+                    self._append_locked(0)
+
+            def _append_locked(self, row):
+                \"\"\"Caller must hold ``_lock``.\"\"\"
+                self.rows.append(row)
+
+            def add(self, row):
+                with self._lock:
+                    self._append_locked(row)
+        """
+    )
+    assert not report.diagnostics, report.render()
+
+
+def test_condition_wait_is_not_blocking_under_its_own_lock():
+    # Waiting on a condition releases the wrapped lock — the one
+    # blocking call that is legal (and necessary) under it.
+    report = _lint_source(
+        """
+        import threading
+
+        class Gate:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._ready = threading.Condition(self._lock)
+                self.opens = []
+
+            def await_open(self):
+                with self._ready:
+                    self._ready.wait()
+                    self.opens.append(1)
+        """
+    )
+    assert report.count("NEPL204") == 0, report.render()
+
+
+def test_init_mutations_are_exempt():
+    # __init__ runs before the object is shared; bare container setup
+    # there is not a finding even in a threaded class.
+    report = _lint_source(
+        """
+        import threading
+
+        class Boot:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.slots = []
+                self.slots.append(0)
+                self._t = threading.Thread(target=self._loop)
+
+            def _loop(self):
+                with self._lock:
+                    self.slots.append(1)
+        """
+    )
+    assert not report.diagnostics, report.render()
+
+
+def test_cross_class_lock_order_cycle_detected():
+    report = _lint_source(
+        """
+        import threading
+
+        class Peer:
+            def __init__(self):
+                self._plock = threading.Lock()
+                self.inbox = []
+                self._hub = Hub()
+
+            def deliver(self, msg):
+                with self._plock:
+                    self.inbox.append(msg)
+                    self._hub.route(msg)
+
+        class Hub:
+            def __init__(self):
+                self._hlock = threading.Lock()
+                self.routed = []
+                self._peer = Peer()
+
+            def route(self, msg):
+                with self._hlock:
+                    self.routed.append(msg)
+
+            def broadcast(self, msg):
+                with self._hlock:
+                    self._peer.deliver(msg)
+        """
+    )
+    assert report.count("NEPL203") == 1, report.render()

@@ -1,0 +1,63 @@
+"""Tests for ``repro analyze`` — the CLI face of the static analyzers."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+
+HERE = os.path.dirname(__file__)
+REPO = os.path.dirname(HERE)
+GOOD_DESC = os.path.join(REPO, "examples", "descriptors", "fig1_relay.json")
+BAD_DESC = os.path.join(HERE, "fixtures", "graphs", "nepg107_cycle.json")
+WARN_DESC = os.path.join(HERE, "fixtures", "graphs", "nepg121_dangling_source.json")
+BAD_LINT = os.path.join(HERE, "fixtures", "lint", "nepl202_inconsistent_locking.py")
+
+
+class TestAnalyzeGraph:
+    def test_clean_descriptor_exits_zero(self, capsys):
+        assert main(["analyze", "--graph", GOOD_DESC]) == 0
+        assert "clean — no findings" in capsys.readouterr().out
+
+    def test_bad_descriptor_exits_one_with_code(self, capsys):
+        assert main(["analyze", "--graph", BAD_DESC]) == 1
+        out = capsys.readouterr().out
+        assert "NEPG107" in out and "cycle" in out
+
+    def test_warning_gates_only_with_fail_on_warning(self, capsys):
+        assert main(["analyze", "--graph", WARN_DESC]) == 0
+        assert main(["analyze", "--fail-on", "warning", "--graph", WARN_DESC]) == 1
+        assert "NEPG121" in capsys.readouterr().out
+
+    def test_multiple_descriptors_worst_exit_wins(self):
+        assert main(["analyze", "--graph", GOOD_DESC, BAD_DESC]) == 1
+
+    def test_json_output_is_parseable(self, capsys):
+        assert main(["analyze", "--json", "--graph", BAD_DESC]) == 1
+        reports = json.loads(capsys.readouterr().out)
+        assert len(reports) == 1
+        (finding,) = reports[0]["findings"]
+        assert finding["code"] == "NEPG107"
+        assert finding["severity"] == "error"
+
+
+class TestAnalyzeLint:
+    def test_bad_module_flagged(self, capsys):
+        assert main(["analyze", "--lint", BAD_LINT]) == 1
+        assert "NEPL202" in capsys.readouterr().out
+
+    def test_runtime_tree_clean_even_on_warnings(self, capsys):
+        src = os.path.join(REPO, "src", "repro")
+        assert main(["analyze", "--fail-on", "warning", "--lint", src]) == 0
+        assert "clean — no findings" in capsys.readouterr().out
+
+    def test_graph_and_lint_combined(self, capsys):
+        assert main(["analyze", "--graph", GOOD_DESC, "--lint", BAD_LINT]) == 1
+        out = capsys.readouterr().out
+        assert "clean — no findings" in out and "NEPL202" in out
+
+
+def test_analyze_without_targets_is_an_error():
+    with pytest.raises(SystemExit):
+        main(["analyze"])
