@@ -20,7 +20,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import Callable
+from typing import Any, Callable
 
 from repro.chaos.plan import FaultAction, FaultDecision, FaultPlan
 from repro.lz4 import xxh32
@@ -88,16 +88,24 @@ class FaultInjector:
     sleep:
         Injected sleep function for ``delay`` faults (tests substitute
         a no-op to keep suites fast while still tracing the decision).
+    observer:
+        Optional :class:`~repro.observe.observer.RuntimeObserver`
+        (duck-typed — anything with ``event(category, name, **attrs)``).
+        Every fired fault is mirrored onto its timeline as a
+        ``chaos.fault_injected`` event; node kills additionally record
+        ``chaos.node_killed``.
     """
 
     def __init__(
         self,
         plan: FaultPlan,
         sleep: Callable[[float], None] = time.sleep,
+        observer: Any = None,
     ) -> None:
         self.plan = plan
         self.trace = FaultTrace()
         self._sleep = sleep
+        self._observer = observer
         self._counters: dict[str, int] = {}
         self._lock = threading.Lock()
 
@@ -112,6 +120,15 @@ class FaultInjector:
             self.trace.append(
                 TraceRecord(decision.site, decision.index, decision.action, decision.param)
             )
+            if self._observer is not None:
+                self._observer.event(
+                    "chaos",
+                    "fault_injected",
+                    site=decision.site,
+                    index=decision.index,
+                    action=decision.action,
+                    param=decision.param,
+                )
         return decision
 
     def interceptions(self, site: str) -> int:
@@ -179,4 +196,7 @@ class FaultInjector:
     def should_kill_node(self, site: str) -> bool:
         """Operator/node hook: crash at this interception?"""
         decision = self.intercept(site)
-        return decision is not None and decision.action == FaultAction.KILL_NODE
+        killed = decision is not None and decision.action == FaultAction.KILL_NODE
+        if killed and self._observer is not None:
+            self._observer.event("chaos", "node_killed", site=site)
+        return killed

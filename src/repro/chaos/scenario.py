@@ -104,6 +104,7 @@ def run_wire_scenario(
     plan: FaultPlan | None = None,
     retry: RetryPolicy | None = None,
     drain_timeout: float = 15.0,
+    observer=None,
 ) -> WireScenarioResult:
     """Drive one faulty TCP link to completion and audit delivery.
 
@@ -126,7 +127,7 @@ def run_wire_scenario(
         retry = RetryPolicy(
             max_retries=8, backoff_base=0.01, backoff_max=0.2, seed=seed
         )
-    injector = FaultInjector(plan)
+    injector = FaultInjector(plan, observer=observer)
 
     received: list[Frame] = []
     recv_lock = threading.Lock()
@@ -236,6 +237,7 @@ def run_pipeline_scenario(
     kill_frames: tuple = (3, 9),
     n_workers: int = 2,
     timeout: float = 60.0,
+    observer=None,
 ) -> PipelineScenarioResult:
     """Run a two-resource relay pipeline with mid-stream socket kills.
 
@@ -261,7 +263,7 @@ def run_pipeline_scenario(
             site = f"tcp.send.w{src}->w{dst}"
             for idx in kill_frames:
                 plan.at(site, idx, FaultAction.KILL_CONNECTION)
-    injector = FaultInjector(plan)
+    injector = FaultInjector(plan, observer=observer)
 
     store: list = []
     cfg = NeptuneConfig(
@@ -277,7 +279,7 @@ def run_pipeline_scenario(
     g.add_processor("receiver", lambda: CollectingSink(store))
     g.link("sender", "relay").link("relay", "receiver")
 
-    job = DistributedJob(g, n_workers=n_workers, injector=injector)
+    job = DistributedJob(g, n_workers=n_workers, injector=injector, observer=observer)
     job.start()
     drained = job.await_completion(timeout=timeout)
     failures = job.failures()

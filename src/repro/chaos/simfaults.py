@@ -69,6 +69,7 @@ def schedule_sim_faults(
     links: Mapping[str, Any] | None = None,
     injector: FaultInjector | None = None,
     on_fire: Callable[[SimFault], None] | None = None,
+    observer: Any = None,
 ) -> list[SimFault]:
     """Register ``faults`` on the simulator's event heap.
 
@@ -76,6 +77,12 @@ def schedule_sim_faults(
     interrupts; ``links`` maps link names to partitionable objects.
     Targets missing from the maps raise ``KeyError`` immediately —
     a silently ignored fault would falsify the scenario.
+
+    When an ``observer`` (duck-typed
+    :class:`~repro.observe.observer.RuntimeObserver`) is supplied, each
+    fault records a timeline event *at fire time*: ``chaos.node_killed``
+    for kills, ``chaos.link_partitioned`` / ``chaos.link_healed`` for
+    link toggles, each carrying the virtual fire time in ``sim_time``.
 
     Returns the faults sorted by fire time (the deterministic order in
     which they will trigger).
@@ -102,6 +109,18 @@ def schedule_sim_faults(
                 "sim.node" if fault.action == FaultAction.KILL_NODE else "sim.link"
             )
             injector.trace.append(TraceRecord(site, idx, fault.action, fault.at))
+        if observer is not None:
+            if fault.action == FaultAction.KILL_NODE:
+                name = "node_killed"
+            elif fault.action == FaultAction.PARTITION:
+                name = "link_partitioned"
+            else:
+                name = "link_healed"
+
+            def record(f=fault, name=name):
+                observer.event("chaos", name, target=f.target, sim_time=f.at)
+
+            sim.call_at(fault.at, record)
         if on_fire is not None:
             sim.call_at(fault.at, lambda f=fault: on_fire(f))
     return ordered

@@ -5,6 +5,8 @@
     python -m repro.cli validate graph.json
     python -m repro.cli analyze [--graph DESC.json ...] [--lint PATH ...]
     python -m repro.cli run graph.json [--duration 10] [--workers 2]
+    python -m repro.cli trace [--example quickstart | DESC.json] [--sample-every N]
+    python -m repro.cli metrics [--example quickstart | DESC.json] [--format prometheus|json]
     python -m repro.cli experiment fig2|table1|gc|fig4|fig5|fig6|fig7|fig9|fig10|headline
     python -m repro.cli chaos [--mode wire|pipeline] [--seed N] [...]
     python -m repro.cli info
@@ -17,7 +19,10 @@ over runtime source — and exits non-zero on findings (the CI gate);
 ``experiment`` regenerates one of the paper's tables/figures on the
 simulator; ``chaos`` runs a seeded fault-injection scenario against
 the TCP recovery protocol and exits 0 iff delivery stayed
-exactly-once.
+exactly-once; ``trace`` runs a graph with causal packet tracing on and
+prints the per-stage latency breakdown; ``metrics`` runs a graph and
+exports the unified telemetry registry (Prometheus text exposition or
+a JSON snapshot).
 """
 
 from __future__ import annotations
@@ -120,6 +125,93 @@ def _print_metrics(name: str, ok: bool, metrics: dict, failures: dict) -> None:
         )
     for key, exc in failures.items():
         print(f"  FAILED {key}: {exc!r}", file=sys.stderr)
+
+
+def _observed_graph(args: argparse.Namespace):
+    """Resolve ``--example NAME`` / positional descriptor to a graph."""
+    if args.descriptor:
+        return _load_graph(args.descriptor)
+    import importlib.util
+    from pathlib import Path
+
+    name = args.example
+    path = Path(__file__).resolve().parents[2] / "examples" / f"{name}.py"
+    if not path.exists():
+        raise SystemExit(f"repro.cli: error: no example {name!r} at {path}")
+    spec = importlib.util.spec_from_file_location(f"repro_example_{name}", path)
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    build = getattr(module, "build_graph", None)
+    if build is None:
+        raise SystemExit(
+            f"repro.cli: error: example {name!r} exposes no build_graph()"
+        )
+    return build()
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """`trace` subcommand: run a graph with tracing, print the breakdown.
+
+    Every ``--sample-every``-th source packet is traced end to end; the
+    report shows per-stage latency (serialize / enqueue / flush / wire /
+    deserialize / execute) and how much of each trace's end-to-end time
+    the stages account for (coverage).
+    """
+    from repro.core import NeptuneRuntime
+    from repro.observe import RuntimeObserver
+    from repro.observe.report import format_breakdown, format_timeline
+
+    graph = _observed_graph(args)
+    obs = RuntimeObserver(sample_every=args.sample_every)
+    with NeptuneRuntime(observer=obs) as runtime:
+        handle = runtime.submit(graph)
+        ok = handle.await_completion(timeout=args.drain_timeout)
+    print(
+        f"job {graph.name!r} {'drained' if ok else 'DID NOT QUIESCE'} "
+        f"(tracing 1/{args.sample_every} packets)"
+    )
+    print(format_breakdown(obs.collector))
+    if args.timeline:
+        print()
+        print(format_timeline(obs.timeline, limit=args.timeline))
+    return 0 if ok else 1
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """`metrics` subcommand: run a graph, export the telemetry registry.
+
+    With ``--workers > 1`` (default 2) the graph is deployed across
+    resources over real TCP, so the export covers transport and
+    listener instruments alongside operator / flow-control / buffer /
+    compression ones.
+    """
+    from repro.observe import RuntimeObserver
+    from repro.observe import bridge, export
+
+    graph = _observed_graph(args)
+    obs = RuntimeObserver(sample_every=args.sample_every)
+    if args.workers > 1:
+        from repro.core.distributed import DistributedJob
+
+        job = DistributedJob(graph, n_workers=args.workers, observer=obs)
+        job.start()
+        ok = job.await_completion(timeout=args.drain_timeout)
+        bridge.scrape_distributed(obs.registry, job)
+        job.stop()
+    else:
+        from repro.core import NeptuneRuntime
+
+        with NeptuneRuntime(observer=obs) as runtime:
+            handle = runtime.submit(graph)
+            ok = handle.await_completion(timeout=args.drain_timeout)
+            bridge.scrape_job(obs.registry, handle)
+    bridge.scrape_observer(obs)
+    if args.format == "prometheus":
+        sys.stdout.write(export.to_prometheus(obs.registry))
+    else:
+        print(export.to_json(obs))
+    return 0 if ok else 1
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
@@ -285,6 +377,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="deploy across N Granules resources over TCP (default: local)",
     )
     p_run.set_defaults(fn=cmd_run)
+
+    p_tr = sub.add_parser(
+        "trace", help="run a graph with causal tracing and print the breakdown"
+    )
+    p_tr.add_argument(
+        "descriptor", nargs="?", default=None, help="JSON graph descriptor"
+    )
+    p_tr.add_argument(
+        "--example",
+        default="quickstart",
+        help="examples/<NAME>.py exposing build_graph() (default: quickstart)",
+    )
+    p_tr.add_argument(
+        "--sample-every",
+        type=int,
+        default=100,
+        metavar="N",
+        help="trace every Nth source packet (default: 100)",
+    )
+    p_tr.add_argument("--drain-timeout", type=float, default=60.0)
+    p_tr.add_argument(
+        "--timeline",
+        type=int,
+        nargs="?",
+        const=50,
+        default=0,
+        metavar="N",
+        help="also print the last N runtime events (default when given: 50)",
+    )
+    p_tr.set_defaults(fn=cmd_trace)
+
+    p_met = sub.add_parser(
+        "metrics", help="run a graph and export the telemetry registry"
+    )
+    p_met.add_argument(
+        "descriptor", nargs="?", default=None, help="JSON graph descriptor"
+    )
+    p_met.add_argument(
+        "--example",
+        default="quickstart",
+        help="examples/<NAME>.py exposing build_graph() (default: quickstart)",
+    )
+    p_met.add_argument(
+        "--format",
+        choices=["prometheus", "json"],
+        default="prometheus",
+        help="export format (default: prometheus text exposition)",
+    )
+    p_met.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="deploy across N resources over TCP so transport metrics "
+        "are exercised (1 = local runtime)",
+    )
+    p_met.add_argument(
+        "--sample-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also trace every Nth packet (0 = tracing off)",
+    )
+    p_met.add_argument("--drain-timeout", type=float, default=60.0)
+    p_met.set_defaults(fn=cmd_metrics)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p_exp.add_argument(

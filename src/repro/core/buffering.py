@@ -25,7 +25,7 @@ to block under backpressure — never to drop.
 from __future__ import annotations
 
 import threading
-from typing import Callable
+from typing import Any, Callable
 
 from repro.util.clock import Clock, SYSTEM_CLOCK
 
@@ -33,7 +33,19 @@ FlushSink = Callable[[bytes, int], None]
 
 
 class StreamBuffer:
-    """Capacity-triggered, timer-bounded accumulation buffer."""
+    """Capacity-triggered, timer-bounded accumulation buffer.
+
+    Observability hooks (both optional, both duck-typed so this module
+    never imports :mod:`repro.observe`):
+
+    - ``trace_leg`` — a :class:`~repro.observe.tracing.LegTrace`
+      shared with this buffer's flush sink.  ``append(payload, note)``
+      stamps the note's ``append_ts``/``batch_index``; the take stamps
+      ``take_ts`` and deposits the note on the leg, from which the sink
+      claims it (all under ``_flush_lock``, so no extra locking).
+    - ``observer`` — a :class:`~repro.observe.observer.RuntimeObserver`
+      whose timeline receives ``buffer.timer_flush`` events.
+    """
 
     def __init__(
         self,
@@ -42,6 +54,8 @@ class StreamBuffer:
         max_delay: float = 0.010,
         clock: Clock = SYSTEM_CLOCK,
         name: str = "",
+        trace_leg: Any = None,
+        observer: Any = None,
     ) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive: {capacity}")
@@ -52,6 +66,9 @@ class StreamBuffer:
         self.name = name
         self._sink = sink
         self._clock = clock
+        self._trace_leg = trace_leg
+        self._observer = observer
+        self._notes: list[Any] = []
         self._buf = bytearray()
         self._count = 0
         self._first_append_at: float | None = None
@@ -68,11 +85,22 @@ class StreamBuffer:
         self.bytes_flushed = 0
         self.packets_flushed = 0
 
-    def append(self, payload: bytes | bytearray | memoryview) -> bool:
-        """Add one serialized packet; returns True if this append flushed."""
+    def append(
+        self, payload: bytes | bytearray | memoryview, note: Any = None
+    ) -> bool:
+        """Add one serialized packet; returns True if this append flushed.
+
+        A ``note`` (observe trace note for a sampled packet) is stamped
+        with its position and enqueue time and will ride the flushed
+        batch to the sink via ``trace_leg``.
+        """
         with self._lock:
             if not self._buf:
                 self._first_append_at = self._clock.now()
+            if note is not None:
+                note.batch_index = self._count
+                note.append_ts = self._clock.now()
+                self._notes.append(note)
             self._buf += payload
             self._count += 1
             due = len(self._buf) >= self.capacity
@@ -117,6 +145,10 @@ class StreamBuffer:
                 self.timer_flushes += 1
             if body is not None:
                 self._sink(body, count)
+        if body is not None and self._observer is not None:
+            self._observer.event(
+                "buffer", "timer_flush", buffer=self.name, bytes=len(body), count=count
+            )
         return body is not None
 
     def next_deadline(self) -> float | None:
@@ -137,6 +169,13 @@ class StreamBuffer:
         self._first_append_at = None
         self.bytes_flushed += len(body)
         self.packets_flushed += count
+        if self._notes:
+            if self._trace_leg is not None:
+                take_ts = self._clock.now()
+                for note in self._notes:
+                    note.take_ts = take_ts
+                self._trace_leg.pending.extend(self._notes)
+            self._notes.clear()
         return body, count
 
     @property

@@ -45,6 +45,7 @@ from repro.granules.task import TaskState
 from repro.net.flowcontrol import ChannelClosed
 from repro.net.framing import Frame
 from repro.net.transport import TcpListener, TcpTransport
+from repro.observe.tracing import LegTrace, encode_notes
 from repro.util.errors import GraphValidationError, NeptuneError, TransportError
 
 
@@ -138,6 +139,7 @@ class DistributedWorker:
         listen_host: str = "127.0.0.1",
         listen_port: int = 0,
         injector=None,
+        observer=None,
     ) -> None:
         graph.validate()
         if not 0 <= worker_id < plan.n_workers:
@@ -147,7 +149,8 @@ class DistributedWorker:
         self.worker_id = worker_id
         self.graph = graph
         self.plan = plan
-        self.job = _JobRuntime(graph)
+        self.observer = observer  # repro.observe.RuntimeObserver | None
+        self.job = _JobRuntime(graph, observer=observer)
         self._flush_service = FlushTimerService()
         self._resource: Resource | None = None
         # Inbound routing: global wire id → (channel, in_info).
@@ -244,6 +247,7 @@ class DistributedWorker:
                         self._inbound[wire_id] = (inst.channel, info)
                     if not sender_here:
                         continue
+                    leg = LegTrace() if self.observer is not None else None
                     sink = self._make_leg_sink(
                         wire_id,
                         receiver_worker,
@@ -252,6 +256,7 @@ class DistributedWorker:
                         link,
                         cfg,
                         out.policy,
+                        leg,
                     )
                     buf = StreamBuffer(
                         capacity=cfg.buffer_capacity,
@@ -259,6 +264,8 @@ class DistributedWorker:
                         max_delay=cfg.buffer_max_delay,
                         name=f"w{self.worker_id}:{link.from_op}[{s_idx}]->"
                         f"{link.to_op}[{r_idx}]/{link.stream}",
+                        trace_leg=leg,
+                        observer=self.observer,
                     )
                     out.buffers.append(buf)
                     out.wire_ids.append(wire_id)
@@ -268,14 +275,37 @@ class DistributedWorker:
                     sender_inst = local[(link.from_op, s_idx)]
                     sender_inst.out_links.setdefault(link.stream, []).append(out)
 
+        # Watermark gate transitions land on the observer's timeline,
+        # same as the single-process runtime.
+        if self.observer is not None:
+            for inst in self.job.all_instances():
+                if inst.channel is not None:
+                    inst.channel.on_gate_change(
+                        NeptuneRuntime._make_gate_callback(
+                            self.observer, f"w{self.worker_id}:{inst.op_label}"
+                        )
+                    )
+
     @staticmethod
     def _wire_id(link_id: int, s_idx: int, r_idx: int) -> int:
         # 12 bits each for sender/receiver instance: ample for any graph.
         return (link_id << 24) | (s_idx << 12) | r_idx
 
     def _make_leg_sink(
-        self, wire_id, receiver_worker, endpoints, compression_on, link, cfg, policy
+        self, wire_id, receiver_worker, endpoints, compression_on, link, cfg, policy,
+        leg=None,
     ):
+        def claim_trace() -> bytes:
+            # Runs under the buffer's flush lock, right after the take
+            # deposited this batch's stamped notes on the leg.
+            if leg is None or not leg.pending:
+                return b""
+            notes = leg.claim()
+            send_ts = time.monotonic()
+            for note in notes:
+                note.send_ts = send_ts
+            return encode_notes(notes)
+
         if receiver_worker == self.worker_id:
             channel, info = self._inbound[wire_id]
             seq = [0]
@@ -284,9 +314,12 @@ class DistributedWorker:
                 """Deliver one flushed batch into a co-located channel."""
                 if policy is not None:
                     body = policy.encode(body)
+                trace = claim_trace()
                 from repro.net.framing import FrameHeader
 
-                frame = Frame(FrameHeader(wire_id, seq[0], count, len(body), 0), body)
+                frame = Frame(
+                    FrameHeader(wire_id, seq[0], count, len(body), 0), body, trace
+                )
                 seq[0] += 1
                 try:
                     ok = channel.put(
@@ -305,11 +338,12 @@ class DistributedWorker:
             """Ship one flushed batch to a remote worker over TCP."""
             if policy is not None:
                 body = policy.encode(body)
+            trace = claim_trace()
             # Resolved lazily: peer workers start asynchronously, so
             # their data listeners may not be accepting yet at wiring
             # time; the first flush waits for them.
             transport = self._transport_to(receiver_worker, endpoints)
-            transport.send(wire_id, body, count)
+            transport.send(wire_id, body, count, trace)
 
         return remote_sink
 
@@ -337,6 +371,7 @@ class DistributedWorker:
                     on_link_failure=lambda exc, w=worker: self._record_link_failure(
                         w, exc
                     ),
+                    observer=self.observer,
                 )
                 break
             except TransportError:
@@ -469,12 +504,16 @@ class DistributedJob:
     """
 
     def __init__(
-        self, graph: StreamProcessingGraph, n_workers: int = 2, injector=None
+        self,
+        graph: StreamProcessingGraph,
+        n_workers: int = 2,
+        injector=None,
+        observer=None,
     ) -> None:
         self.graph = graph
         self.plan = round_robin_plan(graph, n_workers)
         self.workers = [
-            DistributedWorker(w, graph, self.plan, injector=injector)
+            DistributedWorker(w, graph, self.plan, injector=injector, observer=observer)
             for w in range(n_workers)
         ]
         endpoints = {w.worker_id: w.address for w in self.workers}

@@ -43,18 +43,29 @@ class LatencyRecorder:
 
     def percentile(self, p: float) -> float:
         """p in [0, 100]; returns NaN with no samples."""
+        return self.percentiles([p])[0]
+
+    def percentiles(self, ps: list[float]) -> list[float]:
+        """Batch percentile query: validates all ``ps``, snapshots and
+        sorts the reservoir once, and answers every query against that
+        one sorted copy.  Returns NaN per query with no samples."""
+        for p in ps:
+            if not 0 <= p <= 100:
+                raise ValueError(f"percentile out of range: {p}")
         with self._lock:
-            if not self._samples:
-                return math.nan
             data = sorted(self._samples)
-        if not 0 <= p <= 100:
-            raise ValueError(f"percentile out of range: {p}")
-        k = (len(data) - 1) * p / 100.0
-        lo = math.floor(k)
-        hi = math.ceil(k)
-        if lo == hi:
-            return data[lo]
-        return data[lo] + (data[hi] - data[lo]) * (k - lo)
+        if not data:
+            return [math.nan] * len(ps)
+        out: list[float] = []
+        for p in ps:
+            k = (len(data) - 1) * p / 100.0
+            lo = math.floor(k)
+            hi = math.ceil(k)
+            if lo == hi:
+                out.append(data[lo])
+            else:
+                out.append(data[lo] + (data[hi] - data[lo]) * (k - lo))
+        return out
 
     @property
     def count(self) -> int:
@@ -119,6 +130,11 @@ class MetricsRegistry:
             if key not in self._operators:
                 self._operators[key] = OperatorMetrics(operator=operator, instance=instance)
             return self._operators[key]
+
+    def operators(self) -> list[OperatorMetrics]:
+        """Snapshot of all per-instance metric objects (for exporters)."""
+        with self._lock:
+            return list(self._operators.values())
 
     def snapshot(self) -> dict[str, dict]:
         """Aggregated per-operator totals (summed over instances)."""

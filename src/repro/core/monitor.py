@@ -49,24 +49,33 @@ class ThroughputProbe:
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
         self._lock = threading.Lock()
+        # Guards start/stop transitions only; never held while joining
+        # (the probe thread takes self._lock inside sample_once, so
+        # joining under a lock it needs would deadlock) and never the
+        # same lock as the sample data.
+        self._lifecycle = threading.Lock()
 
     def start(self) -> "ThroughputProbe":
         """Start background threads/services. Idempotent."""
-        if self._thread is not None:
-            return self
-        self._stop.clear()
-        self._thread = threading.Thread(
-            target=self._loop, name="neptune-probe", daemon=True
-        )
-        self._thread.start()
+        with self._lifecycle:
+            if self._thread is not None:
+                return self
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._loop, name="neptune-probe", daemon=True
+            )
+            self._thread.start()
         return self
 
-    def stop(self) -> None:
-        """Stop and release resources. Idempotent."""
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop and release resources. Idempotent and safe to call
+        concurrently or mid-sample: the join happens outside all locks
+        and is bounded by ``timeout``."""
         self._stop.set()
-        if self._thread is not None:
-            self._thread.join(5.0)
-            self._thread = None
+        with self._lifecycle:
+            thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout)
 
     def __enter__(self) -> "ThroughputProbe":
         return self.start()
@@ -81,6 +90,12 @@ class ThroughputProbe:
         now = time.monotonic()
         snapshot = self.handle.metrics()
         with self._lock:
+            # Bound history/last to operators still reported live, so a
+            # reused probe (or a redeployed job) can't accumulate keys
+            # for operators that no longer exist.
+            for dead in set(self._last) - snapshot.keys():
+                del self._last[dead]
+                self._history.pop(dead, None)
             for op, m in snapshot.items():
                 prev = self._last.get(op)
                 self._last[op] = (now, m["packets_in"], m["packets_out"], m["bytes_in"])
@@ -102,7 +117,14 @@ class ThroughputProbe:
 
     def _loop(self) -> None:
         while not self._stop.wait(self.interval):
-            self.sample_once()
+            try:
+                self.sample_once()
+            except Exception:
+                # A handle being torn down mid-sample is expected during
+                # shutdown; anything else should surface.
+                if self._stop.is_set():
+                    return
+                raise
 
     def history(self, operator: str) -> list[ProbeSample]:
         """All samples recorded for an operator, oldest first."""

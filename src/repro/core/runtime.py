@@ -49,6 +49,13 @@ from repro.granules.scheduler import DataDrivenStrategy, SchedulingStrategy
 from repro.granules.task import ComputationalTask, TaskState
 from repro.net.flowcontrol import ChannelClosed, WatermarkChannel
 from repro.net.framing import Frame, FrameHeader
+from repro.observe.tracing import (
+    LegTrace,
+    TraceNote,
+    close_hop,
+    decode_notes,
+    encode_notes,
+)
 from repro.util.errors import BackpressureTimeout, JobStateError, NeptuneError
 
 
@@ -111,6 +118,26 @@ class _OutLinkRuntime:
         self.policy: CompressionPolicy | None = None
 
 
+class _ActiveTrace:
+    """The traced inbound packet currently being processed, if any.
+
+    Lives on the instance (operators execute serialized, single
+    writer).  ``consumed`` flips when a derived emit continues the
+    trace to the next hop — the parent hop's ``execute`` span then
+    closes at that emit, keeping the stage chain contiguous; only the
+    first derived emit inherits the trace so stage sums keep tiling the
+    end-to-end latency.
+    """
+
+    __slots__ = ("note", "drain_ts", "deser_ts", "consumed")
+
+    def __init__(self, note: TraceNote, drain_ts: float, deser_ts: float) -> None:
+        self.note = note
+        self.drain_ts = drain_ts
+        self.deser_ts = deser_ts
+        self.consumed = False
+
+
 class _InstanceRuntime(ComputationalTask):
     """One operator instance as a Granules computational task."""
 
@@ -124,6 +151,15 @@ class _InstanceRuntime(ComputationalTask):
         self.job = job
         self.spec = spec
         self.index = index
+        self.op_label = f"{spec.name}[{index}]"
+        self._active_trace: _ActiveTrace | None = None
+        # Cached per-instance: sampling is fixed for the observer's
+        # lifetime, so emit pays one attribute read + branch, not a
+        # property call, when tracing is off.
+        self._observer = job.observer
+        self._tracing = (
+            self._observer is not None and self._observer.tracer.sample_every > 0
+        )
         self.operator = spec.factory()
         self.operator.name = spec.name
         self.metrics = job.metrics.for_operator(spec.name, index)
@@ -172,7 +208,9 @@ class _InstanceRuntime(ComputationalTask):
                 self.metrics.executions += 1
             return
         op: StreamProcessor = self.operator  # type: ignore[assignment]
+        obs = self._observer
         now = time.monotonic()
+        total_packets = 0
         for frame, put_at, in_link in frames:
             self._verify_sequence(frame)
             body = frame.body
@@ -182,16 +220,50 @@ class _InstanceRuntime(ComputationalTask):
             self.metrics.batches_in += 1
             self.metrics.bytes_in += len(frame.body)
             self.metrics.latency.record(now - put_at)
+            note_map: dict[int, TraceNote] | None = None
+            drain_ts = now
+            if obs is not None and frame.trace:
+                try:
+                    note_map = {n.batch_index: n for n in decode_notes(frame.trace)}
+                except ValueError:
+                    note_map = None  # torn trace block: drop diagnostics, keep data
             op.on_batch_start(frame.count, self.ctx)
             n = 0
             for packet in codec.iter_decode(body, count=frame.count, reuse=True):
+                note = note_map.get(n) if note_map else None
+                if note is not None:
+                    self._active_trace = _ActiveTrace(note, drain_ts, time.monotonic())
                 op.process(packet, self.ctx)
+                if note is not None:
+                    active = self._active_trace
+                    self._active_trace = None
+                    if active is not None and not active.consumed:
+                        # Terminal hop (no derived emit): execute ends here.
+                        assert obs is not None
+                        obs.collector.add(
+                            close_hop(
+                                note,
+                                active.drain_ts,
+                                active.deser_ts,
+                                time.monotonic(),
+                                self.op_label,
+                            )
+                        )
                 n += 1
                 if n % cfg.batch_max_packets == 0:
                     now = time.monotonic()
             op.on_batch_end(self.ctx)
             self.metrics.packets_in += n
+            total_packets += n
         self.metrics.executions += 1
+        if obs is not None:
+            obs.event(
+                "runtime",
+                "batch_executed",
+                operator=self.op_label,
+                frames=len(frames),
+                packets=total_packets,
+            )
 
     def _verify_sequence(self, frame: Frame) -> None:
         expected = self._expected_seq.get(frame.link_id, 0)
@@ -205,6 +277,7 @@ class _InstanceRuntime(ComputationalTask):
     # -- emission ------------------------------------------------------------
     def emit(self, packet: StreamPacket, stream: str | None = None) -> None:
         """Send a packet downstream (blocking under backpressure)."""
+        note = self._mint_note(self._observer) if self._tracing else None
         links = self._links_for(stream)
         for out in links:
             n_dest = len(out.buffers)
@@ -215,7 +288,13 @@ class _InstanceRuntime(ComputationalTask):
             for dest in targets:
                 buf = out.buffers[dest]
                 before = time.monotonic()
-                buf.append(encoded)
+                if note is not None:
+                    # On fan-out only the first leg carries the trace:
+                    # a packet's journey stays a single stage chain.
+                    buf.append(encoded, note)
+                    note = None
+                else:
+                    buf.append(encoded)
                 blocked = time.monotonic() - before
                 if blocked > 0.001:
                     self.metrics.emit_block_seconds += blocked
@@ -224,6 +303,29 @@ class _InstanceRuntime(ComputationalTask):
         pool = self._pool_leases.pop(id(packet), None)
         if pool is not None:
             pool.release(packet)
+
+    def _mint_note(self, obs: Any) -> TraceNote | None:
+        """Trace context for this emit: fresh at sources (sampled),
+        inherited at hop+1 when processing a traced packet."""
+        now = time.monotonic()
+        active = self._active_trace
+        if active is not None:
+            if active.consumed:
+                return None  # only the first derived emit continues the trace
+            active.consumed = True
+            # The parent hop's execute stage ends exactly where this
+            # packet's serialize stage starts — contiguous by design.
+            obs.collector.add(
+                close_hop(
+                    active.note, active.drain_ts, active.deser_ts, now, self.op_label
+                )
+            )
+            return TraceNote(active.note.trace_id, active.note.hop + 1, now)
+        if self.spec.is_source:
+            ctx = obs.tracer.maybe_sample()
+            if ctx is not None:
+                return TraceNote(ctx.trace_id, 0, now)
+        return None
 
     def _links_for(self, stream: str | None) -> list[_OutLinkRuntime]:
         if stream is None:
@@ -327,8 +429,9 @@ class _InLinkInfo:
 class _JobRuntime:
     """All runtime state for one submitted graph."""
 
-    def __init__(self, graph: StreamProcessingGraph) -> None:
+    def __init__(self, graph: StreamProcessingGraph, observer: Any = None) -> None:
         self.graph = graph
+        self.observer = observer  # RuntimeObserver | None (duck-typed)
         self.metrics = MetricsRegistry()
         self.instances: dict[str, list[_InstanceRuntime]] = {}
         self.state = JobState.CREATED
@@ -354,8 +457,14 @@ class NeptuneRuntime:
     For multi-process deployment see :mod:`repro.core.distributed`.
     """
 
-    def __init__(self, workers: int | None = None, name: str = "neptune") -> None:
+    def __init__(
+        self,
+        workers: int | None = None,
+        name: str = "neptune",
+        observer: Any = None,
+    ) -> None:
         self.name = name
+        self.observer = observer  # repro.observe.RuntimeObserver | None
         self._explicit_workers = workers
         self._resource: Resource | None = None
         self._flush_service = FlushTimerService()
@@ -405,7 +514,7 @@ class NeptuneRuntime:
         if not self._started:
             self.start()
         graph.validate()
-        job = _JobRuntime(graph)
+        job = _JobRuntime(graph, observer=self.observer)
 
         # 1. Instantiate operator instances (restoring state if asked).
         for spec in graph.operators.values():
@@ -441,8 +550,9 @@ class NeptuneRuntime:
                     this_wire = wire_id
                     wire_id += 1
                     in_info = _InLinkInfo(PacketCodec(link.schema), compression_on)
+                    leg = LegTrace() if self.observer is not None else None
                     sink = self._make_sink(
-                        this_wire, channel, out.policy, in_info, cfg.emit_timeout
+                        this_wire, channel, out.policy, in_info, cfg.emit_timeout, leg
                     )
                     buf = StreamBuffer(
                         capacity=cfg.buffer_capacity,
@@ -450,6 +560,8 @@ class NeptuneRuntime:
                         max_delay=cfg.buffer_max_delay,
                         name=f"{link.from_op}[{sender.index}]->"
                         f"{link.to_op}[{receiver.index}]/{link.stream}",
+                        trace_leg=leg,
+                        observer=self.observer,
                     )
                     out.buffers.append(buf)
                     out.dest_channels.append(channel)
@@ -457,6 +569,15 @@ class NeptuneRuntime:
                     job.buffers.append(buf)
                     self._flush_service.register(buf)
                 sender.out_links.setdefault(link.stream, []).append(out)
+
+        # Backpressure visibility: watermark gate transitions land on
+        # the observer's event timeline.
+        if self.observer is not None:
+            for inst in job.all_instances():
+                if inst.channel is not None:
+                    inst.channel.on_gate_change(
+                        self._make_gate_callback(self.observer, inst.op_label)
+                    )
 
         # 3. Launch on the (lazily sized) Granules resource.
         self._ensure_resource(job)
@@ -485,7 +606,18 @@ class NeptuneRuntime:
         return True  # dict spec → enabled with overrides (future use)
 
     @staticmethod
-    def _make_sink(wire_id, channel, policy, in_info, emit_timeout):
+    def _make_gate_callback(obs: Any, operator: str):
+        def on_gate(gated: bool) -> None:
+            obs.event(
+                "flowcontrol",
+                "gate_closed" if gated else "gate_opened",
+                operator=operator,
+            )
+
+        return on_gate
+
+    @staticmethod
+    def _make_sink(wire_id, channel, policy, in_info, emit_timeout, leg=None):
         """Build the buffer-flush sink for one link leg.
 
         The flushed body is (optionally) compressed, framed with a
@@ -503,9 +635,18 @@ class NeptuneRuntime:
             """Deliver one flushed batch into the destination channel."""
             if policy is not None:
                 body = policy.encode(body)
+            trace = b""
+            if leg is not None and leg.pending:
+                # The buffer deposited stamped notes for this batch
+                # under its flush lock, which we also run under.
+                notes = leg.claim()
+                send_ts = time.monotonic()
+                for note in notes:
+                    note.send_ts = send_ts
+                trace = encode_notes(notes)
             seq = seq_counter[0]
             seq_counter[0] = seq + 1
-            frame = Frame(FrameHeader(wire_id, seq, count, len(body), 0), body)
+            frame = Frame(FrameHeader(wire_id, seq, count, len(body), 0), body, trace)
             try:
                 ok = channel.put(
                     len(body), (frame, time.monotonic(), in_info), timeout=emit_timeout

@@ -13,7 +13,16 @@ Frame layout (all integers little-endian)::
     count      4 bytes   number of packets in the batch
     length     4 bytes   body length in bytes
     checksum   4 bytes   xxh32 of the body
+    [trace_len 2 bytes   version 2 only: trace block length]
+    [trace     `trace_len` bytes   version 2 only: observe trace notes]
     body       `length` bytes
+
+Version 1 frames carry no trace block; version 2 frames insert one
+between header and body (see :mod:`repro.observe.tracing`).  The
+encoder emits version 1 whenever the trace block is empty, so tracing
+is zero wire overhead unless a sampled packet is actually aboard, and
+decoders accept both versions.  The checksum covers the body only: a
+trace note is advisory diagnostics, not stream data.
 
 The sequence number and checksum implement the paper's correctness
 requirements: no corrupted, dropped, duplicated, or reordered packets.
@@ -30,8 +39,11 @@ from repro.util.errors import SerializationError
 
 MAGIC = 0x4E50
 VERSION = 1
+VERSION_TRACED = 2
 _HEADER = struct.Struct("<HBIQII I".replace(" ", ""))
 HEADER_SIZE = _HEADER.size
+_TRACE_LEN = struct.Struct("<H")
+MAX_TRACE = 0xFFFF
 
 # Upper bound on a frame body; a flush is at most the application buffer
 # (1 MB default) plus compression flag — anything bigger is corruption.
@@ -51,10 +63,11 @@ class FrameHeader:
 
 @dataclass(frozen=True)
 class Frame:
-    """A decoded frame: header plus body bytes."""
+    """A decoded frame: header plus body bytes (and any trace block)."""
 
     header: FrameHeader
     body: bytes
+    trace: bytes = b""
 
     @property
     def link_id(self) -> int:
@@ -83,17 +96,25 @@ class FrameEncoder:
     def __init__(self) -> None:
         self._seqs: dict[int, int] = {}
 
-    def encode(self, link_id: int, body: bytes, count: int) -> bytes:
-        """Encode one batch into a wire frame and bump the link's seq."""
+    def encode(self, link_id: int, body: bytes, count: int, trace: bytes = b"") -> bytes:
+        """Encode one batch into a wire frame and bump the link's seq.
+
+        A non-empty ``trace`` block upgrades the frame to version 2.
+        """
         if link_id < 0 or link_id > 0xFFFFFFFF:
             raise SerializationError(f"link_id out of range: {link_id}")
         if len(body) > MAX_BODY:
             raise SerializationError(f"frame body too large: {len(body)}")
+        if len(trace) > MAX_TRACE:
+            raise SerializationError(f"frame trace block too large: {len(trace)}")
         seq = self._seqs.get(link_id, 0)
         self._seqs[link_id] = seq + 1
+        version = VERSION_TRACED if trace else VERSION
         header = _HEADER.pack(
-            MAGIC, VERSION, link_id, seq, count, len(body), xxh32(body)
+            MAGIC, version, link_id, seq, count, len(body), xxh32(body)
         )
+        if trace:
+            return header + _TRACE_LEN.pack(len(trace)) + trace + body
         return header + body
 
     def sequence(self, link_id: int) -> int:
@@ -132,14 +153,24 @@ class FrameDecoder:
         )
         if magic != MAGIC:
             raise SerializationError(f"bad frame magic: {magic:#06x}")
-        if version != VERSION:
+        if version not in (VERSION, VERSION_TRACED):
             raise SerializationError(f"unsupported frame version: {version}")
         if length > MAX_BODY:
             raise SerializationError(f"frame body too large: {length}")
-        if len(self._buf) < HEADER_SIZE + length:
+        trace = b""
+        body_at = HEADER_SIZE
+        if version == VERSION_TRACED:
+            if len(self._buf) < HEADER_SIZE + _TRACE_LEN.size:
+                return None
+            (trace_len,) = _TRACE_LEN.unpack_from(self._buf, HEADER_SIZE)
+            body_at = HEADER_SIZE + _TRACE_LEN.size + trace_len
+            if len(self._buf) < body_at + length:
+                return None
+            trace = bytes(self._buf[HEADER_SIZE + _TRACE_LEN.size : body_at])
+        if len(self._buf) < body_at + length:
             return None
-        body = bytes(self._buf[HEADER_SIZE : HEADER_SIZE + length])
-        del self._buf[: HEADER_SIZE + length]
+        body = bytes(self._buf[body_at : body_at + length])
+        del self._buf[: body_at + length]
         if xxh32(body) != checksum:
             raise SerializationError(
                 f"checksum mismatch on link {link_id} seq {seq}: packet corrupted"
@@ -151,7 +182,7 @@ class FrameDecoder:
                     f"out-of-order frame on link {link_id}: got seq {seq}, expected {expected}"
                 )
             self._expected[link_id] = seq + 1
-        return Frame(FrameHeader(link_id, seq, count, length, checksum), body)
+        return Frame(FrameHeader(link_id, seq, count, length, checksum), body, trace)
 
     @property
     def pending_bytes(self) -> int:

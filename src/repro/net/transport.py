@@ -69,8 +69,12 @@ class Transport(ABC):
     """Sender-side endpoint for one destination resource."""
 
     @abstractmethod
-    def send(self, link_id: int, body: bytes, count: int) -> None:
-        """Deliver one batch; blocks under backpressure.  Never drops."""
+    def send(self, link_id: int, body: bytes, count: int, trace: bytes = b"") -> None:
+        """Deliver one batch; blocks under backpressure.  Never drops.
+
+        ``trace`` is an opaque observe trace block that must ride the
+        frame to the receiver (see :mod:`repro.observe.tracing`).
+        """
 
     @abstractmethod
     def close(self) -> None:
@@ -84,11 +88,11 @@ class InProcessTransport(Transport):
         self._channel = channel
         self._seq: dict[int, int] = {}
 
-    def send(self, link_id: int, body: bytes, count: int) -> None:
+    def send(self, link_id: int, body: bytes, count: int, trace: bytes = b"") -> None:
         """Deliver one batch; blocks under backpressure, never drops."""
         seq = self._seq.get(link_id, 0)
         self._seq[link_id] = seq + 1
-        frame = Frame(FrameHeader(link_id, seq, count, len(body), 0), body)
+        frame = Frame(FrameHeader(link_id, seq, count, len(body), 0), body, trace)
         try:
             self._channel.put(len(body), frame, timeout=None)
         except ChannelClosed as exc:
@@ -195,6 +199,10 @@ class TcpTransport(Transport):
     on_link_failure:
         Callback fired (with the terminal exception) when the retry
         budget is exhausted and the link is declared dead.
+    observer:
+        Optional :class:`~repro.observe.observer.RuntimeObserver`;
+        reconnects, replays, and terminal link failures land on its
+        event timeline.
     """
 
     def __init__(
@@ -206,6 +214,7 @@ class TcpTransport(Transport):
         injector=None,
         site: str = "tcp.send",
         on_link_failure: Callable[[BaseException], None] | None = None,
+        observer=None,
     ) -> None:
         self._host = host
         self._port = port
@@ -214,6 +223,7 @@ class TcpTransport(Transport):
         self._injector = injector
         self._site = site
         self._on_link_failure = on_link_failure
+        self._observer = observer
         self._encoder = FrameEncoder()
         self._lock = threading.Lock()  # serializes writes + recovery
         self._state = threading.Lock()  # guards the replay window
@@ -313,7 +323,7 @@ class TcpTransport(Transport):
             self._acks.notify_all()
 
     # -- send ------------------------------------------------------------------
-    def send(self, link_id: int, body: bytes, count: int) -> None:
+    def send(self, link_id: int, body: bytes, count: int, trace: bytes = b"") -> None:
         """Deliver one batch; blocks under backpressure, never drops."""
         with self._lock:
             if self._closed:
@@ -324,14 +334,16 @@ class TcpTransport(Transport):
                 # Reserve window space BEFORE assigning the sequence
                 # number: a window timeout must not strand a gap in the
                 # link's sequence space.
-                self._wait_window(HEADER_SIZE + len(body))
-                wire = self._encoder.encode(link_id, body, count)
+                self._wait_window(HEADER_SIZE + len(trace) + len(body))
+                # The replay window stores full wire bytes, so a trace
+                # block survives retransmission byte-identically.
+                wire = self._encoder.encode(link_id, body, count, trace)
                 seq = self._encoder.sequence(link_id) - 1
                 with self._state:
                     self._unacked.append((link_id, seq, wire))
                     self._unacked_bytes += len(wire)
             else:
-                wire = self._encoder.encode(link_id, body, count)
+                wire = self._encoder.encode(link_id, body, count, trace)
             chunks, kill_after = [wire], False
             if self._injector is not None:
                 chunks, kill_after, _ = self._injector.apply_to_wire(self._site, wire)
@@ -422,6 +434,14 @@ class TcpTransport(Transport):
                 with self._state:
                     self.reconnects += 1
                     self.replayed_frames += len(replay)
+                if self._observer is not None:
+                    self._observer.event(
+                        "transport",
+                        "reconnect",
+                        endpoint=f"{self._host}:{self._port}",
+                        attempts=attempt + 1,
+                        replayed_frames=len(replay),
+                    )
                 return
             except OSError as exc:
                 attempt += 1
@@ -433,6 +453,13 @@ class TcpTransport(Transport):
             f"link to {self._host}:{self._port} lost: "
             f"{self._retry.max_retries} reconnect attempts failed: {exc}"
         )
+        if self._observer is not None:
+            self._observer.event(
+                "transport",
+                "link_failed",
+                endpoint=f"{self._host}:{self._port}",
+                error=str(exc),
+            )
         if self._on_link_failure is not None:
             try:
                 self._on_link_failure(err)

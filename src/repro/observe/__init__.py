@@ -1,0 +1,68 @@
+"""Unified observability for the NEPTUNE runtime.
+
+The paper evaluates NEPTUNE on three end-to-end signals — throughput,
+latency, bandwidth (§IV) — but attributes its wins to *internal*
+mechanisms: batched scheduling, buffer flushes, watermark transitions,
+selective compression.  ``repro.observe`` makes those mechanisms
+visible without bespoke probes:
+
+- :mod:`repro.observe.tracing` — causal packet tracing.  Trace ids are
+  minted at sources (sampled), ride each packet through the outbound
+  buffer, the frame header, the transport, and the downstream
+  instance; every hop decomposes into contiguous timestamped stages
+  (serialize → enqueue → flush → wire → deserialize → execute) whose
+  durations tile the packet's end-to-end latency exactly.
+- :mod:`repro.observe.instruments` — the unified telemetry registry: a
+  named-instrument API (counter / gauge / histogram) with bounded
+  memory that absorbs the ad-hoc counters scattered across
+  ``core.metrics``, transport stats, flow-control watermark state,
+  compression decisions, buffer occupancy, and object-pool hit rates.
+- :mod:`repro.observe.timeline` — a ring-buffered structured event log
+  (watermark crossings, flush-timer fires, batch executions,
+  reconnects, chaos injections) under one schema.
+- :mod:`repro.observe.export` — Prometheus text exposition and JSON
+  snapshot dumps; ``repro trace`` / ``repro metrics`` CLI front-ends.
+
+Everything is opt-in: a runtime without a :class:`RuntimeObserver`
+pays a single ``is None`` check on the hot paths, and an attached
+observer with ``sample_every=0`` records no spans.
+"""
+
+from __future__ import annotations
+
+from repro.observe.instruments import (
+    Counter,
+    Gauge,
+    Histogram,
+    TelemetryRegistry,
+)
+from repro.observe.observer import RuntimeObserver
+from repro.observe.timeline import EventTimeline, RuntimeEvent
+from repro.observe.tracing import (
+    STAGES,
+    SpanRecord,
+    TraceCollector,
+    TraceContext,
+    TraceNote,
+    Tracer,
+    decode_notes,
+    encode_notes,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "TelemetryRegistry",
+    "EventTimeline",
+    "RuntimeEvent",
+    "RuntimeObserver",
+    "STAGES",
+    "SpanRecord",
+    "TraceCollector",
+    "TraceContext",
+    "TraceNote",
+    "Tracer",
+    "decode_notes",
+    "encode_notes",
+]

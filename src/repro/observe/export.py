@@ -1,0 +1,98 @@
+"""Exporters: Prometheus text exposition and JSON snapshots."""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.observe.instruments import InstrumentSample, LabelsKey, TelemetryRegistry
+from repro.observe.observer import RuntimeObserver
+
+__all__ = ["snapshot", "to_json", "to_prometheus"]
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels_text(labels: LabelsKey, extra: str = "") -> str:
+    parts = [f'{k}="{_escape(v)}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+def _fmt(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus(registry: TelemetryRegistry) -> str:
+    """Render the registry in Prometheus text exposition format 0.0.4."""
+    lines: List[str] = []
+    announced: Dict[str, str] = {}
+    for sample in registry.collect():
+        if sample.name not in announced:
+            if sample.help:
+                lines.append(f"# HELP {sample.name} {_escape(sample.help)}")
+            lines.append(f"# TYPE {sample.name} {sample.kind}")
+            announced[sample.name] = sample.kind
+        if sample.kind == "histogram":
+            _render_histogram(lines, sample)
+        else:
+            lines.append(f"{sample.name}{_labels_text(sample.labels)} {_fmt(sample.value)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _render_histogram(lines: List[str], sample: InstrumentSample) -> None:
+    hist = sample.histogram
+    assert hist is not None
+    for bound, cumulative in hist.cumulative_buckets():
+        le = _labels_text(sample.labels, f'le="{_fmt(bound)}"')
+        lines.append(f"{sample.name}_bucket{le} {cumulative}")
+    base = _labels_text(sample.labels)
+    lines.append(f"{sample.name}_sum{base} {_fmt(hist.sum)}")
+    lines.append(f"{sample.name}_count{base} {hist.count}")
+
+
+def snapshot(observer: RuntimeObserver) -> Dict[str, Any]:
+    """JSON-friendly dump of instruments, timeline, and traces."""
+    instruments: List[Dict[str, Any]] = []
+    for sample in observer.registry.collect():
+        entry: Dict[str, Any] = {
+            "name": sample.name,
+            "kind": sample.kind,
+            "labels": dict(sample.labels),
+            "value": sample.value,
+        }
+        if sample.histogram is not None:
+            entry["count"] = sample.histogram.count
+            entry["buckets"] = [
+                {"le": bound, "cumulative": c}
+                for bound, c in sample.histogram.cumulative_buckets()
+                if bound != float("inf")
+            ]
+        instruments.append(entry)
+    traces = {
+        str(tid): [span.as_dict() for span in spans]
+        for tid, spans in sorted(observer.collector.traces().items())
+    }
+    return {
+        "instruments": instruments,
+        "timeline": [e.as_dict() for e in observer.timeline.snapshot()],
+        "timeline_evicted": observer.timeline.evicted,
+        "traces": traces,
+        "traces_dropped_spans": observer.collector.dropped,
+    }
+
+
+def to_json(observer: RuntimeObserver, indent: int = 2) -> str:
+    """The :func:`snapshot` serialized (non-JSON attrs stringified)."""
+    return json.dumps(snapshot(observer), indent=indent, default=str, sort_keys=True)

@@ -1,0 +1,339 @@
+"""The unified telemetry registry: named counters, gauges, histograms.
+
+One :class:`TelemetryRegistry` per observed runtime.  Instruments are
+identified by ``(name, labels)``; ``counter()`` / ``gauge()`` /
+``histogram()`` get-or-create, so call sites never coordinate.  Memory
+is bounded: the registry caps the number of distinct instruments
+(:class:`RegistryFull` past the cap — a misbehaving label set cannot
+grow memory without bound) and histograms use fixed buckets.
+
+Naming scheme (documented in DESIGN.md §9): ``neptune_<subsystem>_
+<metric>[_total]`` with snake_case label keys, e.g.
+``neptune_operator_packets_in_total{operator="relay"}``.  Counters are
+monotonic; gauges are set-to-current; histograms observe durations in
+seconds (Prometheus convention).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "InstrumentSample",
+    "RegistryFull",
+    "TelemetryRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+LabelsKey = Tuple[Tuple[str, str], ...]
+
+#: Default histogram buckets (seconds), tuned for sub-millisecond to
+#: multi-second stream-processing latencies.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+class RegistryFull(RuntimeError):
+    """Raised when the registry's instrument cap would be exceeded."""
+
+
+def _labels_key(labels: Optional[Mapping[str, str]]) -> LabelsKey:
+    if not labels:
+        return ()
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """Monotonically increasing named value (single float, lock-guarded)."""
+
+    __slots__ = ("name", "labels", "help", "_value", "_lock")
+
+    def __init__(self, name: str, labels: LabelsKey, help_: str) -> None:
+        self.name = name
+        self.labels = labels
+        self.help = help_
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0: counters never go down)."""
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0: {amount}")
+        with self._lock:
+            self._value += amount
+
+    def set_total(self, total: float) -> None:
+        """Set the absolute total (bridge use: mirroring an existing
+        monotonic counter kept elsewhere).  Never moves backwards."""
+        with self._lock:
+            if total > self._value:
+                self._value = total
+
+    @property
+    def value(self) -> float:
+        """Current total."""
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """Set-to-current named value, optionally backed by a pull callback."""
+
+    __slots__ = ("name", "labels", "help", "_value", "_fn", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelsKey,
+        help_: str,
+        fn: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.help = help_
+        self._value = 0.0
+        self._fn = fn
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        """Set the current value (push-style gauges)."""
+        with self._lock:
+            self._value = value
+
+    @property
+    def value(self) -> float:
+        """Current value; pull gauges invoke their callback."""
+        if self._fn is not None:
+            try:
+                return float(self._fn())
+            except Exception:
+                return 0.0  # a dying callback must not break a scrape
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-bucket cumulative histogram (Prometheus semantics).
+
+    ``observe(v)`` increments every bucket whose upper bound is >= v at
+    export time (buckets store per-bucket counts internally; exposition
+    cumulates).  Memory per histogram is O(len(buckets)).
+    """
+
+    __slots__ = ("name", "labels", "help", "buckets", "_counts", "_sum", "_count", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelsKey,
+        help_: str,
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError(f"buckets must be non-empty and sorted: {buckets!r}")
+        self.name = name
+        self.labels = labels
+        self.help = help_
+        self.buckets = tuple(buckets)
+        self._counts = [0] * (len(buckets) + 1)  # +1 for +Inf
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        idx = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                idx = i
+                break
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Number of observations recorded."""
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of observed values."""
+        with self._lock:
+            return self._sum
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """(upper_bound, cumulative_count) pairs, ending with +Inf."""
+        with self._lock:
+            counts = list(self._counts)
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, c in zip(self.buckets, counts):
+            running += c
+            out.append((bound, running))
+        running += counts[-1]
+        out.append((float("inf"), running))
+        return out
+
+
+class InstrumentSample:
+    """One exported sample: flattened instrument state for renderers."""
+
+    __slots__ = ("name", "kind", "help", "labels", "value", "histogram")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help_: str,
+        labels: LabelsKey,
+        value: float,
+        histogram: Optional[Histogram] = None,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_
+        self.labels = labels
+        self.value = value
+        self.histogram = histogram
+
+
+class TelemetryRegistry:
+    """All named instruments for one runtime, with bounded cardinality.
+
+    Thread-safe: get-or-create is serialized; instrument updates take
+    per-instrument locks so concurrent writers never contend on the
+    registry itself.
+    """
+
+    def __init__(self, max_instruments: int = 4096) -> None:
+        if max_instruments <= 0:
+            raise ValueError(f"max_instruments must be positive: {max_instruments}")
+        self._max = max_instruments
+        self._lock = threading.Lock()
+        self._instruments: Dict[Tuple[str, LabelsKey], object] = {}
+        self._kinds: Dict[str, str] = {}  # metric name -> kind (consistency)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._instruments)
+
+    def _get_or_create(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, str]],
+        kind: str,
+        factory: Callable[[LabelsKey], object],
+    ) -> object:
+        if not name:
+            raise ValueError("instrument name must be non-empty")
+        key = (name, _labels_key(labels))
+        with self._lock:
+            existing = self._instruments.get(key)
+            if existing is not None:
+                if self._kinds[name] != kind:
+                    raise ValueError(
+                        f"instrument {name!r} already registered as "
+                        f"{self._kinds[name]}, not {kind}"
+                    )
+                return existing
+            if self._kinds.get(name, kind) != kind:
+                raise ValueError(
+                    f"instrument {name!r} already registered as "
+                    f"{self._kinds[name]}, not {kind}"
+                )
+            if len(self._instruments) >= self._max:
+                raise RegistryFull(
+                    f"registry cap {self._max} reached; refusing {name!r}"
+                )
+            instrument = factory(key[1])
+            self._instruments[key] = instrument
+            self._kinds[name] = kind
+            return instrument
+
+    def counter(
+        self, name: str, labels: Optional[Mapping[str, str]] = None, help_: str = ""
+    ) -> Counter:
+        """Get-or-create a counter."""
+        obj = self._get_or_create(
+            name, labels, "counter", lambda lk: Counter(name, lk, help_)
+        )
+        assert isinstance(obj, Counter)
+        return obj
+
+    def gauge(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, str]] = None,
+        help_: str = "",
+        fn: Optional[Callable[[], float]] = None,
+    ) -> Gauge:
+        """Get-or-create a gauge; ``fn`` makes it pull-based."""
+        obj = self._get_or_create(
+            name, labels, "gauge", lambda lk: Gauge(name, lk, help_, fn)
+        )
+        assert isinstance(obj, Gauge)
+        return obj
+
+    def histogram(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, str]] = None,
+        help_: str = "",
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Get-or-create a histogram with fixed buckets."""
+        obj = self._get_or_create(
+            name, labels, "histogram", lambda lk: Histogram(name, lk, help_, buckets)
+        )
+        assert isinstance(obj, Histogram)
+        return obj
+
+    def collect(self) -> List[InstrumentSample]:
+        """Snapshot every instrument, sorted by (name, labels)."""
+        with self._lock:
+            items = sorted(self._instruments.items(), key=lambda kv: kv[0])
+        out: List[InstrumentSample] = []
+        for (name, labels), inst in items:
+            if isinstance(inst, Counter):
+                out.append(
+                    InstrumentSample(name, "counter", inst.help, labels, inst.value)
+                )
+            elif isinstance(inst, Gauge):
+                out.append(
+                    InstrumentSample(name, "gauge", inst.help, labels, inst.value)
+                )
+            elif isinstance(inst, Histogram):
+                out.append(
+                    InstrumentSample(
+                        name, "histogram", inst.help, labels, inst.sum, inst
+                    )
+                )
+        return out
+
+    def names(self) -> Iterable[str]:
+        """Distinct metric names currently registered."""
+        with self._lock:
+            return sorted(self._kinds)

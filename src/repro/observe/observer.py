@@ -1,0 +1,57 @@
+"""The observer: one handle bundling tracing, telemetry, and timeline.
+
+A :class:`RuntimeObserver` is the single object threaded through the
+runtime (``NeptuneRuntime(..., observer=...)``), workers, transports,
+and chaos scenarios.  Components hold a reference and guard every
+observation with ``if observer is not None`` — an unobserved runtime
+pays exactly that check on its hot paths.
+"""
+
+from __future__ import annotations
+
+from repro.observe.instruments import TelemetryRegistry
+from repro.observe.timeline import EventTimeline
+from repro.observe.tracing import TraceCollector, Tracer
+from repro.util.clock import SYSTEM_CLOCK, Clock
+
+__all__ = ["RuntimeObserver"]
+
+
+class RuntimeObserver:
+    """Aggregates the four observability facilities for one runtime.
+
+    - ``tracer`` mints sampled trace contexts at sources
+      (``sample_every=0`` disables tracing while keeping telemetry and
+      the timeline live);
+    - ``collector`` stores closed per-hop stage spans;
+    - ``registry`` holds named counters / gauges / histograms;
+    - ``timeline`` rings structured runtime events.
+    """
+
+    def __init__(
+        self,
+        sample_every: int = 0,
+        timeline_capacity: int = 4096,
+        max_traces: int = 2048,
+        max_instruments: int = 4096,
+        clock: Clock = SYSTEM_CLOCK,
+    ) -> None:
+        self.clock = clock
+        self.tracer = Tracer(sample_every=sample_every)
+        self.collector = TraceCollector(max_traces=max_traces)
+        self.registry = TelemetryRegistry(max_instruments=max_instruments)
+        self.timeline = EventTimeline(capacity=timeline_capacity, clock=clock)
+
+    @property
+    def tracing_enabled(self) -> bool:
+        """Whether the tracer is sampling any packets."""
+        return self.tracer.enabled
+
+    def event(self, category: str, name: str, **attrs: object) -> None:
+        """Record a timeline event (convenience passthrough)."""
+        self.timeline.record(category, name, **attrs)
+
+    @staticmethod
+    def for_tracing(sample_every: int = 1) -> "RuntimeObserver":
+        """An observer that traces every ``sample_every``-th packet."""
+        return RuntimeObserver(sample_every=sample_every)

@@ -1,0 +1,333 @@
+"""Causal packet tracing: sampled trace ids, per-hop stage spans.
+
+A :class:`Tracer` mints a :class:`TraceContext` for every
+``sample_every``-th packet emitted by a source.  The context rides the
+packet object to its outbound buffer; a :class:`TraceNote` (the wire
+form of the context plus sender-side timestamps) rides the serialized
+batch inside the frame header's trace block, across the transport, and
+is closed by the receiving instance, which reports one
+:class:`SpanRecord` per stage to the job's :class:`TraceCollector`.
+
+Each hop decomposes into six *contiguous* stages::
+
+    serialize   emit() called       -> packet appended to the buffer
+    enqueue     buffer append       -> flush takes the batch
+    flush       flush take          -> frame handed to the transport
+    wire        transport send/put  -> receiver drains the frame
+    deserialize receiver drain      -> packet decoded
+    execute     packet decoded      -> operator done (or derived emit)
+
+Contiguity is the point: for a trace that propagates source → ... →
+sink (derived packets inherit the context with ``hop + 1``, and a
+hop's ``execute`` stage ends exactly when the derived packet's
+``serialize`` stage starts), the sum of all stage durations equals the
+packet's end-to-end latency by construction — the CLI's breakdown
+table is an exact decomposition, not an approximation.
+
+All timestamps are ``time.monotonic()`` seconds.  On one machine (the
+supported deployment for the multi-worker tests) ``CLOCK_MONOTONIC``
+is shared across processes, so cross-resource wire spans are
+meaningful too.
+"""
+
+from __future__ import annotations
+
+import struct
+import threading
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "STAGES",
+    "LegTrace",
+    "SpanRecord",
+    "TraceCollector",
+    "TraceContext",
+    "TraceNote",
+    "Tracer",
+    "decode_notes",
+    "encode_notes",
+]
+
+#: Stage names in causal order; every hop reports exactly these.
+STAGES: Tuple[str, ...] = (
+    "serialize",
+    "enqueue",
+    "flush",
+    "wire",
+    "deserialize",
+    "execute",
+)
+
+#: Wire form of one note: trace_id, hop, batch_index, encode/append/
+#: take/send timestamps (float64 monotonic seconds).
+_NOTE = struct.Struct("<QHIdddd")
+NOTE_SIZE = _NOTE.size
+
+
+class TraceContext:
+    """Identity of one sampled packet's journey: (trace_id, hop)."""
+
+    __slots__ = ("trace_id", "hop")
+
+    def __init__(self, trace_id: int, hop: int = 0) -> None:
+        self.trace_id = trace_id
+        self.hop = hop
+
+    def child(self) -> "TraceContext":
+        """The context a derived packet inherits (next hop)."""
+        return TraceContext(self.trace_id, self.hop + 1)
+
+    def __repr__(self) -> str:
+        return f"TraceContext(trace_id={self.trace_id}, hop={self.hop})"
+
+
+class TraceNote:
+    """One sampled packet's sender-side record for a single hop.
+
+    Mutable by design: the emit path stamps ``encode_ts``, the stream
+    buffer stamps ``append_ts`` / ``batch_index`` / ``take_ts``, and
+    the flush sink stamps ``send_ts`` just before the frame leaves.
+    """
+
+    __slots__ = (
+        "trace_id",
+        "hop",
+        "batch_index",
+        "encode_ts",
+        "append_ts",
+        "take_ts",
+        "send_ts",
+    )
+
+    def __init__(
+        self,
+        trace_id: int,
+        hop: int,
+        encode_ts: float,
+        batch_index: int = 0,
+        append_ts: float = 0.0,
+        take_ts: float = 0.0,
+        send_ts: float = 0.0,
+    ) -> None:
+        self.trace_id = trace_id
+        self.hop = hop
+        self.batch_index = batch_index
+        self.encode_ts = encode_ts
+        self.append_ts = append_ts
+        self.take_ts = take_ts
+        self.send_ts = send_ts
+
+    def pack_into(self, out: bytearray) -> None:
+        """Append the wire form to ``out``."""
+        out += _NOTE.pack(
+            self.trace_id,
+            self.hop & 0xFFFF,
+            self.batch_index & 0xFFFFFFFF,
+            self.encode_ts,
+            self.append_ts,
+            self.take_ts,
+            self.send_ts,
+        )
+
+
+def encode_notes(notes: List[TraceNote]) -> bytes:
+    """Serialize notes into a frame trace block."""
+    out = bytearray()
+    for note in notes:
+        note.pack_into(out)
+    return bytes(out)
+
+
+def decode_notes(data: bytes) -> List[TraceNote]:
+    """Parse a frame trace block; raises ValueError on a torn block."""
+    if len(data) % NOTE_SIZE != 0:
+        raise ValueError(
+            f"trace block length {len(data)} not a multiple of {NOTE_SIZE}"
+        )
+    notes: List[TraceNote] = []
+    for off in range(0, len(data), NOTE_SIZE):
+        trace_id, hop, batch_index, enc, app, take, send = _NOTE.unpack_from(
+            data, off
+        )
+        notes.append(
+            TraceNote(
+                trace_id,
+                hop,
+                enc,
+                batch_index=batch_index,
+                append_ts=app,
+                take_ts=take,
+                send_ts=send,
+            )
+        )
+    return notes
+
+
+class LegTrace:
+    """Per-link-leg handoff of taken notes from buffer to flush sink.
+
+    The stream buffer's take (under its flush lock) deposits stamped
+    notes here; the flush sink (invoked under the same flush lock,
+    immediately after) claims them.  The flush lock is the
+    synchronization — this object adds none.
+    """
+
+    __slots__ = ("pending",)
+
+    def __init__(self) -> None:
+        self.pending: List[TraceNote] = []
+
+    def claim(self) -> List[TraceNote]:
+        """Take (and clear) the notes of the batch being flushed."""
+        if not self.pending:
+            return []
+        taken = self.pending
+        self.pending = []
+        return taken
+
+
+class Tracer:
+    """Deterministic counter-based packet sampler and id allocator.
+
+    ``sample_every=N`` traces every N-th source-emitted packet
+    (per tracer, across sources); ``0`` disables tracing entirely —
+    the emit hot path then pays one attribute read and one comparison.
+    """
+
+    def __init__(self, sample_every: int = 0) -> None:
+        if sample_every < 0:
+            raise ValueError(f"sample_every must be >= 0: {sample_every}")
+        self.sample_every = sample_every
+        self._counter = 0
+        self._next_id = 1
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any packets are being sampled."""
+        return self.sample_every > 0
+
+    def maybe_sample(self) -> Optional[TraceContext]:
+        """Return a fresh hop-0 context for every N-th call, else None."""
+        if self.sample_every <= 0:
+            return None
+        with self._lock:
+            self._counter += 1
+            if self._counter % self.sample_every != 0:
+                return None
+            trace_id = self._next_id
+            self._next_id += 1
+        return TraceContext(trace_id, 0)
+
+
+class SpanRecord:
+    """One closed stage of one hop of one trace."""
+
+    __slots__ = ("trace_id", "hop", "stage", "start", "end", "operator")
+
+    def __init__(
+        self,
+        trace_id: int,
+        hop: int,
+        stage: str,
+        start: float,
+        end: float,
+        operator: str,
+    ) -> None:
+        self.trace_id = trace_id
+        self.hop = hop
+        self.stage = stage
+        self.start = start
+        self.end = end
+        self.operator = operator
+
+    @property
+    def duration(self) -> float:
+        """Span duration in seconds (clamped at zero)."""
+        return max(0.0, self.end - self.start)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly form."""
+        return {
+            "trace_id": self.trace_id,
+            "hop": self.hop,
+            "stage": self.stage,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "operator": self.operator,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SpanRecord(trace={self.trace_id} hop={self.hop} "
+            f"{self.stage} {self.duration * 1e3:.3f}ms op={self.operator})"
+        )
+
+
+def close_hop(
+    note: TraceNote,
+    drain_ts: float,
+    deser_ts: float,
+    done_ts: float,
+    operator: str,
+) -> List[SpanRecord]:
+    """Build the six stage spans for one received hop."""
+    tid, hop = note.trace_id, note.hop
+    return [
+        SpanRecord(tid, hop, "serialize", note.encode_ts, note.append_ts, operator),
+        SpanRecord(tid, hop, "enqueue", note.append_ts, note.take_ts, operator),
+        SpanRecord(tid, hop, "flush", note.take_ts, note.send_ts, operator),
+        SpanRecord(tid, hop, "wire", note.send_ts, drain_ts, operator),
+        SpanRecord(tid, hop, "deserialize", drain_ts, deser_ts, operator),
+        SpanRecord(tid, hop, "execute", deser_ts, done_ts, operator),
+    ]
+
+
+class TraceCollector:
+    """Bounded store of completed spans, grouped by trace id.
+
+    Holds at most ``max_traces`` distinct traces; spans for further
+    trace ids are counted (``dropped``) but not stored, so a long run
+    with aggressive sampling cannot grow memory without bound.
+    """
+
+    def __init__(self, max_traces: int = 2048) -> None:
+        if max_traces <= 0:
+            raise ValueError(f"max_traces must be positive: {max_traces}")
+        self._max = max_traces
+        self._spans: Dict[int, List[SpanRecord]] = {}
+        self._lock = threading.Lock()
+        self.dropped = 0
+
+    def add(self, spans: List[SpanRecord]) -> None:
+        """Record the closed spans of one hop (one trace id)."""
+        if not spans:
+            return
+        tid = spans[0].trace_id
+        with self._lock:
+            bucket = self._spans.get(tid)
+            if bucket is None:
+                if len(self._spans) >= self._max:
+                    self.dropped += len(spans)
+                    return
+                bucket = self._spans[tid] = []
+            bucket.extend(spans)
+
+    def traces(self) -> Dict[int, List[SpanRecord]]:
+        """Snapshot: trace id → spans sorted by (hop, causal stage)."""
+        order = {stage: i for i, stage in enumerate(STAGES)}
+        with self._lock:
+            snap = {tid: list(spans) for tid, spans in self._spans.items()}
+        for spans in snap.values():
+            spans.sort(key=lambda s: (s.hop, order.get(s.stage, 99)))
+        return snap
+
+    def all_spans(self) -> List[SpanRecord]:
+        """Every stored span (unsorted snapshot)."""
+        with self._lock:
+            return [s for spans in self._spans.values() for s in spans]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)

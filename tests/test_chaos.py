@@ -390,3 +390,76 @@ class TestPipelineScenario:
         assert a.exactly_once and b.exactly_once
         assert a.trace_lines == b.trace_lines
         assert a.trace_digest == b.trace_digest
+
+
+# ---------------------------------------------------------------------------
+# S3: injected faults are observable on the event timeline
+# ---------------------------------------------------------------------------
+
+
+class TestChaosTimeline:
+    def test_node_kill_event_in_exported_timeline(self):
+        from repro.observe import RuntimeObserver
+        from repro.observe.export import snapshot
+
+        obs = RuntimeObserver()
+        plan = FaultPlan(seed=0).at("node.relay", 0, FaultAction.KILL_NODE)
+        injector = FaultInjector(plan, observer=obs)
+        assert injector.should_kill_node("node.relay")
+
+        events = snapshot(obs)["timeline"]
+        kills = [
+            e for e in events
+            if e["category"] == "chaos" and e["name"] == "node_killed"
+        ]
+        assert kills and kills[0]["attrs"]["site"] == "node.relay"
+        # The plan decision itself is also on the timeline.
+        assert any(
+            e["category"] == "chaos" and e["name"] == "fault_injected"
+            for e in events
+        )
+
+    def test_sim_node_kill_recorded_at_fire_time(self):
+        from repro.observe import RuntimeObserver
+
+        obs = RuntimeObserver()
+        sim = Simulator()
+
+        def worker():
+            try:
+                while True:
+                    yield sim.timeout(1.0)
+            except Interrupt:
+                pass
+
+        proc = sim.process(worker(), name="node-a")
+        schedule_sim_faults(
+            sim,
+            [
+                SimFault(2.5, FaultAction.KILL_NODE, "node-a"),
+                SimFault(4.0, FaultAction.PARTITION, "uplink"),
+                SimFault(6.0, FaultAction.HEAL, "uplink"),
+            ],
+            processes={"node-a": proc},
+            links={"uplink": lambda up: None},
+            observer=obs,
+        )
+        # Nothing is on the timeline until the virtual clock reaches
+        # the fault: events record at fire time, not schedule time.
+        assert obs.timeline.counts() == {}
+        sim.run(until=10.0)
+        counts = obs.timeline.counts()
+        assert counts["chaos.node_killed"] == 1
+        assert counts["chaos.link_partitioned"] == 1
+        assert counts["chaos.link_healed"] == 1
+        killed = obs.timeline.snapshot(category="chaos", name="node_killed")
+        assert killed[0].attrs == {"target": "node-a", "sim_time": 2.5}
+
+    def test_wire_scenario_faults_on_timeline(self):
+        from repro.observe import RuntimeObserver
+
+        obs = RuntimeObserver()
+        result = run_wire_scenario(seed=0, frames=40, observer=obs)
+        assert result.exactly_once, result.summary()
+        fired = obs.timeline.counts().get("chaos.fault_injected", 0)
+        assert fired == len(result.trace_lines)

@@ -1,0 +1,182 @@
+"""Causal packet tracing: note wire format, sampling, span assembly,
+collector bounds, and the end-to-end tiling property — the six stage
+spans of a trace partition its end-to-end latency exactly."""
+
+import pytest
+
+from repro.core import NeptuneConfig, NeptuneRuntime, StreamProcessingGraph
+from repro.observe import RuntimeObserver, STAGES, TraceCollector, Tracer
+from repro.observe.report import format_breakdown, stage_stats, trace_summaries
+from repro.observe.tracing import (
+    NOTE_SIZE,
+    SpanRecord,
+    TraceNote,
+    close_hop,
+    decode_notes,
+    encode_notes,
+)
+from repro.workloads import CollectingSink, CountingSource, RelayProcessor
+
+
+# ---------------------------------------------------------------------------
+# Wire format
+# ---------------------------------------------------------------------------
+
+
+class TestNoteCodec:
+    def test_roundtrip(self):
+        notes = [
+            TraceNote(7, 2, 1.5, batch_index=3, append_ts=1.6, take_ts=1.7, send_ts=1.8),
+            TraceNote(9, 0, 2.0),
+        ]
+        data = encode_notes(notes)
+        assert len(data) == 2 * NOTE_SIZE
+        out = decode_notes(data)
+        assert [(n.trace_id, n.hop, n.batch_index) for n in out] == [(7, 2, 3), (9, 0, 0)]
+        assert out[0].encode_ts == 1.5
+        assert out[0].send_ts == 1.8
+
+    def test_empty_block(self):
+        assert encode_notes([]) == b""
+        assert decode_notes(b"") == []
+
+    def test_torn_block_rejected(self):
+        data = encode_notes([TraceNote(1, 0, 0.0)])
+        with pytest.raises(ValueError):
+            decode_notes(data[:-1])
+
+
+# ---------------------------------------------------------------------------
+# Sampling
+# ---------------------------------------------------------------------------
+
+
+class TestTracer:
+    def test_disabled_by_default(self):
+        t = Tracer()
+        assert not t.enabled
+        assert t.maybe_sample() is None
+
+    def test_samples_every_nth(self):
+        t = Tracer(sample_every=3)
+        hits = [t.maybe_sample() for _ in range(9)]
+        sampled = [c for c in hits if c is not None]
+        assert len(sampled) == 3
+        assert [hits.index(c) for c in sampled] == [2, 5, 8]
+
+    def test_trace_ids_unique(self):
+        t = Tracer(sample_every=1)
+        ids = [t.maybe_sample().trace_id for _ in range(10)]
+        assert len(set(ids)) == 10
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(sample_every=-1)
+
+
+# ---------------------------------------------------------------------------
+# Span assembly / collector
+# ---------------------------------------------------------------------------
+
+
+class TestCloseHop:
+    def test_six_contiguous_stages(self):
+        note = TraceNote(
+            5, 1, 10.0, batch_index=0, append_ts=10.1, take_ts=10.3, send_ts=10.4
+        )
+        spans = close_hop(note, 10.6, 10.7, 10.9, "relay[0]")
+        assert [s.stage for s in spans] == list(STAGES)
+        # Contiguous tiling: each stage starts where the previous ended.
+        for prev, cur in zip(spans, spans[1:]):
+            assert prev.end == cur.start
+        total = sum(s.duration for s in spans)
+        assert total == pytest.approx(10.9 - 10.0)
+        assert all(s.operator == "relay[0]" and s.hop == 1 for s in spans)
+
+    def test_duration_clamped_non_negative(self):
+        s = SpanRecord(1, 0, "wire", 2.0, 1.0, "op")
+        assert s.duration == 0.0
+
+
+class TestTraceCollector:
+    def test_bounded_with_dropped_counter(self):
+        col = TraceCollector(max_traces=2)
+        for tid in range(4):
+            col.add([SpanRecord(tid, 0, "execute", 0.0, 1.0, "op")])
+        assert len(col) == 2
+        assert col.dropped == 2
+        # Existing traces still accept more hops past the cap.
+        col.add([SpanRecord(0, 1, "execute", 1.0, 2.0, "op")])
+        assert len(col.traces()[0]) == 2
+
+    def test_traces_sorted_by_hop_then_stage(self):
+        col = TraceCollector()
+        col.add([SpanRecord(1, 1, "execute", 3.0, 4.0, "b")])
+        col.add([SpanRecord(1, 0, "execute", 1.0, 2.0, "a")])
+        col.add([SpanRecord(1, 0, "serialize", 0.0, 1.0, "a")])
+        spans = col.traces()[1]
+        assert [(s.hop, s.stage) for s in spans] == [
+            (0, "serialize"),
+            (0, "execute"),
+            (1, "execute"),
+        ]
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: the acceptance property
+# ---------------------------------------------------------------------------
+
+
+def _run_relay(observer: RuntimeObserver, total: int = 3000) -> list:
+    store: list = []
+    cfg = NeptuneConfig(buffer_capacity=4096, buffer_max_delay=0.005)
+    g = StreamProcessingGraph("trace-relay", config=cfg)
+    g.add_source("src", lambda: CountingSource(total=total))
+    g.add_processor("relay", RelayProcessor)
+    g.add_processor("sink", lambda: CollectingSink(store))
+    g.link("src", "relay").link("relay", "sink")
+    with NeptuneRuntime(observer=observer) as rt:
+        handle = rt.submit(g)
+        assert handle.await_completion(timeout=60)
+    return store
+
+
+class TestEndToEndTracing:
+    def test_stage_sums_tile_end_to_end_latency(self):
+        obs = RuntimeObserver(sample_every=100)
+        store = _run_relay(obs)
+        assert len(store) == 3000
+        summaries = trace_summaries(obs.collector)
+        assert summaries, "sampling produced no traces"
+        for s in summaries:
+            # Acceptance: per-stage sums within 10% of end-to-end.
+            assert s["coverage"] == pytest.approx(1.0, abs=0.10)
+        # Two-hop pipeline: src->relay and relay->sink.
+        assert {s["hops"] for s in summaries} == {2}
+
+    def test_every_hop_has_all_stages(self):
+        obs = RuntimeObserver(sample_every=200)
+        _run_relay(obs)
+        for spans in obs.collector.traces().values():
+            by_hop: dict = {}
+            for s in spans:
+                by_hop.setdefault(s.hop, []).append(s.stage)
+            for stages in by_hop.values():
+                assert stages == list(STAGES)
+
+    def test_sampling_zero_collects_nothing(self):
+        obs = RuntimeObserver(sample_every=0)
+        _run_relay(obs, total=500)
+        assert len(obs.collector) == 0
+        # Timeline still records runtime events.
+        assert obs.timeline.counts().get("runtime.batch_executed", 0) > 0
+
+    def test_report_formats(self):
+        obs = RuntimeObserver(sample_every=100)
+        _run_relay(obs)
+        text = format_breakdown(obs.collector)
+        for stage in STAGES:
+            assert stage in text
+        stats = stage_stats(obs.collector)
+        assert set(stats) == set(STAGES)
+        assert all(v["count"] > 0 for v in stats.values())
