@@ -1,0 +1,18 @@
+#!/usr/bin/env python3
+"""Hot-path benchmark entry point — thin shim over ``repro bench``.
+
+The pinned scenarios, profiles, and the ``neptune-bench/1`` report
+schema live in :mod:`repro.bench`; CI runs the same scenarios through
+``repro bench --profile quick --check BENCH_hotpath.json``.  This shim
+exists so the hot path is runnable the same way as the per-figure
+benchmarks in this directory:
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py [--profile full]
+"""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["bench", *sys.argv[1:]]))

@@ -1,0 +1,95 @@
+"""Benchmark profiles, timing loops, and machine calibration.
+
+Raw throughput numbers are only comparable on the machine that produced
+them, so every report carries a :func:`calibration_score`: the speed of
+a fixed pure-Python reference loop on the same interpreter, measured in
+the same run.  The regression checker compares *calibration-normalized*
+throughputs, which absorbs machine-speed differences between the
+developer laptop that produced the checked-in baseline and the CI
+runner that validates against it.  Algorithmic speedup ratios
+(compiled vs per-field codec) need no normalization and are compared
+directly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+
+@dataclass(frozen=True)
+class BenchProfile:
+    """Pinned workload sizes for one benchmark tier.
+
+    ``smoke`` exists for tests (sub-second end to end), ``quick`` is the
+    CI tier, ``full`` is for deliberate local measurement sessions.
+    """
+
+    name: str
+    #: Messages per codec timing repetition.
+    codec_messages: int
+    #: Timing repetitions (best-of, the standard low-noise estimator).
+    codec_repeats: int
+    #: Appends driven through the StreamBuffer flush scenario.
+    buffer_appends: int
+    #: Packets pushed through the end-to-end relay pipeline.
+    relay_packets: int
+    #: StreamBuffer.max_delay bound used (and checked) by the relay.
+    relay_max_delay: float
+
+
+PROFILES: dict[str, BenchProfile] = {
+    "smoke": BenchProfile("smoke", 2_000, 1, 4_000, 2_000, 0.005),
+    "quick": BenchProfile("quick", 20_000, 3, 100_000, 40_000, 0.005),
+    "full": BenchProfile("full", 100_000, 5, 400_000, 150_000, 0.005),
+}
+
+
+@dataclass
+class BenchResult:
+    """One scenario's named metrics (flat ``str -> float`` map)."""
+
+    name: str
+    metrics: dict[str, float] = field(default_factory=dict)
+
+
+def best_rate(fn: Callable[[], int], repeats: int) -> float:
+    """Best items-per-second over ``repeats`` runs of ``fn``.
+
+    ``fn`` returns the number of items it processed.  Best-of measures
+    the code, not the scheduler noise around it.
+    """
+    best = 0.0
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        n = fn()
+        dt = time.perf_counter() - t0
+        if dt > 0 and n / dt > best:
+            best = n / dt
+    return best
+
+
+def calibration_score(loops: int = 200_000) -> float:
+    """Iterations/sec of a fixed pure-Python reference loop.
+
+    The loop is frozen: changing it invalidates every checked-in
+    baseline, so treat it like a wire format.
+    """
+    acc = 0
+    t0 = time.perf_counter()
+    for i in range(loops):
+        acc += (i ^ (i >> 3)) & 0xFF
+    dt = time.perf_counter() - t0
+    if acc < 0:  # pragma: no cover — keeps the loop observable
+        raise AssertionError("unreachable")
+    return loops / dt if dt > 0 else float("inf")
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-quantile (0..1) of ``samples`` by nearest-rank."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    idx = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[idx]

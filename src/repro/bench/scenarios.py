@@ -1,0 +1,232 @@
+"""The pinned hot-path benchmark scenarios.
+
+Three scenarios cover the layers the paper optimizes (§III-B):
+
+- ``codec`` — encode/decode messages/sec for the schema-compiled codec
+  *and* the per-field reference codec on a fixed-width-dominated
+  schema, plus the speedup ratios between them (the acceptance metric
+  for the compiled-codec work).
+- ``buffer`` — appends/sec through a capacity-flushing
+  :class:`~repro.core.buffering.StreamBuffer` whose sink recycles, so
+  the double-buffer swap path (not the allocator) is what's measured.
+- ``relay`` — end-to-end packets/sec and p50/p99 emit-to-process
+  latency through a real source → relay → sink job on the local
+  runtime, reported against the ``max_delay`` latency bound.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.harness import BenchProfile, BenchResult, best_rate, percentile
+from repro.core.buffering import StreamBuffer
+from repro.core.config import NeptuneConfig
+from repro.core.fieldtypes import FieldType
+from repro.core.graph import StreamProcessingGraph
+from repro.core.operators import EmitContext, StreamProcessor, StreamSource
+from repro.core.packet import PacketSchema, StreamPacket
+from repro.core.runtime import NeptuneRuntime
+from repro.core.serde import PacketCodec
+
+#: Fixed-width-dominated schema: the compiled codec's best case and the
+#: shape the paper's sensing workloads actually have (ids + readings).
+FIXED_SCHEMA = PacketSchema(
+    [
+        ("valid", FieldType.BOOL),
+        ("sensor", FieldType.INT32),
+        ("seq", FieldType.INT64),
+        ("ts", FieldType.FLOAT64),
+        ("reading", FieldType.FLOAT64),
+        ("temperature", FieldType.FLOAT32),
+        ("station", FieldType.INT32),
+        ("flags", FieldType.INT64),
+    ]
+)
+
+#: Relay-pipeline schema: one stamp, one payload value.
+RELAY_SCHEMA = PacketSchema(
+    [
+        ("seq", FieldType.INT64),
+        ("emit_ts", FieldType.FLOAT64),
+        ("reading", FieldType.FLOAT64),
+    ]
+)
+
+
+def _fixed_packet() -> StreamPacket:
+    pkt = StreamPacket(FIXED_SCHEMA)
+    pkt.set("valid", True)
+    pkt.set("sensor", 1234)
+    pkt.set("seq", 2**40 + 7)
+    pkt.set("ts", 1_722_000_000.25)
+    pkt.set("reading", 21.75)
+    pkt.set("temperature", 3.5)
+    pkt.set("station", -8)
+    pkt.set("flags", 0x5A5A)
+    return pkt
+
+
+def scenario_codec(profile: BenchProfile) -> BenchResult:
+    """Encode/decode throughput, compiled vs per-field reference."""
+    result = BenchResult("codec")
+    pkt = _fixed_packet()
+    n_msgs = profile.codec_messages
+    # One shared batch body for the decode side (built once; both
+    # codecs decode identical bytes — the wire format is shared).
+    body = PacketCodec(FIXED_SCHEMA).encode_batch([pkt] * 1000)
+    decode_rounds = max(1, n_msgs // 1000)
+    for label, compiled in (("compiled", True), ("legacy", False)):
+        codec = PacketCodec(FIXED_SCHEMA, compiled=compiled)
+
+        def encode_run(codec: PacketCodec = codec) -> int:
+            out = bytearray()
+            for _ in range(n_msgs):
+                codec.encode_into(pkt, out)
+            return n_msgs
+
+        def decode_run(codec: PacketCodec = codec) -> int:
+            n = 0
+            for _ in range(decode_rounds):
+                for _pkt in codec.iter_decode(body, count=1000, reuse=True):
+                    n += 1
+            return n
+
+        result.metrics[f"encode_{label}_msgs_per_sec"] = best_rate(
+            encode_run, profile.codec_repeats
+        )
+        result.metrics[f"decode_{label}_msgs_per_sec"] = best_rate(
+            decode_run, profile.codec_repeats
+        )
+    result.metrics["encode_speedup"] = result.metrics[
+        "encode_compiled_msgs_per_sec"
+    ] / max(result.metrics["encode_legacy_msgs_per_sec"], 1e-9)
+    result.metrics["decode_speedup"] = result.metrics[
+        "decode_compiled_msgs_per_sec"
+    ] / max(result.metrics["decode_legacy_msgs_per_sec"], 1e-9)
+    result.metrics["record_size_bytes"] = float(len(body) // 1000)
+    return result
+
+
+def scenario_buffer(profile: BenchProfile) -> BenchResult:
+    """Capacity-flush append rate through the double-buffer swap path."""
+    result = BenchResult("buffer")
+    payload = bytes(64)
+    flushes = 0
+
+    def run() -> int:
+        nonlocal flushes
+
+        def sink(body: "bytes | bytearray | memoryview", count: int) -> None:
+            nonlocal flushes
+            flushes += 1
+            buf.recycle(body)
+
+        buf = StreamBuffer(capacity=64 * 1024, sink=sink, max_delay=60.0)
+        for _ in range(profile.buffer_appends):
+            buf.append(payload)
+        buf.flush()
+        # Steady state must run on the two pooled bytearrays: more than
+        # a handful of fresh allocations means the swap protocol broke.
+        result.metrics["spare_allocs"] = float(buf.spare_allocs)
+        result.metrics["buffers_recycled"] = float(buf.buffers_recycled)
+        return profile.buffer_appends
+
+    result.metrics["appends_per_sec"] = best_rate(run, profile.codec_repeats)
+    result.metrics["flushes"] = float(flushes)
+    return result
+
+
+class _RelaySource(StreamSource):
+    """Emits ``total`` stamped packets as fast as the runtime allows."""
+
+    def __init__(self, total: int) -> None:
+        super().__init__()
+        self.total = total
+        self.i = 0
+
+    def generate(self, ctx: EmitContext) -> None:
+        if self.i >= self.total:
+            ctx.finish()
+            return
+        pkt = ctx.new_packet()
+        pkt.set("seq", self.i)
+        pkt.set("emit_ts", time.monotonic())
+        pkt.set("reading", 20.0 + (self.i % 100) / 10.0)
+        ctx.emit(pkt)
+        self.i += 1
+
+    def output_schema(self, stream: str) -> PacketSchema:
+        return RELAY_SCHEMA
+
+
+class _Relay(StreamProcessor):
+    """Pass-through hop (the paper's Fig. 1 relay stage)."""
+
+    def process(self, packet: StreamPacket, ctx: EmitContext) -> None:
+        out = ctx.new_packet()
+        out.set("seq", packet.get("seq"))
+        out.set("emit_ts", packet.get("emit_ts"))
+        out.set("reading", packet.get("reading"))
+        ctx.emit(out)
+
+    def output_schema(self, stream: str) -> PacketSchema:
+        return RELAY_SCHEMA
+
+
+class _LatencySink(StreamProcessor):
+    """Terminal stage recording source-emit → process latency."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.count = 0
+        self.latencies: list[float] = []
+
+    def process(self, packet: StreamPacket, ctx: EmitContext) -> None:
+        self.count += 1
+        emitted = packet.get("emit_ts")
+        self.latencies.append(time.monotonic() - float(emitted))
+
+    def output_schema(self, stream: str) -> PacketSchema:
+        raise KeyError(stream)  # terminal stage: no outputs
+
+
+def scenario_relay(profile: BenchProfile) -> BenchResult:
+    """End-to-end source → relay → sink throughput and latency."""
+    result = BenchResult("relay")
+    sink = _LatencySink()
+    graph = StreamProcessingGraph(
+        "bench-relay",
+        config=NeptuneConfig(
+            buffer_capacity=32 * 1024,
+            buffer_max_delay=profile.relay_max_delay,
+        ),
+    )
+    graph.add_source("source", lambda: _RelaySource(profile.relay_packets))
+    graph.add_processor("relay", _Relay)
+    graph.add_processor("sink", lambda: sink)
+    graph.link("source", "relay").link("relay", "sink")
+    t0 = time.perf_counter()
+    with NeptuneRuntime() as runtime:
+        handle = runtime.submit(graph)
+        if not handle.await_completion(timeout=300):
+            raise RuntimeError("relay benchmark did not complete in 300s")
+    elapsed = time.perf_counter() - t0
+    if sink.count != profile.relay_packets:
+        raise RuntimeError(
+            f"relay lost packets: {sink.count}/{profile.relay_packets}"
+        )
+    result.metrics["packets_per_sec"] = sink.count / elapsed if elapsed else 0.0
+    result.metrics["p50_latency_sec"] = percentile(sink.latencies, 0.50)
+    result.metrics["p99_latency_sec"] = percentile(sink.latencies, 0.99)
+    result.metrics["max_delay_bound_sec"] = profile.relay_max_delay
+    result.metrics["packets"] = float(sink.count)
+    return result
+
+
+def run_scenarios(profile: BenchProfile) -> list[BenchResult]:
+    """Run every pinned scenario under ``profile`` in a fixed order."""
+    return [
+        scenario_codec(profile),
+        scenario_buffer(profile),
+        scenario_relay(profile),
+    ]

@@ -315,6 +315,46 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if result.exactly_once else 1
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """`bench` subcommand: run hot-path scenarios, write/check BENCH json."""
+    from repro.bench import (
+        PROFILES,
+        build_report,
+        calibration_score,
+        check_regression,
+        run_scenarios,
+        write_report,
+    )
+    from repro.bench.report import load_report
+
+    profile = PROFILES[args.profile]
+    baseline = None
+    if args.check:
+        # Load the baseline BEFORE writing: --check and --out usually
+        # name the same file.
+        baseline = load_report(args.check)
+    print(f"repro bench: profile={profile.name}")
+    calibration = calibration_score()
+    results = run_scenarios(profile)
+    report = build_report(results, profile.name, calibration)
+    for result in results:
+        print(f"  [{result.name}]")
+        for key, value in sorted(result.metrics.items()):
+            print(f"    {key:32s} {value:,.4g}")
+    if args.out:
+        write_report(report, args.out)
+        print(f"wrote {args.out}")
+    if baseline is not None:
+        failures = check_regression(report, baseline, tolerance=args.tolerance)
+        if failures:
+            print(f"REGRESSION vs {args.check} (tolerance {args.tolerance:.0%}):")
+            for line in failures:
+                print(f"  {line}")
+            return 1
+        print(f"no regression vs {args.check} (tolerance {args.tolerance:.0%})")
+    return 0
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     """`info` subcommand: version and usage."""
     import repro
@@ -480,6 +520,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_chaos.add_argument("--trace", action="store_true", help="print fired faults")
     p_chaos.set_defaults(fn=cmd_chaos)
+
+    p_bench = sub.add_parser(
+        "bench", help="run hot-path benchmarks and write BENCH_hotpath.json"
+    )
+    p_bench.add_argument(
+        "--profile",
+        choices=["smoke", "quick", "full"],
+        default="quick",
+        help="workload tier (smoke: tests, quick: CI, full: local)",
+    )
+    p_bench.add_argument(
+        "--out",
+        default="BENCH_hotpath.json",
+        help="report path ('' to skip writing)",
+    )
+    p_bench.add_argument(
+        "--check",
+        default=None,
+        metavar="BASELINE.json",
+        help="fail when guarded metrics regress vs this baseline report",
+    )
+    p_bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="allowed fractional drop before --check fails (default 0.10)",
+    )
+    p_bench.set_defaults(fn=cmd_bench)
 
     p_info = sub.add_parser("info", help="version and usage")
     p_info.set_defaults(fn=cmd_info)

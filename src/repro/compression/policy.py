@@ -91,16 +91,22 @@ class CompressionPolicy:
         self.min_size = min_size
         self.stats = CompressionStats()
 
-    def encode(self, payload: bytes) -> bytes:
-        """Return flag byte + (possibly compressed) payload."""
+    def encode(self, payload: bytes | bytearray | memoryview) -> bytes:
+        """Return flag byte + (possibly compressed) payload.
+
+        Accepts any bytes-like payload (e.g. a pooled flush bytearray);
+        the returned frame is always an independent ``bytes`` object.
+        """
         t0 = time.perf_counter()
         decision, body = self._encode_body(payload)
         flag = FLAG_LZ4 if decision is CompressionDecision.COMPRESSED else FLAG_RAW
-        out = bytes([flag]) + body
+        out = b"".join((bytes((flag,)), body))
         self.stats.record(decision, len(payload), len(out), time.perf_counter() - t0)
         return out
 
-    def _encode_body(self, payload: bytes) -> tuple[CompressionDecision, bytes]:
+    def _encode_body(
+        self, payload: bytes | bytearray | memoryview
+    ) -> tuple[CompressionDecision, bytes | bytearray | memoryview]:
         if not self.enabled:
             return CompressionDecision.DISABLED, payload
         if len(payload) < self.min_size:

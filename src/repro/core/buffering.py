@@ -18,8 +18,16 @@ buffer flushes
   ``max_delay`` elapses after the *first* append since the last flush,
   bounding end-to-end latency for slow streams.
 
-The flush sink receives ``(body_bytes, packet_count)`` and is expected
-to block under backpressure — never to drop.
+Zero-copy flush protocol: a take hands the sink the accumulation
+``bytearray`` itself and swaps in a pooled spare under ``_lock`` — the
+batch is never copied on the flush path.  The sink receives
+``(body, packet_count)`` where ``body`` is ``bytes | bytearray |
+memoryview``; it may retain the bytearray past the call (e.g. park it
+in an inbound channel) and, once fully consumed, SHOULD hand it back
+via :meth:`StreamBuffer.recycle` so steady state runs on two pooled
+buffers with no per-flush allocation.  A consumer that never recycles
+just costs one fresh bytearray per flush — still no copy.  The sink is
+expected to block under backpressure — never to drop.
 """
 
 from __future__ import annotations
@@ -29,7 +37,12 @@ from typing import Any, Callable
 
 from repro.util.clock import Clock, SYSTEM_CLOCK
 
-FlushSink = Callable[[bytes, int], None]
+FlushSink = Callable[["bytes | bytearray | memoryview", int], Any]
+
+#: Spare bytearrays a buffer keeps for the double-buffer swap.  Two
+#: covers the steady state (one accumulating, one in flight); a third
+#: take while both are out just allocates fresh.
+_SPARE_LIMIT = 2
 
 
 class StreamBuffer:
@@ -70,6 +83,7 @@ class StreamBuffer:
         self._observer = observer
         self._notes: list[Any] = []
         self._buf = bytearray()
+        self._spares: list[bytearray] = []
         self._count = 0
         self._first_append_at: float | None = None
         self._lock = threading.Lock()
@@ -84,6 +98,9 @@ class StreamBuffer:
         self.manual_flushes = 0
         self.bytes_flushed = 0
         self.packets_flushed = 0
+        # Double-buffer pool statistics (observe bridge scrapes these).
+        self.buffers_recycled = 0
+        self.spare_allocs = 0
 
     def append(
         self, payload: bytes | bytearray | memoryview, note: Any = None
@@ -134,6 +151,7 @@ class StreamBuffer:
         waited ``max_delay``.  Returns whether a flush happened."""
         if now is None:
             now = self._clock.now()
+        size = 0
         with self._flush_lock:
             with self._lock:
                 if (
@@ -144,10 +162,13 @@ class StreamBuffer:
                 body, count = self._take_locked()
                 self.timer_flushes += 1
             if body is not None:
+                # Capture the size before the sink runs: a sink that
+                # consumes and recycles the bytearray leaves it empty.
+                size = len(body)
                 self._sink(body, count)
         if body is not None and self._observer is not None:
             self._observer.event(
-                "buffer", "timer_flush", buffer=self.name, bytes=len(body), count=count
+                "buffer", "timer_flush", buffer=self.name, bytes=size, count=count
             )
         return body is not None
 
@@ -158,13 +179,20 @@ class StreamBuffer:
                 return None
             return self._first_append_at + self.max_delay
 
-    def _take_locked(self) -> tuple[bytes | None, int]:
+    def _take_locked(self) -> tuple[bytearray | None, int]:
         if not self._buf:
             return None, 0
-        body = bytes(self._buf)
+        # Double-buffer swap: hand the accumulation buffer itself to
+        # the caller (NO copy) and continue accumulating into a pooled
+        # spare.  The sink's consumer returns the bytearray through
+        # recycle() when done with it.
+        body = self._buf
+        if self._spares:
+            self._buf = self._spares.pop()
+        else:
+            self._buf = bytearray()
+            self.spare_allocs += 1
         count = self._count
-        # Reuse the bytearray's storage rather than reallocating.
-        self._buf.clear()
         self._count = 0
         self._first_append_at = None
         self.bytes_flushed += len(body)
@@ -177,6 +205,26 @@ class StreamBuffer:
                 self._trace_leg.pending.extend(self._notes)
             self._notes.clear()
         return body, count
+
+    def recycle(self, body: bytes | bytearray | memoryview) -> None:
+        """Return a fully consumed flush body to the spare pool.
+
+        Safe to call from any thread with anything a sink received:
+        non-bytearray bodies (or a bytearray with live memoryview
+        exports) are simply dropped.  Never call while the body is
+        still referenced by a pending frame — the storage is reused by
+        the very next take.
+        """
+        if type(body) is not bytearray:
+            return
+        try:
+            body.clear()
+        except BufferError:
+            return  # a memoryview export is still alive; let GC take it
+        with self._lock:
+            if len(self._spares) < _SPARE_LIMIT:
+                self._spares.append(body)
+                self.buffers_recycled += 1
 
     @property
     def pending_bytes(self) -> int:
@@ -198,6 +246,12 @@ class FlushTimerService:
     One service per runtime; buffers register on link creation.  The
     scan interval self-tunes to the nearest deadline, capped so newly
     registered buffers are noticed promptly.
+
+    The clock is re-read for every buffer in a scan (and again before
+    computing the sleep): ``flush_if_due`` calls a blocking sink, so
+    under backpressure one slow sink would otherwise make a
+    scan-global timestamp stale for every later buffer — silently
+    exceeding their ``max_delay`` bound and mis-sizing the next sleep.
     """
 
     def __init__(self, clock: Clock = SYSTEM_CLOCK, max_poll: float = 0.002) -> None:
@@ -240,6 +294,34 @@ class FlushTimerService:
             self._thread.join(timeout)
             self._thread = None
 
+    def scan_once(self) -> float:
+        """One pass over all registered buffers; returns the sleep delay.
+
+        Each buffer is judged against a *fresh* clock reading, so a
+        buffer becoming due while an earlier buffer's sink blocks is
+        still flushed within this scan.  Exposed for deterministic
+        tests with a manual clock.
+        """
+        with self._lock:
+            buffers = list(self._buffers)
+        next_deadline: float | None = None
+        for buf in buffers:
+            dl = buf.next_deadline()
+            if dl is None:
+                continue
+            now = self._clock.now()
+            if dl <= now:
+                buf.flush_if_due(now)
+            elif next_deadline is None or dl < next_deadline:
+                next_deadline = dl
+        if next_deadline is None:
+            return self._max_poll
+        # Re-read the clock: the flush_if_due calls above may have
+        # blocked for a long time, and sleeping against a stale "now"
+        # would overshoot the remaining deadlines.
+        remaining = next_deadline - self._clock.now()
+        return min(max(remaining, 0.0002), self._max_poll)
+
     def _loop(self) -> None:
         import time as _time
 
@@ -247,19 +329,5 @@ class FlushTimerService:
             with self._lock:
                 if not self._running:
                     return
-                buffers = list(self._buffers)
-            now = self._clock.now()
-            next_deadline: float | None = None
-            for buf in buffers:
-                dl = buf.next_deadline()
-                if dl is None:
-                    continue
-                if dl <= now:
-                    buf.flush_if_due(now)
-                elif next_deadline is None or dl < next_deadline:
-                    next_deadline = dl
-            if next_deadline is None:
-                delay = self._max_poll
-            else:
-                delay = min(max(next_deadline - now, 0.0002), self._max_poll)
+            delay = self.scan_once()
             _time.sleep(delay)  # real-time paced; see Resource._timer_loop

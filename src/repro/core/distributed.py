@@ -248,6 +248,7 @@ class DistributedWorker:
                     if not sender_here:
                         continue
                     leg = LegTrace() if self.observer is not None else None
+                    owner: list = []  # filled with the buffer below
                     sink = self._make_leg_sink(
                         wire_id,
                         receiver_worker,
@@ -257,6 +258,7 @@ class DistributedWorker:
                         cfg,
                         out.policy,
                         leg,
+                        owner,
                     )
                     buf = StreamBuffer(
                         capacity=cfg.buffer_capacity,
@@ -267,6 +269,11 @@ class DistributedWorker:
                         trace_leg=leg,
                         observer=self.observer,
                     )
+                    owner.append(buf)
+                    if receiver_worker == self.worker_id:
+                        # Co-located leg: the receiver returns stolen
+                        # flush bytearrays straight to this buffer.
+                        self._inbound[wire_id][1].recycle = buf.recycle
                     out.buffers.append(buf)
                     out.wire_ids.append(wire_id)
                     self.job.buffers.append(buf)
@@ -293,7 +300,7 @@ class DistributedWorker:
 
     def _make_leg_sink(
         self, wire_id, receiver_worker, endpoints, compression_on, link, cfg, policy,
-        leg=None,
+        leg=None, owner=None,
     ):
         def claim_trace() -> bytes:
             # Runs under the buffer's flush lock, right after the take
@@ -310,9 +317,13 @@ class DistributedWorker:
             channel, info = self._inbound[wire_id]
             seq = [0]
 
-            def local_sink(body: bytes, count: int) -> None:
+            def local_sink(
+                body: bytes | bytearray | memoryview, count: int
+            ) -> None:
                 """Deliver one flushed batch into a co-located channel."""
+                raw = None
                 if policy is not None:
+                    raw = body
                     body = policy.encode(body)
                 trace = claim_trace()
                 from repro.net.framing import FrameHeader
@@ -331,11 +342,16 @@ class DistributedWorker:
                     raise NeptuneError(f"wire {wire_id}: channel closed") from None
                 if not ok:
                     raise NeptuneError(f"wire {wire_id}: emit timed out")
+                if raw is not None and info.recycle is not None:
+                    # Frame carries the compressed copy — the original
+                    # flush bytearray goes straight back to the pool.
+                    info.recycle(raw)
 
             return local_sink
 
-        def remote_sink(body: bytes, count: int) -> None:
+        def remote_sink(body: bytes | bytearray | memoryview, count: int) -> None:
             """Ship one flushed batch to a remote worker over TCP."""
+            raw = body
             if policy is not None:
                 body = policy.encode(body)
             trace = claim_trace()
@@ -344,6 +360,10 @@ class DistributedWorker:
             # time; the first flush waits for them.
             transport = self._transport_to(receiver_worker, endpoints)
             transport.send(wire_id, body, count, trace)
+            if owner:
+                # send() materialized the wire bytes (or wrote them
+                # out), so the flush bytearray is consumed either way.
+                owner[0].recycle(raw)
 
         return remote_sink
 

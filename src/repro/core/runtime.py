@@ -199,7 +199,9 @@ class _InstanceRuntime(ComputationalTask):
 
     def _process_available(self) -> None:
         assert self.channel is not None
-        cfg = self.job.graph.config
+        # One drain = one channel lock acquisition for the whole
+        # inbound batch (paper §III-B2: batched scheduling amortizes
+        # per-packet synchronization into per-batch synchronization).
         frames = self.channel.drain()
         if not frames:
             # Time/count-triggered execution with no pending data.
@@ -209,17 +211,19 @@ class _InstanceRuntime(ComputationalTask):
             return
         op: StreamProcessor = self.operator  # type: ignore[assignment]
         obs = self._observer
-        now = time.monotonic()
+        ctx = self.ctx
         total_packets = 0
+        total_bytes = 0
+        latency = self.metrics.latency
         for frame, put_at, in_link in frames:
             self._verify_sequence(frame)
+            now = time.monotonic()
             body = frame.body
+            total_bytes += len(body)
             if in_link.compression_used:
                 body = CompressionPolicy.decode(body)
             codec = in_link.codec
-            self.metrics.batches_in += 1
-            self.metrics.bytes_in += len(frame.body)
-            self.metrics.latency.record(now - put_at)
+            latency.record(now - put_at)
             note_map: dict[int, TraceNote] | None = None
             drain_ts = now
             if obs is not None and frame.trace:
@@ -227,35 +231,53 @@ class _InstanceRuntime(ComputationalTask):
                     note_map = {n.batch_index: n for n in decode_notes(frame.trace)}
                 except ValueError:
                     note_map = None  # torn trace block: drop diagnostics, keep data
-            op.on_batch_start(frame.count, self.ctx)
-            n = 0
-            for packet in codec.iter_decode(body, count=frame.count, reuse=True):
-                note = note_map.get(n) if note_map else None
-                if note is not None:
-                    self._active_trace = _ActiveTrace(note, drain_ts, time.monotonic())
-                op.process(packet, self.ctx)
-                if note is not None:
-                    active = self._active_trace
-                    self._active_trace = None
-                    if active is not None and not active.consumed:
-                        # Terminal hop (no derived emit): execute ends here.
-                        assert obs is not None
-                        obs.collector.add(
-                            close_hop(
-                                note,
-                                active.drain_ts,
-                                active.deser_ts,
-                                time.monotonic(),
-                                self.op_label,
-                            )
+            op.on_batch_start(frame.count, ctx)
+            if note_map is None:
+                # Hot path: no per-packet branches or counters — the
+                # eager count validation in iter_decode guarantees a
+                # completed loop processed exactly frame.count packets.
+                for packet in codec.iter_decode(body, count=frame.count, reuse=True):
+                    op.process(packet, ctx)
+                n = frame.count
+            else:
+                n = 0
+                for packet in codec.iter_decode(body, count=frame.count, reuse=True):
+                    note = note_map.get(n)
+                    if note is not None:
+                        self._active_trace = _ActiveTrace(
+                            note, drain_ts, time.monotonic()
                         )
-                n += 1
-                if n % cfg.batch_max_packets == 0:
-                    now = time.monotonic()
-            op.on_batch_end(self.ctx)
-            self.metrics.packets_in += n
+                    op.process(packet, ctx)
+                    if note is not None:
+                        active = self._active_trace
+                        self._active_trace = None
+                        if active is not None and not active.consumed:
+                            # Terminal hop (no derived emit): execute ends here.
+                            assert obs is not None
+                            obs.collector.add(
+                                close_hop(
+                                    note,
+                                    active.drain_ts,
+                                    active.deser_ts,
+                                    time.monotonic(),
+                                    self.op_label,
+                                )
+                            )
+                    n += 1
+            op.on_batch_end(ctx)
             total_packets += n
-        self.metrics.executions += 1
+            # Zero-copy flush protocol: an in-process sender parked its
+            # pooled bytearray in the frame; hand it back now that the
+            # batch is fully decoded (no-op for wire/compressed bytes).
+            recycle = in_link.recycle
+            if recycle is not None:
+                recycle(frame.body)
+        # One telemetry update per scheduled execution, not per packet.
+        metrics = self.metrics
+        metrics.batches_in += len(frames)
+        metrics.bytes_in += total_bytes
+        metrics.packets_in += total_packets
+        metrics.executions += 1
         if obs is not None:
             obs.event(
                 "runtime",
@@ -284,7 +306,10 @@ class _InstanceRuntime(ComputationalTask):
             targets = out.scheme.route(packet, n_dest)
             if not targets:
                 continue
-            encoded = out.codec.encode(packet)
+            # Zero-copy: a view over the codec scratch, valid until the
+            # next encode on this codec — append() copies it into the
+            # stream buffer before we loop around.
+            encoded = out.codec.encode_view(packet)
             for dest in targets:
                 buf = out.buffers[dest]
                 before = time.monotonic()
@@ -417,13 +442,20 @@ class _Context:
 
 
 class _InLinkInfo:
-    """Receiver-side per-link decode state (codec reuse, §III-B3)."""
+    """Receiver-side per-link decode state (codec reuse, §III-B3).
 
-    __slots__ = ("codec", "compression_used")
+    ``recycle`` closes the zero-copy loop for in-process legs: it is the
+    sending :class:`StreamBuffer`'s ``recycle`` bound method (wired after
+    buffer construction in ``submit``), called by the receiver once a
+    frame's stolen bytearray body is fully decoded.
+    """
+
+    __slots__ = ("codec", "compression_used", "recycle")
 
     def __init__(self, codec: PacketCodec, compression_used: bool) -> None:
         self.codec = codec
         self.compression_used = compression_used
+        self.recycle: Any = None
 
 
 class _JobRuntime:
@@ -563,6 +595,9 @@ class NeptuneRuntime:
                         trace_leg=leg,
                         observer=self.observer,
                     )
+                    # Close the zero-copy loop: the receiver (or the
+                    # compressing sink) returns flush bytearrays here.
+                    in_info.recycle = buf.recycle
                     out.buffers.append(buf)
                     out.dest_channels.append(channel)
                     out.wire_ids.append(this_wire)
@@ -628,12 +663,21 @@ class NeptuneRuntime:
         The put blocks under backpressure; with a configured
         ``emit_timeout`` a saturated downstream eventually surfaces
         :class:`BackpressureTimeout` instead of waiting forever.
+
+        Zero-copy protocol: the buffer hands this sink its pooled
+        accumulation bytearray.  Uncompressed, the bytearray itself is
+        parked in the frame and the *receiver* recycles it after
+        decoding (``_InLinkInfo.recycle``).  Compressed, the frame holds
+        fresh policy-encoded bytes, so the sink recycles the original
+        immediately.
         """
         seq_counter = [0]
 
-        def sink(body: bytes, count: int) -> None:
+        def sink(body: bytes | bytearray | memoryview, count: int) -> None:
             """Deliver one flushed batch into the destination channel."""
+            raw = None
             if policy is not None:
+                raw = body
                 body = policy.encode(body)
             trace = b""
             if leg is not None and leg.pending:
@@ -660,6 +704,10 @@ class NeptuneRuntime:
                     f"wire link {wire_id}: downstream gated longer than "
                     f"emit_timeout={emit_timeout}s"
                 )
+            if raw is not None and in_info.recycle is not None:
+                # The frame carries the compressed copy; the original
+                # flush bytearray is done — back to the buffer pool.
+                in_info.recycle(raw)
 
         return sink
 

@@ -10,11 +10,20 @@ every batch:
 
 - ``encode_into`` appends a packet's wire form to a caller-owned
   ``bytearray`` (the stream buffer) — no per-packet allocations beyond
-  the bytes themselves.
+  the bytes themselves.  On any encode error the output is truncated
+  back to the record start, so a failed encode never leaves partial
+  record bytes in a shared buffer.
 - ``iter_decode`` walks a batch body yielding packets.  With
   ``reuse=True`` it yields the *same* pooled packet object refilled per
   record (zero packet allocations per message — callers must not retain
   it past the iteration step; ``clone()`` if they must).
+
+By default the codec runs on a :class:`~repro.core.fieldtypes.CompiledSchema`:
+every maximal run of consecutive fixed-width fields is one precompiled
+``struct.Struct`` pack/unpack instead of per-field enum dispatch.  The
+wire format is byte-identical to the per-field path (``compiled=False``),
+which is kept as the reference implementation and the fallback for
+equivalence testing.
 
 Batch body layout: ``count`` records back to back, each record being the
 schema's fields encoded in order (no per-record header: the schema is
@@ -25,18 +34,36 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from repro.core.fieldtypes import decode_field, encode_field
+from repro.core.fieldtypes import (
+    FieldType,
+    compile_fieldtypes,
+    decode_field,
+    encode_field,
+)
 from repro.core.packet import PacketSchema, StreamPacket
 from repro.util.errors import SerializationError
 
 
 class PacketCodec:
-    """Reusable encoder/decoder for one packet schema."""
+    """Reusable encoder/decoder for one packet schema.
 
-    __slots__ = ("schema", "_scratch", "_reused_packet", "packets_encoded", "packets_decoded")
+    ``compiled=True`` (default) uses the fused fixed-width-run codec;
+    ``compiled=False`` forces the per-field reference path (identical
+    wire bytes, slower).
+    """
 
-    def __init__(self, schema: PacketSchema) -> None:
+    __slots__ = (
+        "schema",
+        "_plan",
+        "_scratch",
+        "_reused_packet",
+        "packets_encoded",
+        "packets_decoded",
+    )
+
+    def __init__(self, schema: PacketSchema, compiled: bool = True) -> None:
         self.schema = schema
+        self._plan = compile_fieldtypes(schema.types) if compiled else None
         self._scratch = bytearray()
         self._reused_packet = StreamPacket(schema)
         self.packets_encoded = 0
@@ -44,7 +71,12 @@ class PacketCodec:
 
     # -- encoding -----------------------------------------------------------
     def encode_into(self, packet: StreamPacket, out: bytearray) -> int:
-        """Append ``packet``'s wire form to ``out``; return bytes written."""
+        """Append ``packet``'s wire form to ``out``; return bytes written.
+
+        Exception-safe: when any field fails to encode, ``out`` is
+        truncated back to its length on entry, so a shared stream
+        buffer never accumulates a partial record.
+        """
         if packet.schema != self.schema:
             raise SerializationError(
                 f"packet schema {packet.schema!r} does not match codec schema {self.schema!r}"
@@ -55,9 +87,22 @@ class PacketCodec:
             ]
             raise SerializationError(f"packet incomplete; unset fields: {missing}")
         start = len(out)
-        values = packet.values
-        for i, ftype in enumerate(self.schema.types):
-            encode_field(ftype, values[i], out)
+        values = packet._values
+        plan = self._plan
+        try:
+            if plan is not None:
+                plan.encode_values(values, out)
+            else:
+                for i, ftype in enumerate(self.schema.types):
+                    encode_field(ftype, values[i], out)
+        except Exception:
+            # A mid-record failure (e.g. an out-of-range int32 on a
+            # later field, or a bad list element after the length
+            # prefix) must not strand partial bytes in the caller's
+            # buffer — they would corrupt every later packet on the
+            # link.
+            del out[start:]
+            raise
         self.packets_encoded += 1
         return len(out) - start
 
@@ -66,6 +111,20 @@ class PacketCodec:
         self._scratch.clear()
         self.encode_into(packet, self._scratch)
         return bytes(self._scratch)
+
+    def encode_view(self, packet: StreamPacket) -> memoryview:
+        """Encode one packet and return a view of the internal scratch.
+
+        Zero-copy variant of :meth:`encode` for the emit hot path: the
+        returned view is valid only until the next ``encode``/
+        ``encode_view``/``encode_batch`` call on this codec, so the
+        caller must copy it out (e.g. ``StreamBuffer.append`` does)
+        before encoding again.  One codec belongs to one sender
+        instance, whose executions are serialized — no locking needed.
+        """
+        self._scratch.clear()
+        self.encode_into(packet, self._scratch)
+        return memoryview(self._scratch)
 
     def encode_batch(self, packets: list[StreamPacket]) -> bytes:
         """Encode a batch into one body (reusing the internal scratch)."""
@@ -83,7 +142,7 @@ class PacketCodec:
 
     def iter_decode(
         self,
-        body: bytes | memoryview,
+        body: bytes | bytearray | memoryview,
         count: int | None = None,
         reuse: bool = True,
     ) -> Iterator[StreamPacket]:
@@ -91,17 +150,39 @@ class PacketCodec:
 
         With ``reuse=True`` (NEPTUNE's frugal path) the same packet
         object is refilled and yielded each time.  ``count``, when
-        given, is cross-checked against the records actually present.
+        given, is validated *eagerly*: an all-fixed-width schema checks
+        the exact body size before the first yield, and any schema
+        raises the moment the body is exhausted short of ``count`` (or
+        a record beyond ``count`` appears) — so a consumer that stops
+        iterating early still observes a short or overlong batch.
         """
         offset = 0
         n = 0
         view = memoryview(body) if not isinstance(body, memoryview) else body
         total = len(view)
+        plan = self._plan
+        if (
+            count is not None
+            and plan is not None
+            and plan.record_size is not None
+            and total != count * plan.record_size
+        ):
+            raise SerializationError(
+                f"batch declared {count} packets "
+                f"({count * plan.record_size} bytes), body has {total} bytes"
+            )
         pooled = self._reused_packet
         while offset < total:
             pkt = pooled if reuse else StreamPacket(self.schema)
             offset = self._fill(pkt, view, offset)
             n += 1
+            if count is not None and (
+                n > count or (offset >= total and n < count)
+            ):
+                raise SerializationError(
+                    f"batch declared {count} packets, decoded {n}"
+                    + ("" if n > count else " before the body ended")
+                )
             yield pkt
         if offset != total:
             raise SerializationError(
@@ -110,28 +191,34 @@ class PacketCodec:
         if count is not None and n != count:
             raise SerializationError(f"batch declared {count} packets, decoded {n}")
 
-    def _fill(self, pkt: StreamPacket, buf: bytes | memoryview, offset: int) -> int:
+    def _fill(
+        self, pkt: StreamPacket, buf: bytes | bytearray | memoryview, offset: int
+    ) -> int:
         values = pkt._values
-        for i, ftype in enumerate(self.schema.types):
-            values[i], offset = decode_field(ftype, buf, offset)
+        plan = self._plan
+        if plan is not None:
+            offset = plan.decode_into(values, buf, offset)
+        else:
+            for i, ftype in enumerate(self.schema.types):
+                values[i], offset = decode_field(ftype, buf, offset)
         self.packets_decoded += 1
         return offset
 
     # -- sizing -------------------------------------------------------------
     def encoded_size(self, packet: StreamPacket) -> int:
         """Exact wire size of ``packet`` (cheap for fixed-width schemas)."""
+        plan = self._plan
+        if plan is not None and plan.record_size is not None:
+            return plan.record_size
         size = 0
         for value, ftype in zip(packet.values, self.schema.types):
             fixed = ftype.fixed_size
             if fixed is not None:
                 size += fixed
-            else:
-                from repro.core.fieldtypes import FieldType
-
-                if ftype is FieldType.STRING:
-                    size += 4 + len(value.encode("utf-8"))
-                elif ftype is FieldType.BYTES:
-                    size += 4 + len(value)
-                else:  # lists
-                    size += 4 + 8 * len(value)
+            elif ftype is FieldType.STRING:
+                size += 4 + len(value.encode("utf-8"))
+            elif ftype is FieldType.BYTES:
+                size += 4 + len(value)
+            else:  # lists
+                size += 4 + 8 * len(value)
         return size

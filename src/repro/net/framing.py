@@ -63,10 +63,15 @@ class FrameHeader:
 
 @dataclass(frozen=True)
 class Frame:
-    """A decoded frame: header plus body bytes (and any trace block)."""
+    """A decoded frame: header plus body bytes (and any trace block).
+
+    In-process frames may carry a ``bytearray`` body on loan from the
+    sender's :class:`~repro.core.buffering.StreamBuffer` pool (zero-copy
+    flush); wire-decoded frames always hold ``bytes``.
+    """
 
     header: FrameHeader
-    body: bytes
+    body: bytes | bytearray | memoryview
     trace: bytes = b""
 
     @property
@@ -96,10 +101,34 @@ class FrameEncoder:
     def __init__(self) -> None:
         self._seqs: dict[int, int] = {}
 
-    def encode(self, link_id: int, body: bytes, count: int, trace: bytes = b"") -> bytes:
-        """Encode one batch into a wire frame and bump the link's seq.
+    def encode(
+        self,
+        link_id: int,
+        body: bytes | bytearray | memoryview,
+        count: int,
+        trace: bytes = b"",
+    ) -> bytes:
+        """Encode one batch into a single wire-frame byte string.
 
-        A non-empty ``trace`` block upgrades the frame to version 2.
+        Materializes header+body in one buffer — use when the caller
+        needs the whole frame as one object (e.g. a replay window).
+        """
+        header, _ = self.encode_parts(link_id, body, count, trace)
+        return b"".join((header, body))
+
+    def encode_parts(
+        self,
+        link_id: int,
+        body: bytes | bytearray | memoryview,
+        count: int,
+        trace: bytes = b"",
+    ) -> tuple[bytes, bytes | bytearray | memoryview]:
+        """Encode one batch as ``(header, body)`` and bump the link's seq.
+
+        The header part includes any trace block; the body is returned
+        as given — zero-copy for the common send path, which can write
+        the two parts to a socket without concatenating them.  A
+        non-empty ``trace`` block upgrades the frame to version 2.
         """
         if link_id < 0 or link_id > 0xFFFFFFFF:
             raise SerializationError(f"link_id out of range: {link_id}")
@@ -114,8 +143,8 @@ class FrameEncoder:
             MAGIC, version, link_id, seq, count, len(body), xxh32(body)
         )
         if trace:
-            return header + _TRACE_LEN.pack(len(trace)) + trace + body
-        return header + body
+            return header + _TRACE_LEN.pack(len(trace)) + trace, body
+        return header, body
 
     def sequence(self, link_id: int) -> int:
         """Next sequence number that will be assigned for ``link_id``."""

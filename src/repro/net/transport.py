@@ -69,11 +69,21 @@ class Transport(ABC):
     """Sender-side endpoint for one destination resource."""
 
     @abstractmethod
-    def send(self, link_id: int, body: bytes, count: int, trace: bytes = b"") -> None:
+    def send(
+        self,
+        link_id: int,
+        body: bytes | bytearray | memoryview,
+        count: int,
+        trace: bytes = b"",
+    ) -> None:
         """Deliver one batch; blocks under backpressure.  Never drops.
 
-        ``trace`` is an opaque observe trace block that must ride the
-        frame to the receiver (see :mod:`repro.observe.tracing`).
+        ``body`` may be a pooled bytearray on loan from the flushing
+        :class:`~repro.core.buffering.StreamBuffer` — the transport has
+        fully consumed it by the time ``send`` returns, so the caller
+        may recycle it immediately.  ``trace`` is an opaque observe
+        trace block that must ride the frame to the receiver (see
+        :mod:`repro.observe.tracing`).
         """
 
     @abstractmethod
@@ -88,8 +98,19 @@ class InProcessTransport(Transport):
         self._channel = channel
         self._seq: dict[int, int] = {}
 
-    def send(self, link_id: int, body: bytes, count: int, trace: bytes = b"") -> None:
+    def send(
+        self,
+        link_id: int,
+        body: bytes | bytearray | memoryview,
+        count: int,
+        trace: bytes = b"",
+    ) -> None:
         """Deliver one batch; blocks under backpressure, never drops."""
+        if not isinstance(body, bytes):
+            # The frame outlives this call (parked in the channel), but
+            # the send contract lets the caller recycle ``body`` as soon
+            # as we return — snapshot it.
+            body = bytes(body)
         seq = self._seq.get(link_id, 0)
         self._seq[link_id] = seq + 1
         frame = Frame(FrameHeader(link_id, seq, count, len(body), 0), body, trace)
@@ -323,11 +344,34 @@ class TcpTransport(Transport):
             self._acks.notify_all()
 
     # -- send ------------------------------------------------------------------
-    def send(self, link_id: int, body: bytes, count: int, trace: bytes = b"") -> None:
+    def send(
+        self,
+        link_id: int,
+        body: bytes | bytearray | memoryview,
+        count: int,
+        trace: bytes = b"",
+    ) -> None:
         """Deliver one batch; blocks under backpressure, never drops."""
         with self._lock:
             if self._closed:
                 raise TransportError("send on closed transport")
+            if self._retry is None and self._injector is None:
+                # Hot path: write (header, body) without materializing
+                # the concatenated frame — zero-copy all the way to the
+                # socket.
+                header, payload = self._encoder.encode_parts(
+                    link_id, body, count, trace
+                )
+                try:
+                    self._sock.sendall(header)
+                    if len(payload):
+                        self._sock.sendall(payload)
+                except OSError as exc:
+                    raise TransportError(f"send failed: {exc}") from exc
+                with self._state:
+                    self.bytes_sent += len(header) + len(payload)
+                    self.frames_sent += 1
+                return
             if self._retry is not None:
                 if self._conn_dead:
                     self._recover()
@@ -335,8 +379,9 @@ class TcpTransport(Transport):
                 # number: a window timeout must not strand a gap in the
                 # link's sequence space.
                 self._wait_window(HEADER_SIZE + len(trace) + len(body))
-                # The replay window stores full wire bytes, so a trace
-                # block survives retransmission byte-identically.
+                # The replay window stores full wire bytes (one
+                # materialized copy — the price of replayability), so a
+                # trace block survives retransmission byte-identically.
                 wire = self._encoder.encode(link_id, body, count, trace)
                 seq = self._encoder.sequence(link_id) - 1
                 with self._state:

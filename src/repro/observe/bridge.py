@@ -126,6 +126,8 @@ def _scrape_buffers(
         "manual_flushes": 0.0,
         "bytes_flushed": 0.0,
         "packets_flushed": 0.0,
+        "buffers_recycled": 0.0,
+        "spare_allocs": 0.0,
     }
     pending = 0.0
     for buf in getattr(job, "buffers", []):
@@ -138,6 +140,16 @@ def _scrape_buffers(
         ("manual_flushes", "neptune_buffer_manual_flushes_total", "Forced flushes (drain)"),
         ("bytes_flushed", "neptune_buffer_bytes_flushed_total", "Bytes flushed downstream"),
         ("packets_flushed", "neptune_buffer_packets_flushed_total", "Packets flushed"),
+        (
+            "buffers_recycled",
+            "neptune_buffer_recycled_total",
+            "Flush bytearrays returned to the double-buffer pool",
+        ),
+        (
+            "spare_allocs",
+            "neptune_buffer_spare_allocs_total",
+            "Fresh bytearrays allocated because the spare pool was empty",
+        ),
     ):
         registry.counter(metric, lbl, help_).set_total(totals[key])
     registry.gauge(

@@ -177,3 +177,151 @@ class TestConcurrentFlushOrdering:
         finally:
             svc.stop()
         assert b"".join(order) == b"".join(payload)
+
+
+class TestDoubleBufferRecycle:
+    def test_flush_hands_over_pooled_bytearray(self):
+        bodies = []
+        buf = StreamBuffer(capacity=64, sink=lambda b, c: bodies.append(b))
+        buf.append(b"x" * 64)
+        assert isinstance(bodies[0], bytearray)
+        assert bytes(bodies[0]) == b"x" * 64
+
+    def test_steady_state_cycles_two_buffers_without_allocating(self):
+        bodies = []
+
+        def sink(body, count):
+            bodies.append(body)
+            buf.recycle(body)
+
+        buf = StreamBuffer(capacity=64, sink=sink)
+        for _ in range(6):
+            buf.append(b"x" * 64)
+        assert len(bodies) == 6
+        # The same two storage objects alternate; only one fresh
+        # bytearray was ever allocated to replace the one in flight.
+        assert len({id(b) for b in bodies}) <= 2
+        assert buf.spare_allocs == 1
+        assert buf.buffers_recycled == 6
+
+    def test_non_recycling_sink_keeps_body_contents(self):
+        sink = Sink()
+        buf = StreamBuffer(capacity=64, sink=sink)
+        buf.append(b"a" * 64)
+        buf.append(b"b" * 64)
+        # A legacy sink that retains bodies must see each batch intact.
+        assert [bytes(b) for b, _ in sink.flushes] == [b"a" * 64, b"b" * 64]
+
+    def test_recycle_ignores_foreign_bodies(self):
+        buf = StreamBuffer(capacity=64, sink=lambda b, c: None)
+        buf.recycle(b"immutable")
+        buf.recycle(memoryview(b"view"))
+        assert buf.buffers_recycled == 0
+
+    def test_recycle_pool_is_bounded(self):
+        buf = StreamBuffer(capacity=64, sink=lambda b, c: None)
+        for _ in range(5):
+            buf.recycle(bytearray(b"spare"))
+        assert buf.buffers_recycled == 2  # _SPARE_LIMIT
+
+    def test_recycle_drops_bytearray_with_live_export(self):
+        buf = StreamBuffer(capacity=64, sink=lambda b, c: None)
+        ba = bytearray(b"exported")
+        view = memoryview(ba)
+        buf.recycle(ba)  # clear() would raise BufferError — dropped
+        assert buf.buffers_recycled == 0
+        assert bytes(view) == b"exported"
+        view.release()
+
+
+class TestStaleClockScan:
+    """Regression: FlushTimerService computed `now` once per scan, so a
+    blocking sink made every later buffer's deadline check stale and
+    silently exceeded their max_delay bound."""
+
+    def test_buffer_becoming_due_during_blocked_sink_flushes_same_scan(self):
+        clock = ManualClock()
+        svc = FlushTimerService(clock=clock)
+        flushed = []
+
+        def slow_sink(body, count):
+            flushed.append("A")
+            clock.advance(0.5)  # the sink blocks 500ms under backpressure
+
+        a = StreamBuffer(capacity=1 << 20, sink=slow_sink, max_delay=0.5, clock=clock)
+        b = StreamBuffer(
+            capacity=1 << 20,
+            sink=lambda body, count: flushed.append("B"),
+            max_delay=0.5,
+            clock=clock,
+        )
+        svc.register(a)
+        svc.register(b)
+        a.append(b"a")  # deadline t=0.5
+        clock.advance(0.3)
+        b.append(b"b")  # deadline t=0.8
+        clock.advance(0.25)  # t=0.55: A due, B not yet
+        svc.scan_once()
+        # A's sink advanced the clock to t=1.05 > B's deadline.  With a
+        # scan-global timestamp B would wait for the next scan, blowing
+        # its latency bound; per-buffer clock reads flush it now.
+        assert flushed == ["A", "B"]
+
+    def test_sleep_delay_rereads_clock_after_blocking_flushes(self):
+        clock = ManualClock()
+        svc = FlushTimerService(clock=clock, max_poll=10.0)
+
+        def slow_sink(body, count):
+            clock.advance(0.4)
+
+        a = StreamBuffer(capacity=1 << 20, sink=slow_sink, max_delay=0.1, clock=clock)
+        b = StreamBuffer(
+            capacity=1 << 20, sink=lambda bd, c: None, max_delay=10.0, clock=clock
+        )
+        svc.register(a)
+        svc.register(b)
+        a.append(b"a")  # due at t=0.1
+        b.append(b"b")  # due at t=10.0
+        clock.advance(0.2)  # A due now
+        delay = svc.scan_once()  # flushing A advances the clock by 0.4
+        # Sleep until B's deadline must be measured from the *post-flush*
+        # clock (t=0.6): 10.0 - 0.6, not 10.0 - 0.2.
+        assert delay == pytest.approx(10.0 - 0.6)
+
+
+class TestSwapStress:
+    def test_capacity_flush_racing_timer_thread_loses_nothing(self):
+        """Worker-thread capacity flushes race the real timer thread
+        (plus recycling) — every packet arrives exactly once, in order."""
+        import struct
+
+        total = 20_000
+        record = struct.Struct("<q")
+        received = []
+        lock = threading.Lock()
+
+        def sink(body, count):
+            assert len(body) % record.size == 0
+            with lock:
+                received.extend(
+                    record.unpack_from(body, off)[0]
+                    for off in range(0, len(body), record.size)
+                )
+            buf.recycle(body)
+
+        buf = StreamBuffer(capacity=256, sink=sink, max_delay=0.001)
+        svc = FlushTimerService(max_poll=0.0005)
+        svc.register(buf)
+        svc.start()
+        try:
+            for i in range(total):
+                buf.append(record.pack(i))
+                if i % 1000 == 999:
+                    time.sleep(0.002)  # let the timer fire on partial buffers
+            buf.flush()
+        finally:
+            svc.stop()
+        assert len(received) == total, "lost or duplicated packets"
+        assert received == list(range(total)), "reordered packets"
+        assert buf.timer_flushes > 0, "timer thread never raced the worker"
+        assert buf.capacity_flushes > 0
