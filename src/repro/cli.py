@@ -7,6 +7,7 @@
     python -m repro.cli run graph.json [--duration 10] [--workers 2]
     python -m repro.cli trace [--example quickstart | DESC.json] [--sample-every N]
     python -m repro.cli metrics [--example quickstart | DESC.json] [--format prometheus|json]
+    python -m repro.cli doctor [--example quickstart | DESC.json] [--json] [--from-dump SNAP.json]
     python -m repro.cli experiment fig2|table1|gc|fig4|fig5|fig6|fig7|fig9|fig10|headline
     python -m repro.cli chaos [--mode wire|pipeline] [--seed N] [...]
     python -m repro.cli info
@@ -212,6 +213,96 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     else:
         print(export.to_json(obs))
     return 0 if ok else 1
+
+
+def cmd_doctor(args: argparse.Namespace) -> int:
+    """`doctor` subcommand: correlate signals into a root-cause report.
+
+    Live mode runs a graph with the health engine attached (online SLO
+    monitors + adaptive trace sampling) and diagnoses the resulting
+    snapshot; ``--from-dump`` diagnoses a snapshot written earlier by
+    ``--dump`` (or any ``repro.observe.export.snapshot`` JSON), so a
+    production incident can be analyzed post-hoc.
+    """
+    from repro.observe import doctor as doctor_mod
+
+    if args.from_dump:
+        with open(args.from_dump, "r", encoding="utf-8") as fh:
+            snap = json.load(fh)
+        report = doctor_mod.diagnose(snap, max_causes=args.max_causes)
+        _print_doctor(report, args.json)
+        return 0
+
+    from repro.observe import RuntimeObserver, bridge, export
+    from repro.observe.health import (
+        AdaptiveSampler,
+        HealthEngine,
+        default_slos,
+        graph_regions,
+    )
+
+    graph = _observed_graph(args)
+    obs = RuntimeObserver(sample_every=max(1, args.sample_every))
+    slos = default_slos(
+        graph.operators,
+        latency_budget=args.latency_budget,
+        e2e_budget=args.e2e_budget,
+    )
+    sampler = AdaptiveSampler(obs.tracer)
+    if args.workers > 1:
+        from repro.core.distributed import DistributedJob
+
+        job = DistributedJob(graph, n_workers=args.workers, observer=obs)
+        engine = HealthEngine(
+            obs,
+            slos,
+            scrape=lambda: bridge.scrape_distributed(obs.registry, job),
+            sampler=sampler,
+            regions=graph_regions(graph),
+            interval=args.scan_interval,
+        )
+        job.start()
+        engine.start()
+        ok = job.await_completion(timeout=args.drain_timeout)
+        engine.stop()
+        bridge.scrape_distributed(obs.registry, job)
+        job.stop()
+    else:
+        from repro.core import NeptuneRuntime
+
+        with NeptuneRuntime(observer=obs) as runtime:
+            handle = runtime.submit(graph)
+            engine = HealthEngine(
+                obs,
+                slos,
+                scrape=lambda: bridge.scrape_job(obs.registry, handle),
+                sampler=sampler,
+                regions=graph_regions(graph),
+                interval=args.scan_interval,
+            )
+            engine.start()
+            ok = handle.await_completion(timeout=args.drain_timeout)
+            engine.stop()
+            bridge.scrape_job(obs.registry, handle)
+    engine.scan_once()  # final verdict over the drained job's telemetry
+    bridge.scrape_observer(obs)
+    snap = export.snapshot(obs)
+    if args.dump:
+        with open(args.dump, "w", encoding="utf-8") as fh:
+            json.dump(snap, fh, indent=2, default=str, sort_keys=True)
+        print(f"wrote {args.dump}", file=sys.stderr)
+    report = doctor_mod.diagnose(snap, max_causes=args.max_causes)
+    _print_doctor(report, args.json)
+    return 0 if ok else 1
+
+
+def _print_doctor(report: dict, as_json: bool) -> None:
+    from repro.observe.doctor import render_report
+
+    if as_json:
+        print(json.dumps(report, indent=2, default=str, sort_keys=True))
+    else:
+        print(render_report(report))
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
@@ -481,6 +572,76 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_met.add_argument("--drain-timeout", type=float, default=60.0)
     p_met.set_defaults(fn=cmd_metrics)
+
+    p_doc = sub.add_parser(
+        "doctor", help="correlate health signals into a root-cause report"
+    )
+    p_doc.add_argument(
+        "descriptor", nargs="?", default=None, help="JSON graph descriptor"
+    )
+    p_doc.add_argument(
+        "--example",
+        default="quickstart",
+        help="examples/<NAME>.py exposing build_graph() (default: quickstart)",
+    )
+    p_doc.add_argument(
+        "--from-dump",
+        default=None,
+        metavar="SNAP.json",
+        help="diagnose a snapshot written by --dump instead of running a graph",
+    )
+    p_doc.add_argument(
+        "--dump",
+        default=None,
+        metavar="SNAP.json",
+        help="also write the raw observer snapshot for post-hoc diagnosis",
+    )
+    p_doc.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
+    p_doc.add_argument(
+        "--sample-every",
+        type=int,
+        default=50,
+        metavar="N",
+        help="base trace sampling interval (adaptive sampling densifies "
+        "breaching regions; default: 50)",
+    )
+    p_doc.add_argument(
+        "--latency-budget",
+        type=float,
+        default=0.05,
+        metavar="SEC",
+        help="per-operator p99 stage-latency SLO (default: 0.05s)",
+    )
+    p_doc.add_argument(
+        "--e2e-budget",
+        type=float,
+        default=0.25,
+        metavar="SEC",
+        help="job-wide traced end-to-end delay SLO (default: 0.25s)",
+    )
+    p_doc.add_argument(
+        "--scan-interval",
+        type=float,
+        default=0.05,
+        metavar="SEC",
+        help="health-engine scan period (default: 0.05s)",
+    )
+    p_doc.add_argument(
+        "--max-causes",
+        type=int,
+        default=3,
+        help="ranked causes reported per breach episode (default: 3)",
+    )
+    p_doc.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="deploy across N resources over TCP (default: local runtime)",
+    )
+    p_doc.add_argument("--drain-timeout", type=float, default=60.0)
+    p_doc.set_defaults(fn=cmd_doctor)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p_exp.add_argument(

@@ -347,7 +347,7 @@ class _InstanceRuntime(ComputationalTask):
             )
             return TraceNote(active.note.trace_id, active.note.hop + 1, now)
         if self.spec.is_source:
-            ctx = obs.tracer.maybe_sample()
+            ctx = obs.tracer.maybe_sample(self.spec.name)
             if ctx is not None:
                 return TraceNote(ctx.trace_id, 0, now)
         return None
@@ -606,12 +606,24 @@ class NeptuneRuntime:
                 sender.out_links.setdefault(link.stream, []).append(out)
 
         # Backpressure visibility: watermark gate transitions land on
-        # the observer's event timeline.
+        # the observer's event timeline, carrying the upstream operators
+        # the closed gate throttles so `repro doctor` can reconstruct
+        # the cascade (which stalled buffer throttled which senders).
         if self.observer is not None:
+            upstream: dict[str, list[str]] = {}
+            for link in graph.links:
+                ops = upstream.setdefault(link.to_op, [])
+                if link.from_op not in ops:
+                    ops.append(link.from_op)
             for inst in job.all_instances():
                 if inst.channel is not None:
                     inst.channel.on_gate_change(
-                        self._make_gate_callback(self.observer, inst.op_label)
+                        self._make_gate_callback(
+                            self.observer,
+                            inst.op_label,
+                            inst.channel,
+                            tuple(upstream.get(inst.spec.name, ())),
+                        )
                     )
 
         # 3. Launch on the (lazily sized) Granules resource.
@@ -641,12 +653,32 @@ class NeptuneRuntime:
         return True  # dict spec → enabled with overrides (future use)
 
     @staticmethod
-    def _make_gate_callback(obs: Any, operator: str):
+    def _make_gate_callback(
+        obs: Any,
+        operator: str,
+        channel: WatermarkChannel | None = None,
+        throttles: tuple[str, ...] = (),
+    ):
+        """Timeline hook for one inbound channel's watermark gate.
+
+        ``gate_closed`` names the operator whose buffer filled and the
+        upstream operators its gate throttles; ``gate_opened`` adds the
+        closed episode's duration.  Invoked by the channel *outside*
+        its lock (see ``WatermarkChannel._set_gate``).
+        """
+
         def on_gate(gated: bool) -> None:
+            attrs: dict[str, object] = {"operator": operator}
+            if throttles:
+                attrs["throttles"] = list(throttles)
+            if channel is not None:
+                attrs["buffered_bytes"] = channel.buffered_bytes
+                if not gated:
+                    attrs["gated_seconds"] = channel.last_gate_seconds
             obs.event(
                 "flowcontrol",
                 "gate_closed" if gated else "gate_opened",
-                operator=operator,
+                **attrs,
             )
 
         return on_gate

@@ -19,6 +19,7 @@ exactly as the paper describes; in-process links block directly.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Callable
 
 from repro.util.errors import NeptuneError
@@ -74,6 +75,9 @@ class WatermarkChannel:
         # Observability / backpressure metrics.
         self.writer_blocks = 0
         self.gate_trips = 0
+        self.gated_seconds = 0.0  # cumulative time the gate was closed
+        self.last_gate_seconds = 0.0  # duration of the last closed episode
+        self._gated_since = 0.0
         self._on_gate: Callable[[bool], None] | None = None
         self._on_data: Callable[[], None] | None = None
 
@@ -107,6 +111,11 @@ class WatermarkChannel:
         self._gated = gated
         if gated:
             self.gate_trips += 1
+            self._gated_since = time.monotonic()
+        else:
+            duration = time.monotonic() - self._gated_since
+            self.last_gate_seconds = duration
+            self.gated_seconds += duration
         return self._on_gate
 
     def put(self, size: int, item: Any, timeout: float | None = None) -> bool:

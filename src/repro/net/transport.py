@@ -276,6 +276,7 @@ class TcpTransport(Transport):
         self.acked_frames = 0
         self.reconnects = 0
         self.replayed_frames = 0
+        self.send_stalls = 0
         if retry is not None:
             self._start_ack_reader(self._sock, self._conn_gen)
 
@@ -409,17 +410,27 @@ class TcpTransport(Transport):
                 self.frames_sent += 1
 
     def _wait_window(self, incoming: int) -> None:
-        """Block until the replay window can absorb ``incoming`` bytes."""
+        """Block until the replay window can absorb ``incoming`` bytes.
+
+        A send that actually has to wait is a *stall*: the receiver is
+        not acking fast enough to keep the window open — the TCP-level
+        face of backpressure.  Stalls are counted and land on the
+        timeline so ``repro doctor`` can fold them into cascades.
+        """
         assert self._retry is not None
         deadline = (
             None
             if self._retry.send_timeout is None
             else time.monotonic() + self._retry.send_timeout
         )
+        stalled_at: float | None = None
         with self._state:
             while self._unacked_bytes + incoming > self._retry.replay_window_bytes:
                 if self._conn_dead:
                     break  # recover (with the lock held by our caller)
+                if stalled_at is None:
+                    stalled_at = time.monotonic()
+                    self.send_stalls += 1
                 remaining = 0.05 if deadline is None else min(0.05, deadline - time.monotonic())
                 if deadline is not None and remaining <= 0:
                     raise TransportError(
@@ -427,6 +438,14 @@ class TcpTransport(Transport):
                         f"({self._unacked_bytes} unacked bytes): receiver not acking"
                     )
                 self._acks.wait(remaining)
+        if stalled_at is not None and self._observer is not None:
+            self._observer.event(
+                "transport",
+                "send_stall",
+                endpoint=f"{self._host}:{self._port}",
+                stalled_seconds=time.monotonic() - stalled_at,
+                window_bytes=self._retry.replay_window_bytes,
+            )
         if self._conn_dead:
             self._recover()
 

@@ -22,6 +22,13 @@ visible without bespoke probes:
   reconnects, chaos injections) under one schema.
 - :mod:`repro.observe.export` — Prometheus text exposition and JSON
   snapshot dumps; ``repro trace`` / ``repro metrics`` CLI front-ends.
+- :mod:`repro.observe.health` — the streaming health engine: online
+  SLO monitors (breach/recover state machines over registry scans,
+  exported as ``neptune_slo_*``) and the adaptive trace-sampling
+  feedback controller.
+- :mod:`repro.observe.doctor` — root-cause correlation: breach
+  episodes ranked against backpressure cascades, injected faults, and
+  transport stalls; the ``repro doctor`` CLI front-end.
 
 Everything is opt-in: a runtime without a :class:`RuntimeObserver`
 pays a single ``is None`` check on the hot paths, and an attached
@@ -30,6 +37,14 @@ observer with ``sample_every=0`` records no spans.
 
 from __future__ import annotations
 
+from repro.observe.doctor import diagnose, diagnose_observer, render_report
+from repro.observe.health import (
+    SLO,
+    AdaptiveSampler,
+    HealthEngine,
+    default_slos,
+    graph_regions,
+)
 from repro.observe.instruments import (
     Counter,
     Gauge,
@@ -50,6 +65,14 @@ from repro.observe.tracing import (
 )
 
 __all__ = [
+    "SLO",
+    "AdaptiveSampler",
+    "HealthEngine",
+    "default_slos",
+    "diagnose",
+    "diagnose_observer",
+    "graph_regions",
+    "render_report",
     "Counter",
     "Gauge",
     "Histogram",

@@ -114,6 +114,11 @@ def _scrape_flowcontrol(
         registry.counter(
             "neptune_flowcontrol_writer_blocks_total", labels, "Writers blocked by the gate"
         ).set_total(float(channel.writer_blocks))
+        registry.counter(
+            "neptune_flowcontrol_gated_seconds_total",
+            labels,
+            "Cumulative seconds the channel gate spent closed",
+        ).set_total(float(getattr(channel, "gated_seconds", 0.0)))
 
 
 def _scrape_buffers(
@@ -241,6 +246,11 @@ def scrape_transport(
         ("acked_frames", "neptune_transport_acked_frames_total", "Frames acknowledged"),
         ("reconnects", "neptune_transport_reconnects_total", "Successful reconnects"),
         ("replayed_frames", "neptune_transport_replayed_frames_total", "Frames replayed"),
+        (
+            "send_stalls",
+            "neptune_transport_send_stalls_total",
+            "Sends that blocked on a full replay window",
+        ),
     ):
         registry.counter(metric, lbl, help_).set_total(float(getattr(transport, attr, 0)))
     registry.gauge(
@@ -288,6 +298,11 @@ def scrape_observer(observer: Any) -> None:
     registry.gauge(
         "neptune_timeline_events_retained", None, "Events currently in the ring"
     ).set(float(len(observer.timeline)))
+    registry.counter(
+        "neptune_timeline_dropped_total",
+        None,
+        "Events overwritten on ring wrap (diagnosis completeness)",
+    ).set_total(float(getattr(observer.timeline, "dropped", 0)))
     registry.gauge(
         "neptune_trace_traces", None, "Distinct traces stored"
     ).set(float(len(observer.collector)))

@@ -11,12 +11,18 @@ from repro.observe.observer import RuntimeObserver
 __all__ = ["snapshot", "to_json", "to_prometheus"]
 
 
-def _escape(value: str) -> str:
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per text format 0.0.4: ``\\``, ``"``, newline."""
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
+def _escape_help(value: str) -> str:
+    """Escape HELP text: only ``\\`` and newline (quotes stay literal)."""
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _labels_text(labels: LabelsKey, extra: str = "") -> str:
-    parts = [f'{k}="{_escape(v)}"' for k, v in labels]
+    parts = [f'{k}="{_escape_label_value(v)}"' for k, v in labels]
     if extra:
         parts.append(extra)
     if not parts:
@@ -41,7 +47,7 @@ def to_prometheus(registry: TelemetryRegistry) -> str:
     for sample in registry.collect():
         if sample.name not in announced:
             if sample.help:
-                lines.append(f"# HELP {sample.name} {_escape(sample.help)}")
+                lines.append(f"# HELP {sample.name} {_escape_help(sample.help)}")
             lines.append(f"# TYPE {sample.name} {sample.kind}")
             announced[sample.name] = sample.kind
         if sample.kind == "histogram":
@@ -88,6 +94,7 @@ def snapshot(observer: RuntimeObserver) -> Dict[str, Any]:
         "instruments": instruments,
         "timeline": [e.as_dict() for e in observer.timeline.snapshot()],
         "timeline_evicted": observer.timeline.evicted,
+        "timeline_dropped": observer.timeline.dropped,
         "traces": traces,
         "traces_dropped_spans": observer.collector.dropped,
     }

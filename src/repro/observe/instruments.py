@@ -16,6 +16,7 @@ seconds (Prometheus convention).
 
 from __future__ import annotations
 
+import re
 import threading
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
@@ -55,6 +56,13 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
 
 class RegistryFull(RuntimeError):
     """Raised when the registry's instrument cap would be exceeded."""
+
+
+#: Prometheus text-format grammar: metric names admit colons, label
+#: names do not.  Validated once per instrument creation (not per
+#: update), so the hot paths never pay for it.
+_METRIC_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_LABEL_NAME_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
 
 
 def _labels_key(labels: Optional[Mapping[str, str]]) -> LabelsKey:
@@ -268,6 +276,17 @@ class TelemetryRegistry:
                 raise RegistryFull(
                     f"registry cap {self._max} reached; refusing {name!r}"
                 )
+            if _METRIC_NAME_RE.match(name) is None:
+                raise ValueError(
+                    f"invalid metric name {name!r}: must match "
+                    "[a-zA-Z_:][a-zA-Z0-9_:]*"
+                )
+            for label_name, _ in key[1]:
+                if _LABEL_NAME_RE.match(label_name) is None:
+                    raise ValueError(
+                        f"invalid label name {label_name!r} on {name!r}: "
+                        "must match [a-zA-Z_][a-zA-Z0-9_]*"
+                    )
             instrument = factory(key[1])
             self._instruments[key] = instrument
             self._kinds[name] = kind

@@ -76,11 +76,19 @@ class EventTimeline:
         self._events: Deque[RuntimeEvent] = deque(maxlen=capacity)
         self._lock = threading.Lock()
         self._recorded = 0
+        self._dropped = 0
 
     def record(self, category: str, name: str, **attrs: object) -> RuntimeEvent:
-        """Append one event stamped with the timeline's clock."""
+        """Append one event stamped with the timeline's clock.
+
+        A full ring drops its oldest event to admit the new one; the
+        drop is counted (:attr:`dropped`) so consumers — notably
+        ``repro doctor`` — can tell a complete record from a window.
+        """
         event = RuntimeEvent(self._clock.now(), category, name, dict(attrs))
         with self._lock:
+            if len(self._events) >= self.capacity:
+                self._dropped += 1
             self._events.append(event)
             self._recorded += 1
         return event
@@ -96,6 +104,12 @@ class EventTimeline:
         """Events pushed out of the ring by newer ones."""
         with self._lock:
             return self._recorded - len(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Events overwritten on ring wrap (diagnosis completeness)."""
+        with self._lock:
+            return self._dropped
 
     def __len__(self) -> int:
         with self._lock:

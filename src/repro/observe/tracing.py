@@ -192,6 +192,14 @@ class Tracer:
     ``sample_every=N`` traces every N-th source-emitted packet
     (per tracer, across sources); ``0`` disables tracing entirely —
     the emit hot path then pays one attribute read and one comparison.
+
+    Per-source overrides (:meth:`set_rate`) let a feedback controller
+    concentrate sampling on the sources feeding an unhealthy graph
+    region: an overridden source keeps its own deterministic counter,
+    so raising one source's rate never perturbs the sampling sequence
+    of the others.  Overrides only matter while the tracer is enabled:
+    instances cache ``sample_every > 0`` at construction, so a tracer
+    built with ``sample_every=0`` stays dark for the job's lifetime.
     """
 
     def __init__(self, sample_every: int = 0) -> None:
@@ -200,6 +208,8 @@ class Tracer:
         self.sample_every = sample_every
         self._counter = 0
         self._next_id = 1
+        self._rates: Dict[str, int] = {}
+        self._source_counters: Dict[str, int] = {}
         self._lock = threading.Lock()
 
     @property
@@ -207,13 +217,43 @@ class Tracer:
         """Whether any packets are being sampled."""
         return self.sample_every > 0
 
-    def maybe_sample(self) -> Optional[TraceContext]:
-        """Return a fresh hop-0 context for every N-th call, else None."""
+    def set_rate(self, source: str, every: int) -> None:
+        """Override ``sample_every`` for packets emitted by ``source``."""
+        if every < 1:
+            raise ValueError(f"per-source rate must be >= 1: {every}")
+        with self._lock:
+            self._rates[source] = every
+
+    def clear_rate(self, source: str) -> None:
+        """Drop a per-source override (back to the tracer-wide rate)."""
+        with self._lock:
+            self._rates.pop(source, None)
+            self._source_counters.pop(source, None)
+
+    def rates(self) -> Dict[str, int]:
+        """Snapshot of the per-source overrides currently in force."""
+        with self._lock:
+            return dict(self._rates)
+
+    def maybe_sample(self, source: Optional[str] = None) -> Optional[TraceContext]:
+        """Return a fresh hop-0 context for every N-th call, else None.
+
+        ``source`` names the emitting source operator; it selects a
+        per-source rate override when one is set and is otherwise
+        ignored (legacy callers pass nothing).
+        """
         if self.sample_every <= 0:
             return None
         with self._lock:
-            self._counter += 1
-            if self._counter % self.sample_every != 0:
+            every = self.sample_every
+            if source is not None and source in self._rates:
+                every = self._rates[source]
+                count = self._source_counters.get(source, 0) + 1
+                self._source_counters[source] = count
+            else:
+                self._counter += 1
+                count = self._counter
+            if count % every != 0:
                 return None
             trace_id = self._next_id
             self._next_id += 1

@@ -27,5 +27,6 @@ claims rest on:
 
 from repro.sim.engine import Simulator, Event, Process, Interrupt
 from repro.sim.calibration import Calibration
+from repro.sim.simclock import SimClock
 
-__all__ = ["Simulator", "Event", "Process", "Interrupt", "Calibration"]
+__all__ = ["Simulator", "Event", "Process", "Interrupt", "Calibration", "SimClock"]

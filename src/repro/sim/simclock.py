@@ -1,0 +1,51 @@
+"""A :class:`~repro.util.clock.Clock` over the simulator's virtual time.
+
+The chaos scheduler (:func:`repro.chaos.simfaults.schedule_sim_faults`)
+records fired faults on the observer's timeline *at virtual fire time*,
+but :class:`~repro.observe.timeline.EventTimeline` stamps events with
+its clock — a real-clock observer therefore stamps a fault scheduled at
+``t=5.0`` with whatever ``time.monotonic()`` happens to read, putting
+injected faults and SLO breaches on different clocks and making causal
+attribution in ``repro doctor`` meaningless.
+
+Wrap the simulator instead::
+
+    sim = Simulator()
+    obs = RuntimeObserver(clock=SimClock(sim))
+
+Now every timeline event — chaos injections, health-engine breach
+transitions, anything recorded from inside a simulated process — is
+stamped with ``sim.now``, one causally-ordered clock end to end.
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import Simulator
+from repro.util.clock import Clock
+
+__all__ = ["SimClock"]
+
+
+class SimClock(Clock):
+    """Read-only clock adapter exposing ``Simulator.now``.
+
+    Virtual time only advances by running the simulator, so
+    :meth:`sleep` cannot block the calling thread until a deadline —
+    model code must yield delays to the simulator instead.  Calling it
+    is therefore an error, not a silent no-op that would corrupt
+    timing-sensitive callers.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self._sim = sim
+
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return float(self._sim.now)
+
+    def sleep(self, seconds: float) -> None:
+        """Unsupported: virtual time advances via the event heap."""
+        raise RuntimeError(
+            "SimClock cannot sleep: yield the delay to the simulator "
+            "(e.g. `yield seconds` inside a process) instead"
+        )

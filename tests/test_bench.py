@@ -64,6 +64,14 @@ class TestSmokeProfile:
         buffer = data["scenarios"]["buffer"]
         assert buffer["appends_per_sec"] > 0
         assert buffer["spare_allocs"] <= 2  # double-buffer pool held
+        health = data["scenarios"]["health"]
+        assert health["packets_per_sec_monitors_off"] > 0
+        assert health["packets_per_sec_monitors_on"] > 0
+        assert health["health_scans"] >= 0
+        # Smoke runs are too short to bound the ratio, but it must at
+        # least be a sane fraction (the in-scenario <3% assert guards
+        # the quick/full tiers).
+        assert 0.0 <= health["overhead_frac"] < 1.0
         # A report never regresses against itself.
         assert check_regression(data, data) == []
 
