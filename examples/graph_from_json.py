@@ -39,7 +39,7 @@ DESCRIPTOR = {
         },
     ],
     "links": [
-        {"from": "sensor-feed", "to": "relay", "partitioning": "shuffle"},
+        {"from": "sensor-feed", "to": "relay", "partitioning": {"scheme": "shuffle", "seed": 3}},
         {"from": "relay", "to": "sink", "partitioning": "round-robin"},
     ],
 }

@@ -1,32 +1,35 @@
 #!/usr/bin/env python3
-"""True multi-process deployment: separate OS processes over TCP.
+"""True multi-process deployment via the ``repro.cluster`` coordinator.
 
 The paper's deployment unit is a Granules resource per machine.  This
-example launches two worker *processes* (their own interpreters — no
-shared GIL), each hosting part of the Fig. 1 relay.  Stream frames flow
-worker-to-worker over TCP; a coordinator in this parent process drives
-start/drain/metrics through each worker's control port.
+example shards the Fig. 1 relay across two worker *processes* (their
+own interpreters — no shared GIL) and drives them from this parent
+process: the :class:`~repro.cluster.ClusterCoordinator` plans the
+shards, reserves ports, spawns the workers (``multiprocessing`` spawn
+context), wires their data planes together, and coordinates the global
+drain through each worker's control port.
+
+Stream frames flow worker-to-worker over Unix-domain sockets here
+(``fabric="unix"`` — same framing/ack/replay protocol as TCP, no TCP
+stack in the path); switch to ``fabric="tcp"`` for the loopback-TCP
+data plane, which is what a multi-host deployment would use.
+
+The same topology runs from the command line:
+
+    python -m repro.cli cluster launch examples/descriptors/fig1_relay.json \
+        --workers 2 --fabric unix
 
 Run:  python examples/multiprocess_cluster.py
 """
 
-import json
-import subprocess
-import sys
-import tempfile
-import os
-
+from repro.cluster import ClusterCoordinator
 from repro.core import StreamProcessingGraph
-from repro.core.control import RemoteDistributedJob, RemoteWorker, plan_to_json
-from repro.core.distributed import round_robin_plan
 from repro.core.graph import descriptor_factory
 
 TOTAL = 5_000
-DATA_PORTS = (47311, 47312)
-CONTROL_PORTS = (47321, 47322)
 
 
-def build_descriptor() -> dict:
+def build_graph() -> StreamProcessingGraph:
     graph = StreamProcessingGraph("multiprocess-relay")
     graph.add_source(
         "sender",
@@ -44,58 +47,28 @@ def build_descriptor() -> dict:
         descriptor_factory("repro.workloads.operators:CollectingSink"),
     )
     graph.link("sender", "relay").link("relay", "receiver")
-    return graph.to_descriptor()
-
-
-def build_graph():
-    return StreamProcessingGraph.from_descriptor(build_descriptor())
+    return graph
 
 
 def main():
-    desc = build_descriptor()
-    graph = StreamProcessingGraph.from_descriptor(desc)
-    plan = round_robin_plan(graph, n_workers=2)
-    endpoints = {str(w): ["127.0.0.1", DATA_PORTS[w]] for w in range(2)}
-
-    with tempfile.TemporaryDirectory() as tmp:
-        desc_path = os.path.join(tmp, "graph.json")
-        with open(desc_path, "w", encoding="utf-8") as fh:
-            json.dump(desc, fh)
-
-        procs = []
-        try:
-            for worker_id in range(2):
-                procs.append(
-                    subprocess.Popen(
-                        [
-                            sys.executable,
-                            "-m",
-                            "repro.core.control",
-                            "--descriptor", desc_path,
-                            "--worker-id", str(worker_id),
-                            "--plan", plan_to_json(plan),
-                            "--endpoints", json.dumps(endpoints),
-                            "--listen-port", str(DATA_PORTS[worker_id]),
-                            "--control-port", str(CONTROL_PORTS[worker_id]),
-                        ]
-                    )
-                )
-            print("launched worker processes:", [p.pid for p in procs])
-
-            proxies = [RemoteWorker("127.0.0.1", port) for port in CONTROL_PORTS]
-            job = RemoteDistributedJob(proxies)
-            ok = job.await_completion(timeout=180)
-            print(f"coordinated drain complete: {ok}")
-
-            for p in procs:
-                p.wait(timeout=30)
-        finally:
-            for p in procs:
-                if p.poll() is None:
-                    p.kill()
-    print("worker processes exited:", [p.returncode for p in procs])
-    assert ok
-    assert all(p.returncode == 0 for p in procs)
+    coordinator = ClusterCoordinator(build_graph(), n_workers=2, fabric="unix")
+    try:
+        coordinator.launch(connect_timeout=120)
+        for entry in coordinator.status():
+            host, port = entry["endpoint"]
+            print(
+                f"worker {entry['worker_id']} pid={entry['pid']} data={host}"
+                + (f":{port}" if port else "")
+            )
+        ok = coordinator.await_completion(timeout=180)
+        print(f"coordinated drain complete: {ok}")
+        metrics = coordinator.metrics()
+        delivered = metrics["receiver"]["packets_in"]
+        print(f"delivered {delivered}/{TOTAL} packets across the shard fabric")
+        assert ok
+        assert delivered == TOTAL
+    finally:
+        coordinator.terminate()
 
 
 if __name__ == "__main__":

@@ -30,6 +30,7 @@ NEPG118      warning   fan-in flush overshoot far beyond the high watermark
 NEPG119      error     latency budget infeasible for the deepest path
 NEPG120      warning   partitioning scheme pointless at parallelism 1
 NEPG121      warning   source has no outgoing links
+NEPG122      warning   non-deterministic partitioning cannot be sharded
 ===========  ========  =====================================================
 
 ``StreamProcessingGraph.validate()`` delegates its structural, schema,
@@ -377,6 +378,19 @@ class GraphVerifier:
                 "parallelism 1 routes every packet to the same instance",
                 where=where,
                 hint="raise the consumer's parallelism or use round-robin",
+            )
+        if dest.parallelism > 1 and not getattr(scheme, "deterministic", True):
+            self.report.add(
+                "NEPG122",
+                Severity.WARNING,
+                f"{scheme.name} partitioning into {lk.to_op!r} "
+                f"(parallelism {dest.parallelism}) routes "
+                "non-deterministically; the link cannot be sharded across "
+                "worker processes because replay after a crash would "
+                "re-route packets to different instances",
+                where=where,
+                hint="seed the scheme (e.g. shuffle with an explicit seed) "
+                "or switch to round-robin/fields partitioning",
             )
 
     def _check_input_contract(

@@ -37,12 +37,26 @@ class BenchProfile:
     relay_packets: int
     #: StreamBuffer.max_delay bound used (and checked) by the relay.
     relay_max_delay: float
+    #: Packets pushed through each multi-process cluster run; 0 (the
+    #: smoke tier) skips the scenario — process spawning is banned from
+    #: tier-1 test runs.
+    cluster_packets: int = 0
+    #: Per-packet exclusive service time modelling GIL-bound work (see
+    #: ``ExclusiveServiceProcessor``).
+    cluster_service_time: float = 0.001
+    #: Worker-process counts to measure; the scale-up ratio is taken
+    #: between the largest and smallest entry.
+    cluster_worker_counts: tuple[int, ...] = ()
 
 
 PROFILES: dict[str, BenchProfile] = {
     "smoke": BenchProfile("smoke", 2_000, 1, 4_000, 2_000, 0.005),
-    "quick": BenchProfile("quick", 20_000, 3, 100_000, 40_000, 0.005),
-    "full": BenchProfile("full", 100_000, 5, 400_000, 150_000, 0.005),
+    "quick": BenchProfile(
+        "quick", 20_000, 3, 100_000, 40_000, 0.005, 2_400, 0.002, (1, 4)
+    ),
+    "full": BenchProfile(
+        "full", 100_000, 5, 400_000, 150_000, 0.005, 6_000, 0.002, (1, 2, 4)
+    ),
 }
 
 

@@ -42,6 +42,7 @@ GUARDED_THROUGHPUT: tuple[tuple[str, str], ...] = (
 GUARDED_RATIOS: tuple[tuple[str, str], ...] = (
     ("codec", "encode_speedup"),
     ("codec", "decode_speedup"),
+    ("cluster_scaling", "scaleup_w4"),
 )
 
 

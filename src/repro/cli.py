@@ -10,6 +10,9 @@
     python -m repro.cli doctor [--example quickstart | DESC.json] [--json] [--from-dump SNAP.json]
     python -m repro.cli experiment fig2|table1|gc|fig4|fig5|fig6|fig7|fig9|fig10|headline
     python -m repro.cli chaos [--mode wire|pipeline] [--seed N] [...]
+    python -m repro.cli cluster launch DESC.json [--workers N] [--fabric tcp|unix]
+    python -m repro.cli cluster status --state STATE.json
+    python -m repro.cli cluster stop --state STATE.json
     python -m repro.cli info
 
 ``run`` deploys a JSON graph descriptor on the local runtime (or the
@@ -20,7 +23,11 @@ over runtime source — and exits non-zero on findings (the CI gate);
 ``experiment`` regenerates one of the paper's tables/figures on the
 simulator; ``chaos`` runs a seeded fault-injection scenario against
 the TCP recovery protocol and exits 0 iff delivery stayed
-exactly-once; ``trace`` runs a graph with causal packet tracing on and
+exactly-once; ``cluster`` shards a descriptor across real worker
+*processes* (the multi-process data plane — ``launch`` runs it in the
+foreground, ``status``/``stop`` attach to a running cluster through
+the ``--state`` file ``launch`` wrote); ``trace`` runs a graph with
+causal packet tracing on and
 prints the per-stage latency breakdown; ``metrics`` runs a graph and
 exports the unified telemetry registry (Prometheus text exposition or
 a JSON snapshot).
@@ -446,6 +453,122 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cluster_launch(args: argparse.Namespace) -> int:
+    """`cluster launch`: shard a descriptor across worker processes.
+
+    Runs in the foreground; ``--state`` additionally writes a JSON
+    handle that ``cluster status`` / ``cluster stop`` (from another
+    terminal) use to attach to the live workers.
+    """
+    from repro.cluster import ClusterCoordinator
+    from repro.core.control import ControlError
+
+    graph = _load_graph(args.descriptor)
+    coordinator = ClusterCoordinator(
+        graph,
+        n_workers=args.workers,
+        fabric=args.fabric,
+        log_dir=args.log_dir,
+    )
+    try:
+        coordinator.launch(connect_timeout=args.connect_timeout)
+        if args.state:
+            coordinator.write_state(args.state)
+            print(f"wrote cluster state to {args.state}")
+        for entry in coordinator.status():
+            host, port = entry["endpoint"]
+            print(
+                f"worker {entry['worker_id']} pid={entry['pid']} "
+                f"data={host}:{port} control=127.0.0.1:{entry['control_port']}"
+            )
+        if args.duration > 0:
+            time.sleep(args.duration)
+            ok = coordinator.stop(timeout=args.drain_timeout)
+        else:
+            ok = coordinator.await_completion(timeout=args.drain_timeout)
+        try:
+            failures = (
+                coordinator.job.failures() if coordinator.job is not None else {}
+            )
+            metrics = coordinator.metrics()
+        except ControlError:
+            # The workers are gone and no final snapshot exists — e.g.
+            # an external `cluster stop` already drained and stopped
+            # them (that terminal printed the final metrics).
+            print(f"job {graph.name!r}: workers already stopped")
+            return 0 if ok else 1
+        _print_metrics(graph.name, ok, metrics, failures)
+        return 0 if ok and not failures else 1
+    finally:
+        coordinator.terminate()
+
+
+def _load_cluster_state(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except FileNotFoundError:
+        raise SystemExit(f"repro.cli cluster: error: no state file at {path!r}")
+
+
+def cmd_cluster_status(args: argparse.Namespace) -> int:
+    """`cluster status`: attach read-only to a running cluster."""
+    import os
+
+    from repro.cluster import attach_proxies
+    from repro.core.control import ControlError
+
+    state = _load_cluster_state(args.state)
+    alive = 0
+    for entry in state.get("workers", []):
+        pid = entry.get("pid")
+        try:
+            proxies = attach_proxies(
+                {"workers": [entry]}, connect_timeout=args.connect_timeout
+            )
+        except (ControlError, OSError):
+            print(f"worker {entry['worker_id']} pid={pid}: UNREACHABLE")
+            continue
+        proxy = proxies[0]
+        try:
+            quiet = proxy.is_quiet()
+            n_fail = len(proxy.failures)
+            sink_in = sum(
+                m.get("packets_in", 0) for m in proxy.metrics().values()
+            )
+        finally:
+            proxy.close()
+        alive += 1
+        print(
+            f"worker {entry['worker_id']} pid={pid}: up "
+            f"quiet={quiet} failures={n_fail} packets_in={sink_in}"
+        )
+        if os.name == "posix" and isinstance(pid, int):
+            try:
+                os.kill(pid, 0)
+            except OSError:
+                print(f"  note: control port answers but pid {pid} is gone")
+    total = len(state.get("workers", []))
+    print(f"{alive}/{total} workers reachable")
+    return 0 if alive == total else 1
+
+
+def cmd_cluster_stop(args: argparse.Namespace) -> int:
+    """`cluster stop`: drain and stop a running cluster via its state file."""
+    from repro.cluster import attach_proxies
+    from repro.core.control import ControlError, RemoteDistributedJob
+
+    state = _load_cluster_state(args.state)
+    try:
+        proxies = attach_proxies(state, connect_timeout=args.connect_timeout)
+    except (ControlError, OSError) as exc:
+        raise SystemExit(f"repro.cli cluster: error: cannot attach: {exc}")
+    job = RemoteDistributedJob(proxies)
+    ok = job.stop(timeout=args.drain_timeout)
+    _print_metrics("cluster", ok, job.metrics(), {})
+    return 0 if ok else 1
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     """`info` subcommand: version and usage."""
     import repro
@@ -709,6 +832,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed fractional drop before --check fails (default 0.10)",
     )
     p_bench.set_defaults(fn=cmd_bench)
+
+    p_cluster = sub.add_parser(
+        "cluster", help="multi-process sharded data plane (launch/status/stop)"
+    )
+    cluster_sub = p_cluster.add_subparsers(dest="action", required=True)
+
+    p_cl = cluster_sub.add_parser(
+        "launch", help="shard a descriptor across N worker processes"
+    )
+    p_cl.add_argument("descriptor")
+    p_cl.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker processes to spawn (default: 2)",
+    )
+    p_cl.add_argument(
+        "--fabric",
+        choices=["tcp", "unix"],
+        default="tcp",
+        help="shard interconnect: TCP loopback or Unix domain sockets",
+    )
+    p_cl.add_argument(
+        "--state",
+        default=None,
+        metavar="STATE.json",
+        help="write an attach handle for `cluster status` / `cluster stop`",
+    )
+    p_cl.add_argument(
+        "--log-dir",
+        default=None,
+        metavar="DIR",
+        help="redirect each worker's stdout/stderr to DIR/worker-N.log",
+    )
+    p_cl.add_argument(
+        "--duration",
+        type=float,
+        default=0.0,
+        help="seconds to run before stopping (0 = wait for sources to finish)",
+    )
+    p_cl.add_argument("--drain-timeout", type=float, default=60.0)
+    p_cl.add_argument("--connect-timeout", type=float, default=60.0)
+    p_cl.set_defaults(fn=cmd_cluster_launch)
+
+    p_cs = cluster_sub.add_parser(
+        "status", help="probe a running cluster through its state file"
+    )
+    p_cs.add_argument("--state", required=True, metavar="STATE.json")
+    p_cs.add_argument("--connect-timeout", type=float, default=5.0)
+    p_cs.set_defaults(fn=cmd_cluster_status)
+
+    p_cx = cluster_sub.add_parser(
+        "stop", help="drain and stop a running cluster through its state file"
+    )
+    p_cx.add_argument("--state", required=True, metavar="STATE.json")
+    p_cx.add_argument("--drain-timeout", type=float, default=60.0)
+    p_cx.add_argument("--connect-timeout", type=float, default=5.0)
+    p_cx.set_defaults(fn=cmd_cluster_stop)
 
     p_info = sub.add_parser("info", help="version and usage")
     p_info.set_defaults(fn=cmd_info)

@@ -1,0 +1,340 @@
+"""Cluster coordinator: plan shards, spawn worker processes, drive them.
+
+The control plane half of the process split: one coordinator object
+owns N worker *processes* (``multiprocessing`` spawn context — fresh
+interpreters, no forked locks), ships each a :class:`WorkerSpec`,
+connects a :class:`~repro.core.control.RemoteWorker` proxy to every
+control port, and reuses :class:`~repro.core.control.RemoteDistributedJob`
+for the coordinated global drain.  The data plane between shards is
+the workers' own :class:`~repro.net.transport.TcpTransport` links —
+over loopback TCP, or over Unix-domain sockets when ``fabric="unix"``.
+
+Failure semantics: a worker that dies mid-stream can be respawned with
+the *identical* spec (:meth:`ClusterCoordinator.restart_worker`); its
+peers' listeners keep their :class:`~repro.net.framing.SequenceTracker`
+state, so the restarted shard's replayed frames are suppressed as
+duplicates and delivery stays exactly-once (see DESIGN.md §12).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.cluster.ports import reserve_ports
+from repro.cluster.spec import WorkerSpec, build_plan, config_to_dict
+from repro.cluster.worker import worker_entry
+from repro.core.control import ControlError, RemoteDistributedJob, RemoteWorker
+from repro.core.distributed import DeploymentPlan
+from repro.core.graph import StreamProcessingGraph
+from repro.util.errors import NeptuneError
+
+
+@dataclass
+class WorkerHandle:
+    """One worker shard: its spec, live process, and control proxy."""
+
+    spec: WorkerSpec
+    log_path: Optional[str] = None
+    process: Optional[Any] = None
+    proxy: Optional[RemoteWorker] = None
+    restarts: int = field(default=0)
+
+    @property
+    def worker_id(self) -> int:
+        return self.spec.worker_id
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid if self.process is not None else None
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+
+class ClusterCoordinator:
+    """Plan, spawn, and coordinate N worker processes for one graph.
+
+    Parameters
+    ----------
+    graph:
+        The full :class:`StreamProcessingGraph`; every worker receives
+        its complete descriptor (wire ids derive from the shared
+        topology without coordination) plus the deployment plan naming
+        which operator instances it hosts.
+    n_workers:
+        Shard count (ignored when an explicit ``plan`` is given).
+    plan:
+        Pre-built :class:`DeploymentPlan`; default is
+        :func:`~repro.cluster.spec.build_plan` round-robin.
+    fabric:
+        ``"tcp"`` (loopback TCP data plane) or ``"unix"`` (Unix-domain
+        sockets — same framing/ack/replay protocol, no TCP stack).
+        Control ports are always TCP.
+    socket_dir:
+        Directory for ``fabric="unix"`` socket files (default: a fresh
+        temp dir, removed on :meth:`stop`).
+    log_dir:
+        When set, each worker appends stdout/stderr to
+        ``<log_dir>/worker-<id>.log`` instead of inheriting the
+        coordinator's streams.
+    """
+
+    def __init__(
+        self,
+        graph: StreamProcessingGraph,
+        n_workers: int = 2,
+        plan: Optional[DeploymentPlan] = None,
+        fabric: str = "tcp",
+        host: str = "127.0.0.1",
+        socket_dir: Optional[str] = None,
+        log_dir: Optional[str] = None,
+    ) -> None:
+        graph.validate()
+        if fabric not in ("tcp", "unix"):
+            raise NeptuneError(f"unknown fabric {fabric!r} (tcp or unix)")
+        self.plan = plan if plan is not None else build_plan(graph, n_workers)
+        self.n_workers = self.plan.n_workers
+        self.fabric = fabric
+        self._ctx = multiprocessing.get_context("spawn")
+        self._own_socket_dir = fabric == "unix" and socket_dir is None
+        self._socket_dir = socket_dir
+        if fabric == "unix":
+            if self._socket_dir is None:
+                self._socket_dir = tempfile.mkdtemp(prefix="neptune-cluster-")
+            endpoints = {
+                w: (f"unix:{os.path.join(self._socket_dir, f'w{w}.sock')}", 0)
+                for w in range(self.n_workers)
+            }
+        else:
+            data_ports = reserve_ports(self.n_workers, host)
+            endpoints = {w: (host, data_ports[w]) for w in range(self.n_workers)}
+        control_ports = reserve_ports(self.n_workers, "127.0.0.1")
+        descriptor = graph.to_descriptor()
+        descriptor["config"] = config_to_dict(graph.config)
+        plan_raw = {
+            "n_workers": self.plan.n_workers,
+            "assignment": [
+                [op, idx, worker]
+                for (op, idx), worker in sorted(self.plan.assignment.items())
+            ],
+        }
+        self.handles: List[WorkerHandle] = []
+        for w in range(self.n_workers):
+            spec = WorkerSpec(
+                worker_id=w,
+                descriptor=descriptor,
+                plan=plan_raw,
+                endpoints=endpoints,
+                control_port=control_ports[w],
+            )
+            log_path = (
+                os.path.join(log_dir, f"worker-{w}.log") if log_dir else None
+            )
+            self.handles.append(WorkerHandle(spec=spec, log_path=log_path))
+        self.job: Optional[RemoteDistributedJob] = None
+
+    # -- lifecycle -----------------------------------------------------------
+    def launch(self, connect_timeout: float = 60.0) -> RemoteDistributedJob:
+        """Spawn every worker, connect control proxies, return the job."""
+        for handle in self.handles:
+            self._spawn(handle)
+        for handle in self.handles:
+            self._connect(handle, connect_timeout)
+        self.job = RemoteDistributedJob([h.proxy for h in self.handles])
+        return self.job
+
+    def _spawn(self, handle: WorkerHandle) -> None:
+        process = self._ctx.Process(
+            target=worker_entry,
+            args=(handle.spec.to_json(), handle.log_path),
+            name=f"neptune-worker-{handle.worker_id}",
+        )
+        process.start()
+        handle.process = process
+        handle.proxy = None
+
+    def _connect(self, handle: WorkerHandle, timeout: float) -> None:
+        try:
+            handle.proxy = RemoteWorker(
+                "127.0.0.1", handle.spec.control_port, connect_timeout=timeout
+            )
+        except ControlError:
+            self.terminate()
+            raise
+
+    def kill_worker(self, worker_id: int, sig: int = signal.SIGKILL) -> None:
+        """Send ``sig`` to one worker process and reap it (chaos path:
+        SIGKILL means no drain, no goodbye — exactly what a crashed
+        shard looks like to its peers)."""
+        handle = self.handles[worker_id]
+        if handle.process is None:
+            raise NeptuneError(f"worker {worker_id} was never spawned")
+        if handle.pid is not None and handle.alive:
+            os.kill(handle.pid, sig)
+        handle.process.join(10.0)
+
+    def restart_worker(self, worker_id: int, connect_timeout: float = 60.0) -> None:
+        """Respawn a dead worker with its identical spec (same ports /
+        socket paths) and splice the fresh proxy into the job."""
+        handle = self.handles[worker_id]
+        if handle.alive:
+            raise NeptuneError(f"worker {worker_id} is still running")
+        self._spawn(handle)
+        handle.restarts += 1
+        self._connect(handle, connect_timeout)
+        if self.job is not None:
+            self.job.workers[worker_id] = handle.proxy
+
+    def await_completion(self, timeout: float = 60.0) -> bool:
+        """Coordinated global drain after natural source completion."""
+        if self.job is None:
+            raise NeptuneError("cluster not launched")
+        try:
+            return self.job.await_completion(timeout=timeout)
+        except (ControlError, OSError):
+            return False  # a worker vanished mid-drain: not quiesced
+        finally:
+            self._join_all()
+
+    def stop(self, timeout: float = 60.0) -> bool:
+        """Force-drain, stop every worker, reap processes, clean up."""
+        quiesced = True
+        if self.job is not None:
+            try:
+                quiesced = self.job.stop(timeout=timeout)
+            except (ControlError, OSError):
+                quiesced = False
+        self.terminate()
+        return quiesced
+
+    def terminate(self) -> None:
+        """Hard teardown: no drain, just reap. Idempotent — the
+        guaranteed-cleanup path for tests and error exits."""
+        for handle in self.handles:
+            proxy, handle.proxy = handle.proxy, None
+            if proxy is not None:
+                try:
+                    proxy._sock.close()
+                except OSError:
+                    pass
+        for handle in self.handles:
+            process = handle.process
+            if process is None:
+                continue
+            if process.is_alive():
+                process.terminate()
+                process.join(5.0)
+            if process.is_alive():
+                process.kill()
+                process.join(5.0)
+        self._cleanup_fabric()
+
+    def _join_all(self) -> None:
+        for handle in self.handles:
+            if handle.process is not None:
+                handle.process.join(10.0)
+        self._cleanup_fabric()
+
+    def _cleanup_fabric(self) -> None:
+        if self.fabric != "unix" or self._socket_dir is None:
+            return
+        for w in range(self.n_workers):
+            try:
+                os.unlink(os.path.join(self._socket_dir, f"w{w}.sock"))
+            except OSError:
+                pass
+        if self._own_socket_dir:
+            try:
+                os.rmdir(self._socket_dir)
+            except OSError:
+                pass
+
+    # -- observation ---------------------------------------------------------
+    def metrics(self) -> Dict[str, Dict[str, float]]:
+        """Aggregated per-operator counters across all live shards."""
+        if self.job is None:
+            raise NeptuneError("cluster not launched")
+        return self.job.metrics()
+
+    def scrape_into(self, registry: Any) -> None:
+        """Absorb every shard's worker-labelled telemetry series into
+        ``registry`` (the cross-process analogue of
+        :func:`repro.observe.bridge.scrape_distributed`)."""
+        from repro.observe.bridge import absorb_series
+
+        for handle in self.handles:
+            if handle.proxy is not None:
+                absorb_series(registry, handle.proxy.telemetry())
+
+    def status(self) -> List[Dict[str, Any]]:
+        """Per-worker liveness/progress snapshot (the CLI's view)."""
+        out: List[Dict[str, Any]] = []
+        for handle in self.handles:
+            entry: Dict[str, Any] = {
+                "worker_id": handle.worker_id,
+                "pid": handle.pid,
+                "alive": handle.alive,
+                "restarts": handle.restarts,
+                "control_port": handle.spec.control_port,
+                "endpoint": list(handle.spec.endpoints[handle.worker_id]),
+            }
+            if handle.proxy is not None and handle.alive:
+                try:
+                    entry["quiet"] = handle.proxy.is_quiet()
+                    entry["failures"] = handle.proxy.failures
+                except (ControlError, OSError):
+                    entry["quiet"] = None
+            out.append(entry)
+        return out
+
+    # -- state file (CLI attach) ---------------------------------------------
+    def state(self) -> Dict[str, Any]:
+        """JSON-able handle for out-of-process ``status``/``stop``."""
+        return {
+            "fabric": self.fabric,
+            "workers": [
+                {
+                    "worker_id": h.worker_id,
+                    "pid": h.pid,
+                    "control_host": "127.0.0.1",
+                    "control_port": h.spec.control_port,
+                    "endpoint": list(h.spec.endpoints[h.worker_id]),
+                    "log": h.log_path,
+                }
+                for h in self.handles
+            ],
+        }
+
+    def write_state(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.state(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+
+def attach_proxies(
+    state: Mapping[str, Any], connect_timeout: float = 5.0
+) -> List[RemoteWorker]:
+    """Connect control proxies to a running cluster from its state file.
+
+    Raises :class:`~repro.core.control.ControlError` if any worker's
+    control port is unreachable (cluster gone or still starting).
+    """
+    workers: Sequence[Mapping[str, Any]] = state.get("workers", [])
+    if not workers:
+        raise NeptuneError("cluster state lists no workers")
+    return [
+        RemoteWorker(
+            str(w.get("control_host", "127.0.0.1")),
+            int(w["control_port"]),
+            connect_timeout=connect_timeout,
+        )
+        for w in workers
+    ]

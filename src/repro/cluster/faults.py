@@ -1,0 +1,87 @@
+"""Drive :mod:`repro.chaos` fault plans against live worker processes.
+
+The simulator applies a :class:`~repro.chaos.plan.FaultPlan` to
+modelled resources; here the same plan vocabulary addresses *real*
+processes: a scripted ``KILL_NODE`` entry at site
+``cluster.worker.<id>`` with index ``K`` means "when end-to-end
+progress reaches K, SIGKILL worker <id>".  Progress is whatever
+counter the test polls (typically the sink's delivered-packet count),
+so kill points are expressed in stream position — deterministic and
+replayable — rather than wall-clock time.
+"""
+
+from __future__ import annotations
+
+import signal
+from typing import List, Tuple
+
+from repro.chaos.plan import FaultAction, FaultPlan
+from repro.cluster.coordinator import ClusterCoordinator
+
+#: Site prefix addressing worker processes in a fault plan.
+SITE_PREFIX = "cluster.worker"
+
+
+def worker_site(worker_id: int) -> str:
+    """The fault-plan site naming one worker process."""
+    return f"{SITE_PREFIX}.{worker_id}"
+
+
+class ProcessFaultDriver:
+    """Apply a plan's scripted ``KILL_NODE`` entries to real processes.
+
+    Parameters
+    ----------
+    coordinator:
+        The live cluster; kills go through
+        :meth:`~repro.cluster.coordinator.ClusterCoordinator.kill_worker`.
+    plan:
+        Fault plan whose *scripted* entries at ``cluster.worker.<id>``
+        sites are honoured (rate-based faults make no sense against a
+        progress counter and are ignored).
+    restart:
+        Respawn each killed worker immediately with its identical spec
+        (the recovery path under test); False leaves the hole open.
+    """
+
+    def __init__(
+        self,
+        coordinator: ClusterCoordinator,
+        plan: FaultPlan,
+        restart: bool = True,
+    ) -> None:
+        self.coordinator = coordinator
+        self.restart = restart
+        self.killed: List[Tuple[int, int]] = []  # (progress, worker_id)
+        pending: List[Tuple[int, int]] = []
+        for scripted in plan.script:
+            if scripted.action != FaultAction.KILL_NODE:
+                continue
+            if not scripted.site.startswith(SITE_PREFIX + "."):
+                continue
+            worker_id = int(scripted.site[len(SITE_PREFIX) + 1 :])
+            if not 0 <= worker_id < coordinator.n_workers:
+                raise ValueError(
+                    f"fault plan kills worker {worker_id}, but the cluster "
+                    f"has {coordinator.n_workers}"
+                )
+            pending.append((scripted.index, worker_id))
+        self._pending = sorted(pending, reverse=True)  # pop() takes lowest
+
+    @property
+    def pending(self) -> int:
+        """Kill entries not yet fired."""
+        return len(self._pending)
+
+    def poll(self, progress: int) -> List[int]:
+        """Fire every kill whose index has been reached; returns the
+        worker ids killed on this call (empty most of the time)."""
+        fired: List[int] = []
+        while self._pending and progress >= self._pending[-1][0]:
+            index, worker_id = self._pending.pop()
+            self.coordinator.kill_worker(worker_id, sig=signal.SIGKILL)
+            self.killed.append((index, worker_id))
+            fired.append(worker_id)
+            if self.restart:
+                self.coordinator.restart_worker(worker_id)
+        return fired

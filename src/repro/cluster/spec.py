@@ -1,0 +1,122 @@
+"""Per-shard worker specs: everything one worker process needs to run.
+
+A :class:`WorkerSpec` is the unit the coordinator ships to each spawned
+process: the full graph descriptor (every worker knows the whole
+topology — wire ids are derived from it without coordination), the
+deployment plan, the data-plane endpoint map, and the worker's own
+control port.  Specs are plain JSON so the spawn boundary stays
+interpreter-agnostic and a spec file can be inspected or replayed by
+hand.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.core.config import NeptuneConfig
+from repro.core.distributed import (
+    DeploymentPlan,
+    capability_weighted_plan,
+    round_robin_plan,
+)
+from repro.core.graph import StreamProcessingGraph
+from repro.util.errors import NeptuneError
+
+
+def config_to_dict(config: NeptuneConfig) -> Dict[str, Any]:
+    """Serialize a :class:`NeptuneConfig` for a descriptor ``"config"``
+    block (``from_descriptor`` rebuilds it with ``NeptuneConfig(**d)``)."""
+    return dataclasses.asdict(config)
+
+
+def build_plan(
+    graph: StreamProcessingGraph,
+    n_workers: int,
+    scheme: str = "round-robin",
+    capabilities: Optional[Sequence[float]] = None,
+    pin: Optional[Mapping[str, int]] = None,
+) -> DeploymentPlan:
+    """Plan operator shards for ``n_workers`` processes.
+
+    ``scheme`` picks the base planner (``round-robin`` or
+    ``capability``); ``pin`` then overrides the placement of whole
+    operators (every instance of that operator) onto a named worker —
+    chaos tests use this to isolate a source on its own process.
+    """
+    if scheme == "round-robin":
+        plan = round_robin_plan(graph, n_workers)
+    elif scheme == "capability":
+        caps = list(capabilities) if capabilities is not None else [1.0] * n_workers
+        if len(caps) != n_workers:
+            raise NeptuneError(
+                f"capability list has {len(caps)} entries for {n_workers} workers"
+            )
+        plan = capability_weighted_plan(graph, caps)
+    else:
+        raise NeptuneError(f"unknown plan scheme: {scheme!r}")
+    if not pin:
+        return plan
+    known = set(graph.operators)
+    assignment = dict(plan.assignment)
+    for op_name, worker in pin.items():
+        if op_name not in known:
+            raise NeptuneError(f"pin names unknown operator: {op_name!r}")
+        if not 0 <= worker < n_workers:
+            raise NeptuneError(
+                f"pin for {op_name!r} targets worker {worker} of {n_workers}"
+            )
+        for key in assignment:
+            if key[0] == op_name:
+                assignment[key] = worker
+    return DeploymentPlan(n_workers=n_workers, assignment=assignment)
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """One worker process's share of a cluster deployment."""
+
+    worker_id: int
+    descriptor: Dict[str, Any]
+    plan: Dict[str, Any]
+    endpoints: Dict[int, Tuple[str, int]]
+    control_port: int
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "worker_id": self.worker_id,
+                "descriptor": self.descriptor,
+                "plan": self.plan,
+                "endpoints": {str(w): list(ep) for w, ep in self.endpoints.items()},
+                "control_port": self.control_port,
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "WorkerSpec":
+        raw = json.loads(text)
+        try:
+            return cls(
+                worker_id=int(raw["worker_id"]),
+                descriptor=raw["descriptor"],
+                plan=raw["plan"],
+                endpoints={
+                    int(w): (str(ep[0]), int(ep[1]))
+                    for w, ep in raw["endpoints"].items()
+                },
+                control_port=int(raw["control_port"]),
+            )
+        except (KeyError, TypeError, ValueError, IndexError) as exc:
+            raise NeptuneError(f"bad worker spec: {exc}") from exc
+
+    def deployment_plan(self) -> DeploymentPlan:
+        assignment = {
+            (str(op), int(idx)): int(worker)
+            for op, idx, worker in self.plan["assignment"]
+        }
+        return DeploymentPlan(
+            n_workers=int(self.plan["n_workers"]), assignment=assignment
+        )

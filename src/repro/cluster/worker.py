@@ -1,0 +1,69 @@
+"""Worker-process entry point for cluster deployments.
+
+The coordinator spawns this via the ``multiprocessing`` spawn context
+(a fresh interpreter — no forked locks, no inherited runtime state):
+each child rebuilds its :class:`~repro.core.distributed.DistributedWorker`
+from the JSON :class:`~repro.cluster.spec.WorkerSpec`, serves control
+commands, and blocks until the coordinator says stop.  Also runnable by
+hand (``python -m repro.cluster.worker --spec spec.json``) for
+debugging a single shard.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from repro.cluster.spec import WorkerSpec
+from repro.core.control import ControlServer
+from repro.core.distributed import DistributedWorker
+from repro.core.graph import StreamProcessingGraph
+
+
+def run_worker(spec: WorkerSpec) -> int:
+    """Build, wire, start, and serve one worker shard until stopped."""
+    graph = StreamProcessingGraph.from_descriptor(spec.descriptor)
+    graph.validate()
+    plan = spec.deployment_plan()
+    listen_host, listen_port = spec.endpoints[spec.worker_id]
+    worker = DistributedWorker(
+        spec.worker_id, graph, plan, listen_host=listen_host, listen_port=listen_port
+    )
+    control = ControlServer(worker, port=spec.control_port)
+    try:
+        worker.connect(spec.endpoints)
+        worker.start()
+        print(
+            f"worker {spec.worker_id}: data={worker.address} "
+            f"control={control.port} "
+            f"instances={plan.instances_on(spec.worker_id)}",
+            flush=True,
+        )
+        control.stop_requested.wait()
+    finally:
+        control.close()
+    return 0
+
+
+def worker_entry(spec_json: str, log_path: Optional[str] = None) -> None:
+    """Spawn target: optionally redirect output to ``log_path``, then
+    :func:`run_worker`.  Module-level so the spawn context can pickle it."""
+    if log_path:
+        log = open(log_path, "a", buffering=1, encoding="utf-8")
+        sys.stdout = log
+        sys.stderr = log
+    raise SystemExit(run_worker(WorkerSpec.from_json(spec_json)))
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.cluster.worker")
+    parser.add_argument("--spec", required=True, help="WorkerSpec JSON file")
+    args = parser.parse_args(argv)
+    with open(args.spec, "r", encoding="utf-8") as fh:
+        return run_worker(WorkerSpec.from_json(fh.read()))
+
+
+if __name__ == "__main__":  # pragma: no cover — exercised via subprocess
+    raise SystemExit(main())

@@ -6,7 +6,7 @@ processes (or machines):
 
 - :class:`ControlServer` — a tiny JSON-lines TCP command endpoint
   attached to a worker (``ping``/``finish_sources``/``flush_all``/
-  ``is_quiet``/``metrics``/``failures``/``stop``).
+  ``is_quiet``/``metrics``/``telemetry``/``failures``/``stop``).
 - :class:`RemoteWorker` — the client proxy, duck-type compatible with
   :class:`DistributedWorker` for everything the coordinator needs.
 - :class:`RemoteDistributedJob` — the same global-drain coordinator as
@@ -104,6 +104,13 @@ class ControlServer:
             return {"ok": True, "quiet": worker.is_quiet()}
         if cmd == "metrics":
             return {"ok": True, "metrics": worker.metrics()}
+        if cmd == "telemetry":
+            # Full worker-labelled instrument series (operators,
+            # transports, listener) — what `repro metrics` and the
+            # HealthEngine scrape across process boundaries.
+            from repro.observe.bridge import worker_series
+
+            return {"ok": True, "series": worker_series(worker)}
         if cmd == "failures":
             return {
                 "ok": True,
@@ -144,10 +151,16 @@ class RemoteWorker:
         self.worker_id = self._call({"cmd": "ping"})["worker_id"]
 
     def _call(self, request: dict) -> dict:
-        with self._lock:
-            self._wfile.write(json.dumps(request) + "\n")
-            self._wfile.flush()
-            line = self._rfile.readline()
+        try:
+            with self._lock:
+                self._wfile.write(json.dumps(request) + "\n")
+                self._wfile.flush()
+                line = self._rfile.readline()
+        except OSError as exc:
+            # A worker stopped from elsewhere (external `cluster stop`,
+            # a crash) surfaces as EPIPE/ECONNRESET here; callers handle
+            # ControlError, so never leak the raw socket error.
+            raise ControlError(f"worker control connection lost: {exc}") from exc
         if not line:
             raise ControlError("worker control connection closed")
         response = json.loads(line)
@@ -176,6 +189,11 @@ class RemoteWorker:
         """Aggregated per-operator counters."""
         return self._call({"cmd": "metrics"})["metrics"]
 
+    def telemetry(self) -> list:
+        """Worker-labelled instrument series (see
+        :func:`repro.observe.bridge.worker_series`)."""
+        return self._call({"cmd": "telemetry"})["series"]
+
     @property
     def failures(self) -> dict:
         """Operator-instance failures keyed by 'operator[index]'."""
@@ -189,6 +207,11 @@ class RemoteWorker:
             pass  # worker may already be gone
         self._sock.close()
 
+    def close(self) -> None:
+        """Detach: close the control socket WITHOUT stopping the worker
+        (read-only attachments like ``repro cluster status``)."""
+        self._sock.close()
+
 
 class RemoteDistributedJob:
     """Global drain over remote workers (same protocol as DistributedJob)."""
@@ -197,16 +220,24 @@ class RemoteDistributedJob:
         if not workers:
             raise NeptuneError("RemoteDistributedJob needs at least one worker")
         self.workers = workers
+        self._final_metrics: dict | None = None
+        self._final_failures: dict | None = None
 
     def failures(self) -> dict:
-        """Operator-instance failures keyed by 'operator[index]'."""
+        """Operator-instance failures keyed by 'operator[index]'.  After
+        the drain has stopped the workers, returns the final snapshot."""
+        if self._final_failures is not None:
+            return self._final_failures
         out: dict = {}
         for w in self.workers:
             out.update(w.failures)
         return out
 
     def metrics(self) -> dict:
-        """Aggregated per-operator counters."""
+        """Aggregated per-operator counters.  After the drain has
+        stopped the workers, returns the final pre-stop snapshot."""
+        if self._final_metrics is not None:
+            return self._final_metrics
         merged: dict = {}
         for w in self.workers:
             for op, m in w.metrics().items():
@@ -246,6 +277,14 @@ class RemoteDistributedJob:
                     quiesced = True
                     break
             time.sleep(0.01)
+        try:
+            # Stopping severs the control connections: snapshot the
+            # final counters first so post-run metrics()/failures()
+            # still answer.
+            self._final_metrics = self.metrics()
+            self._final_failures = self.failures()
+        except (ControlError, OSError):
+            pass
         for w in self.workers:
             w.stop()
         return quiesced

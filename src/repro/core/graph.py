@@ -325,16 +325,18 @@ class StreamProcessingGraph:
         return cls.from_descriptor(json.loads(text), config=config)
 
 
-def descriptor_factory(path: str, **kwargs: Any) -> OperatorFactory:
+def descriptor_factory(class_path: str, /, **kwargs: Any) -> OperatorFactory:
     """Factory from an import path ``"pkg.module:ClassName"``.
 
     The returned callable carries its target so :meth:`to_descriptor`
-    can round-trip the graph.
+    can round-trip the graph.  ``class_path`` is positional-only so
+    operator constructors may themselves take keywords named like it
+    (e.g. ``FileSink(path=...)``).
     """
-    module_name, _, class_name = path.partition(":")
+    module_name, _, class_name = class_path.partition(":")
     if not module_name or not class_name:
         raise GraphValidationError(
-            f"operator class path must be 'module:Class', got {path!r}"
+            f"operator class path must be 'module:Class', got {class_path!r}"
         )
 
     def factory() -> StreamOperator:
@@ -343,5 +345,5 @@ def descriptor_factory(path: str, **kwargs: Any) -> OperatorFactory:
         cls_obj = getattr(module, class_name)
         return cls_obj(**kwargs)
 
-    factory._descriptor_target = (path, kwargs)  # type: ignore[attr-defined]
+    factory._descriptor_target = (class_path, kwargs)  # type: ignore[attr-defined]
     return factory

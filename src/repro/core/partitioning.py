@@ -28,6 +28,16 @@ class PartitioningScheme(ABC):
     #: Name used in JSON descriptors; subclasses override.
     name = "abstract"
 
+    #: Whether routing is a pure function of (packet, n_instances) and
+    #: prior routed packets — i.e. replaying the same packet sequence
+    #: reproduces the same assignment.  Sharding an operator across
+    #: worker processes rides on this: after a worker crash the source's
+    #: replayed packets must land on the same instances or per-key order
+    #: (and exactly-once accounting per shard) is lost.  Schemes whose
+    #: routing draws on unseeded randomness set this to False
+    #: (``repro analyze`` flags them on sharded links as NEPG122).
+    deterministic: bool = True
+
     @abstractmethod
     def route(self, packet: StreamPacket, n_instances: int) -> Sequence[int]:
         """Destination instance indices in ``range(n_instances)``."""
@@ -58,16 +68,30 @@ class RoundRobinPartitioning(PartitioningScheme):
 
 
 class ShufflePartitioning(PartitioningScheme):
-    """Uniformly random instance per packet (Storm's "shuffle grouping")."""
+    """Uniformly random instance per packet (Storm's "shuffle grouping").
+
+    Unseeded, routing differs run to run, which cannot be sharded
+    across worker processes (replay after a crash would re-route
+    packets); pass ``seed`` to make the stream reproducible and
+    descriptor-portable.
+    """
 
     name = "shuffle"
 
     def __init__(self, seed: int | None = None) -> None:
+        self.seed = seed
+        self.deterministic = seed is not None
         self._rng = random.Random(seed)
 
     def route(self, packet: StreamPacket, n_instances: int) -> Sequence[int]:
         """Destination instance indices for one packet."""
         return (self._rng.randrange(n_instances),)
+
+    def describe(self) -> dict:
+        """JSON-descriptor form of this scheme."""
+        if self.seed is None:
+            return {"scheme": self.name}
+        return {"scheme": self.name, "seed": self.seed}
 
 
 class FieldsPartitioning(PartitioningScheme):

@@ -26,6 +26,7 @@ from repro.net.transport import (
     RetryPolicy,
     TcpTransport,
     TcpListener,
+    is_unix_endpoint,
 )
 
 __all__ = [
@@ -41,4 +42,5 @@ __all__ = [
     "RetryPolicy",
     "TcpTransport",
     "TcpListener",
+    "is_unix_endpoint",
 ]

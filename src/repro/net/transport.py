@@ -37,6 +37,7 @@ silently loses or duplicates data.
 
 from __future__ import annotations
 
+import os
 import random
 import socket
 import struct
@@ -63,6 +64,43 @@ Batch = tuple[int, int, bytes]
 
 #: Ack record carried on the reverse path: (link_id, seq) delivered.
 _ACK = struct.Struct("<IQ")
+
+#: Host-string prefix selecting a Unix-domain socket endpoint.
+UNIX_PREFIX = "unix:"
+
+
+def is_unix_endpoint(host: str) -> bool:
+    """True when ``host`` names a Unix-domain socket (``"unix:/path"``).
+
+    Same-host shard fabrics can skip the loopback TCP stack entirely:
+    both :class:`TcpTransport` and :class:`TcpListener` accept a host of
+    the form ``"unix:/path/to.sock"`` (the port is then ignored, 0 by
+    convention) and speak the identical framing/ack/replay protocol
+    over ``AF_UNIX``.
+    """
+    return host.startswith(UNIX_PREFIX)
+
+
+def _connect_endpoint(host: str, port: int, timeout: float | None) -> socket.socket:
+    """Open a stream connection to ``(host, port)`` or, for a
+    ``"unix:/path"`` host, to that Unix socket path.
+
+    TCP connections disable Nagle: latency matters for small flushes
+    and batching is done at the application layer, as NEPTUNE/Netty
+    does.  ``AF_UNIX`` has no Nagle to disable.
+    """
+    if is_unix_endpoint(host):
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            sock.settimeout(timeout)
+            sock.connect(host[len(UNIX_PREFIX) :])
+        except OSError:
+            sock.close()
+            raise
+        return sock
+    sock = socket.create_connection((host, port), timeout=timeout)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    return sock
 
 
 class Transport(ABC):
@@ -203,7 +241,8 @@ class TcpTransport(Transport):
     Parameters
     ----------
     host, port:
-        Destination listener.
+        Destination listener.  A host of the form ``"unix:/path"``
+        connects to that Unix-domain socket instead (port ignored).
     connect_timeout:
         Bound on the *initial* connection attempt (reconnects use the
         retry policy's backoff schedule).
@@ -264,12 +303,9 @@ class TcpTransport(Transport):
             (retry.seed if retry else 0) ^ int.from_bytes(endpoint[-4:], "little")
         )
         try:
-            self._sock = socket.create_connection((host, port), timeout=connect_timeout)
+            self._sock = _connect_endpoint(host, port, connect_timeout)
         except OSError as exc:
             raise TransportError(f"connect to {host}:{port} failed: {exc}") from exc
-        # Latency matters for small flushes; batching is done at the
-        # application layer, so disable Nagle as NEPTUNE/Netty does.
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._sock.settimeout(None)
         self.bytes_sent = 0
         self.frames_sent = 0
@@ -478,10 +514,7 @@ class TcpTransport(Transport):
             if attempt > 0:  # first reconnect is immediate
                 time.sleep(policy.backoff(attempt - 1, self._rng))
             try:
-                sock = socket.create_connection(
-                    (self._host, self._port), timeout=self._connect_timeout
-                )
-                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                sock = _connect_endpoint(self._host, self._port, self._connect_timeout)
                 sock.settimeout(None)
                 with self._state:
                     replay = list(self._unacked)
@@ -615,6 +648,9 @@ class TcpListener:
     ----------
     host, port:
         Bind address; port 0 picks an ephemeral port (see ``port``).
+        A host of the form ``"unix:/path"`` binds a Unix-domain socket
+        at that path instead (``port`` attribute stays 0, ``host``
+        keeps the ``unix:`` form so it can be dialed verbatim).
     sink:
         Callback invoked with each received frame, per connection in
         arrival order.
@@ -656,13 +692,34 @@ class TcpListener:
         self._injector = injector
         self._site = site
         self.tracker = SequenceTracker() if resume else None
-        self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        self._server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        if recv_buffer is not None:
-            self._server.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, recv_buffer)
-        self._server.bind((host, port))
-        self._server.listen(64)
-        self.host, self.port = self._server.getsockname()[:2]
+        self._unix_path: str | None = (
+            host[len(UNIX_PREFIX) :] if is_unix_endpoint(host) else None
+        )
+        if self._unix_path is not None:
+            self._server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            if recv_buffer is not None:
+                self._server.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, recv_buffer)
+            # A crashed listener leaves its socket file behind; rebinding
+            # the same path must not fail because of that residue.
+            try:
+                os.unlink(self._unix_path)
+            except OSError:
+                pass
+            try:
+                self._server.bind(self._unix_path)
+            except OSError as exc:
+                self._server.close()
+                raise TransportError(f"bind to {host} failed: {exc}") from exc
+            self._server.listen(64)
+            self.host, self.port = host, 0
+        else:
+            self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            self._server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            if recv_buffer is not None:
+                self._server.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, recv_buffer)
+            self._server.bind((host, port))
+            self._server.listen(64)
+            self.host, self.port = self._server.getsockname()[:2]
         self._threads: list[threading.Thread] = []
         self._conns: list[socket.socket] = []
         self._lock = threading.Lock()
@@ -695,7 +752,8 @@ class TcpListener:
                 conn, _addr = self._server.accept()
             except OSError:
                 return  # listener closed
-            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            if self._unix_path is None:
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             with self._lock:
                 if not self._running:
                     conn.close()
@@ -796,10 +854,15 @@ class TcpListener:
         # connection (it sees _running=False and exits) before closing.
         try:
             host = "127.0.0.1" if self.host == "0.0.0.0" else self.host
-            socket.create_connection((host, self.port), timeout=0.2).close()
+            _connect_endpoint(host, self.port, 0.2).close()
         except OSError:
             pass
         self._server.close()
+        if self._unix_path is not None:
+            try:
+                os.unlink(self._unix_path)
+            except OSError:
+                pass
         for c in conns:
             try:
                 c.shutdown(socket.SHUT_RDWR)

@@ -21,11 +21,14 @@ from typing import Any, Dict, List, Mapping, Optional
 from repro.observe.instruments import TelemetryRegistry
 
 __all__ = [
+    "absorb_series",
     "scrape_distributed",
     "scrape_job",
     "scrape_listener",
     "scrape_observer",
     "scrape_transport",
+    "scrape_worker",
+    "worker_series",
 ]
 
 _QUANTILES = (50.0, 95.0, 99.0)
@@ -218,19 +221,80 @@ def _scrape_compression_and_pools(
     ).set(reused / acquisitions if acquisitions > 0 else 0.0)
 
 
+def scrape_worker(
+    registry: TelemetryRegistry,
+    worker: Any,
+    extra: Optional[Mapping[str, str]] = None,
+) -> None:
+    """Scrape one :class:`~repro.core.distributed.DistributedWorker`:
+    its job runtime (labelled ``worker=N`` so partial per-worker counts
+    stay distinct series), its outbound transports (labelled by
+    destination ``peer``), and its listener."""
+    wl: Dict[str, str] = dict(extra or {})
+    wl.setdefault("worker", str(worker.worker_id))
+    scrape_job(registry, worker.job, extra=wl)
+    # Copy first: the scrape may run on a control thread while flush
+    # threads are still lazily adding transports.
+    for peer, transport in list(getattr(worker, "_transports", {}).items()):
+        scrape_transport(registry, transport, {**wl, "peer": str(peer)})
+    listener = getattr(worker, "_listener", None)
+    if listener is not None:
+        scrape_listener(registry, listener, wl)
+
+
 def scrape_distributed(registry: TelemetryRegistry, job: Any) -> None:
     """Scrape a :class:`~repro.core.distributed.DistributedJob`: every
-    worker's job runtime (labelled ``worker=N`` so partial per-worker
-    counts stay distinct series), each worker's outbound transports
-    (labelled by destination ``peer``), and its listener."""
+    worker via :func:`scrape_worker`."""
     for w in getattr(job, "workers", []):
-        wl = {"worker": str(w.worker_id)}
-        scrape_job(registry, w.job, extra=wl)
-        for peer, transport in getattr(w, "_transports", {}).items():
-            scrape_transport(registry, transport, {**wl, "peer": str(peer)})
-        listener = getattr(w, "_listener", None)
-        if listener is not None:
-            scrape_listener(registry, listener, wl)
+        scrape_worker(registry, w)
+
+
+def worker_series(worker: Any) -> List[Dict[str, Any]]:
+    """One worker's full instrument state as JSON-able flat series.
+
+    This is what a worker process answers to the control plane's
+    ``telemetry`` command: every sample carries its ``worker=N`` label,
+    so a coordinator can :func:`absorb_series` from all shards into one
+    registry without collisions and feed ``repro metrics`` or the
+    HealthEngine exactly as in-process scraping would.
+    """
+    registry = TelemetryRegistry()
+    scrape_worker(registry, worker)
+    out: List[Dict[str, Any]] = []
+    for sample in registry.collect():
+        if sample.histogram is not None:
+            continue  # bridge scrapers emit counters/gauges only
+        out.append(
+            {
+                "name": sample.name,
+                "kind": sample.kind,
+                "help": sample.help,
+                "labels": dict(sample.labels or ()),
+                "value": sample.value,
+            }
+        )
+    return out
+
+
+def absorb_series(registry: TelemetryRegistry, series: Any) -> None:
+    """Merge :func:`worker_series` output into ``registry``.
+
+    Counters land via ``set_total`` (idempotent re-scrapes never move a
+    counter backwards), gauges via ``set``; unknown kinds are ignored
+    rather than poisoning the whole scrape.
+    """
+    for raw in series:
+        name = raw.get("name")
+        if not name:
+            continue
+        labels = raw.get("labels") or None
+        help_ = raw.get("help", "")
+        value = float(raw.get("value", 0.0))
+        kind = raw.get("kind")
+        if kind == "counter":
+            registry.counter(name, labels, help_).set_total(value)
+        elif kind == "gauge":
+            registry.gauge(name, labels, help_).set(value)
 
 
 def scrape_transport(

@@ -11,9 +11,14 @@
 """
 
 from repro.workloads.operators import (
+    KEYED_SCHEMA,
     RELAY_SCHEMA,
     CollectingSink,
     CountingSource,
+    ExclusiveServiceProcessor,
+    FileSink,
+    KeyedRelayProcessor,
+    KeyedSource,
     LatencySink,
     RelayProcessor,
     ReplaySource,
@@ -28,12 +33,17 @@ from repro.workloads.stdlib import (
 )
 
 __all__ = [
+    "KEYED_SCHEMA",
     "RELAY_SCHEMA",
     "CountingSource",
+    "KeyedSource",
+    "KeyedRelayProcessor",
     "ReplaySource",
     "RelayProcessor",
     "VariableRateProcessor",
     "CollectingSink",
+    "ExclusiveServiceProcessor",
+    "FileSink",
     "LatencySink",
     "MapProcessor",
     "FilterProcessor",

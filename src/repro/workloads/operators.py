@@ -62,6 +62,68 @@ class CountingSource(StreamSource):
         return RELAY_SCHEMA
 
 
+#: Schema for keyed-ordering workloads: a partition key plus a global
+#: emission sequence number.
+KEYED_SCHEMA = PacketSchema(
+    [
+        ("key", FieldType.INT64),
+        ("seq", FieldType.INT64),
+    ]
+)
+
+
+class KeyedSource(StreamSource):
+    """Deterministic keyed counter: packet ``i`` carries ``(i % keys, i)``.
+
+    The per-key subsequence of ``seq`` values is strictly increasing by
+    construction, which makes it the reference stream for per-key
+    ordering properties: any reordering within a key, anywhere
+    downstream, is detectable by comparing against this source replayed.
+    """
+
+    def __init__(self, total: int = 1000, keys: int = 4) -> None:
+        super().__init__()
+        if keys < 1:
+            raise ValueError("KeyedSource needs at least one key")
+        self.total = total
+        self.keys = keys
+        self.emitted = 0
+
+    def generate(self, ctx) -> None:
+        """Produce packets for one scheduling quantum (StreamSource contract)."""
+        if self.emitted >= self.total:
+            ctx.finish()
+            return
+        pkt = ctx.new_packet()
+        pkt.set("key", self.emitted % self.keys)
+        pkt.set("seq", self.emitted)
+        ctx.emit(pkt)
+        self.emitted += 1
+
+    def output_schema(self, stream: str) -> PacketSchema:
+        """Declare the schema of the named outgoing stream."""
+        return KEYED_SCHEMA
+
+
+class KeyedRelayProcessor(StreamProcessor):
+    """Forward keyed packets unchanged (schema-preserving relay)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.relayed = 0
+
+    def process(self, packet: StreamPacket, ctx) -> None:
+        """Handle one stream packet (StreamProcessor contract)."""
+        out = ctx.new_packet()
+        out.copy_from(packet)
+        ctx.emit(out)
+        self.relayed += 1
+
+    def output_schema(self, stream: str) -> PacketSchema:
+        """Declare the schema of the named outgoing stream."""
+        return KEYED_SCHEMA
+
+
 class ReplaySource(StreamSource):
     """Replays prebuilt packets from any iterable (file/dataset replay)."""
 
@@ -122,6 +184,79 @@ class VariableRateProcessor(StreamProcessor):
         if delay > 0:
             time.sleep(delay)
         self.processed += 1
+
+    def output_schema(self, stream: str) -> PacketSchema:
+        """Declare the schema of the named outgoing stream."""
+        raise KeyError(stream)
+
+
+#: Per-process exclusive resource modelling the GIL for scaling
+#: benchmarks: one lock per interpreter, shared by every
+#: ExclusiveServiceProcessor instance hosted in that process.
+_SERVICE_LOCK = threading.Lock()
+
+
+class ExclusiveServiceProcessor(StreamProcessor):
+    """Relay whose per-packet service time holds a *process-wide* lock.
+
+    A portable stand-in for GIL-bound CPU work: all instances in one
+    interpreter serialize on the same module-level lock, so their
+    aggregate throughput caps at ``1/service_time`` packets/s no matter
+    how many threads or cores the process has — exactly the ceiling the
+    multi-process split exists to break.  Instances in *different*
+    worker processes hold different locks and run truly in parallel,
+    which makes cluster scale-up measurable even on a single-core
+    machine (the ratio depends on process count, not core count).
+    """
+
+    def __init__(self, service_time: float = 0.001) -> None:
+        super().__init__()
+        self.service_time = service_time
+        self.processed = 0
+
+    def process(self, packet: StreamPacket, ctx) -> None:
+        """Handle one stream packet (StreamProcessor contract)."""
+        with _SERVICE_LOCK:
+            if self.service_time > 0:
+                time.sleep(self.service_time)
+        out = ctx.new_packet()
+        out.copy_from(packet)
+        ctx.emit(out)
+        self.processed += 1
+
+    def output_schema(self, stream: str) -> PacketSchema:
+        """Declare the schema of the named outgoing stream."""
+        return RELAY_SCHEMA
+
+
+class FileSink(StreamProcessor):
+    """Terminal stage appending one line per packet to a text file.
+
+    The cross-process analogue of :class:`CollectingSink`: a list in a
+    worker process is invisible to the coordinator, a file is not.
+    Lines are written through an OS-level append so the record survives
+    even if the hosting worker is later killed; chaos tests read the
+    file back to audit exactly-once delivery end-to-end.
+
+    ``field`` names the packet field to write — or several, comma
+    separated (``"key,seq"``), written comma-joined in that order.
+    """
+
+    def __init__(self, path: str = "", field: str = "seq") -> None:
+        super().__init__()
+        if not path:
+            raise ValueError("FileSink needs a path")
+        self.path = path
+        self.fields = [name.strip() for name in field.split(",")]
+        self._lock = threading.Lock()
+        self._fh = open(path, "a", encoding="utf-8")
+
+    def process(self, packet: StreamPacket, ctx) -> None:
+        """Handle one stream packet (StreamProcessor contract)."""
+        line = ",".join(str(packet.get(name)) for name in self.fields) + "\n"
+        with self._lock:
+            self._fh.write(line)
+            self._fh.flush()
 
     def output_schema(self, stream: str) -> PacketSchema:
         """Declare the schema of the named outgoing stream."""

@@ -1,0 +1,111 @@
+"""Property: sharding a graph across worker *processes* never reorders
+a key.
+
+For random keyed pipeline shapes (stage count, per-stage parallelism,
+key cardinality, worker count 2–4) the multi-process cluster must
+produce the same per-key ordered output as the single-process runtime
+— and both must equal the source's deterministic emission order.
+Every link partitions by ``key``, so each key's packets traverse one
+instance per stage and FIFO links; any interleaving of *different*
+keys is legal, any reordering *within* a key is a bug.
+
+The sink writes ``key,seq`` lines to a file (visible across the
+process boundary), so the comparison is over the same artifact for
+both runtimes.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from procharness import drain, live_cluster
+
+from repro.core import NeptuneConfig, NeptuneRuntime, StreamProcessingGraph
+from repro.core.graph import descriptor_factory
+
+pytestmark = pytest.mark.cluster
+
+KEY_PARTITIONING = {"scheme": "fields", "fields": ["key"]}
+
+
+def keyed_graph(sink_path, total, keys, stage_parallelism):
+    graph = StreamProcessingGraph(
+        "keyed-shard-property",
+        config=NeptuneConfig(buffer_capacity=512, buffer_max_delay=0.002),
+    )
+    graph.add_source(
+        "source",
+        descriptor_factory(
+            "repro.workloads.operators:KeyedSource", total=total, keys=keys
+        ),
+    )
+    previous = "source"
+    for stage, parallelism in enumerate(stage_parallelism):
+        name = f"relay{stage}"
+        graph.add_processor(
+            name,
+            descriptor_factory("repro.workloads.operators:KeyedRelayProcessor"),
+            parallelism=parallelism,
+        )
+        graph.link(previous, name, partitioning=KEY_PARTITIONING)
+        previous = name
+    graph.add_processor(
+        "sink",
+        descriptor_factory(
+            "repro.workloads.operators:FileSink",
+            path=str(sink_path),
+            field="key,seq",
+        ),
+    )
+    graph.link(previous, "sink", partitioning=KEY_PARTITIONING)
+    return graph
+
+
+def per_key_sequences(path):
+    out = {}
+    for line in path.read_text().splitlines():
+        key_text, seq_text = line.split(",")
+        out.setdefault(int(key_text), []).append(int(seq_text))
+    return out
+
+
+@given(
+    data=st.data(),
+    total=st.integers(min_value=40, max_value=160),
+    keys=st.integers(min_value=1, max_value=5),
+    n_workers=st.integers(min_value=2, max_value=4),
+)
+@settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_sharded_output_matches_single_process_per_key(
+    tmp_path_factory, data, total, keys, n_workers
+):
+    stage_parallelism = data.draw(
+        st.lists(st.integers(min_value=1, max_value=3), min_size=1, max_size=2),
+        label="stage_parallelism",
+    )
+    workdir = tmp_path_factory.mktemp("keyed")
+
+    expected = {
+        key: [i for i in range(total) if i % keys == key] for key in range(keys)
+    }
+    expected = {key: seqs for key, seqs in expected.items() if seqs}
+
+    cluster_path = workdir / "cluster.txt"
+    graph = keyed_graph(cluster_path, total, keys, stage_parallelism)
+    with live_cluster(graph, n_workers=n_workers) as coordinator:
+        drain(coordinator)
+        assert coordinator.job.failures() == {}
+
+    single_path = workdir / "single.txt"
+    with NeptuneRuntime() as runtime:
+        handle = runtime.submit(
+            keyed_graph(single_path, total, keys, stage_parallelism)
+        )
+        assert handle.await_completion(timeout=60.0)
+
+    cluster_out = per_key_sequences(cluster_path)
+    single_out = per_key_sequences(single_path)
+    assert cluster_out == single_out == expected

@@ -8,6 +8,7 @@ import sys
 import tempfile
 
 import pytest
+from procharness import reserve_ports
 
 from repro.core import NeptuneConfig, StreamProcessingGraph
 from repro.core.control import (
@@ -123,6 +124,7 @@ class TestPlanSerialization:
 
 
 @pytest.mark.slow
+@pytest.mark.cluster
 class TestWorkerMainSubprocess:
     def test_two_process_relay(self, tmp_path):
         """Full worker_main path: separate interpreters, TCP data plane,
@@ -145,8 +147,11 @@ class TestWorkerMainSubprocess:
         desc_path = tmp_path / "g.json"
         desc_path.write_text(json.dumps(graph.to_descriptor()))
         plan = round_robin_plan(graph, 2)
-        data_ports = (48411, 48412)
-        control_ports = (48421, 48422)
+        # Ephemeral reservations, not hardcoded ports: a previous run's
+        # TIME_WAIT socket (or an unrelated process) on a fixed port
+        # made this test flake.
+        data_ports = reserve_ports(2)
+        control_ports = reserve_ports(2)
         endpoints = {str(w): ["127.0.0.1", data_ports[w]] for w in range(2)}
 
         procs = []

@@ -3,8 +3,10 @@
 import time
 
 import pytest
+from procharness import reserve_ports
 
 from repro.core import NeptuneConfig, StreamProcessingGraph
+from repro.core.control import RemoteDistributedJob
 from repro.core.distributed import (
     DeploymentPlan,
     DistributedJob,
@@ -112,6 +114,29 @@ class TestDistributedRelay:
         job.start()
         assert job.await_completion(timeout=90)
         assert sorted(store) == list(range(600))
+
+    def test_workers_on_preallocated_ports(self):
+        """Pre-agreed data-plane ports (the cluster coordinator's mode):
+        every worker binds exactly the port it was assigned, reserved
+        through the shared ephemeral-port helper instead of hardcoded
+        constants that collide with TIME_WAIT residue."""
+        g, store = relay_graph(total=200)
+        plan = round_robin_plan(g, 2)
+        ports = reserve_ports(2)
+        workers = [
+            DistributedWorker(w, g, plan, listen_port=ports[w]) for w in range(2)
+        ]
+        assert [w.address[1] for w in workers] == ports
+        endpoints = {w.worker_id: w.address for w in workers}
+        for w in workers:
+            w.connect(endpoints)
+        for w in workers:
+            w.start()
+        # DistributedWorker speaks the same drain protocol as the
+        # control-plane proxies, so the remote-job driver works as-is.
+        job = RemoteDistributedJob(workers)
+        assert job.await_completion(timeout=60)
+        assert store == list(range(200))
 
     def test_compressed_distributed_link(self):
         store = []

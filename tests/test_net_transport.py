@@ -1,5 +1,7 @@
-"""Tests for in-process and TCP transports, including TCP backpressure."""
+"""Tests for in-process, TCP, and Unix-domain transports, including
+TCP backpressure."""
 
+import os
 import threading
 
 import pytest
@@ -10,9 +12,11 @@ from repro.net import (
     TcpListener,
     TcpTransport,
     WatermarkChannel,
+    is_unix_endpoint,
 )
 from repro.util.errors import TransportError
 
+from procharness import reserve_port
 from waiters import FrameCollector, wait_stalled, wait_until
 
 
@@ -124,6 +128,71 @@ class TestTcpTransport:
             tx.close()
         finally:
             lst.close()
+
+
+class TestReservedPorts:
+    def test_listener_binds_a_reserved_port(self):
+        """The shared helper's reservation survives the probe socket's
+        close (SO_REUSEADDR): the listener binds the exact port without
+        a TIME_WAIT race — the fix for the old hardcoded-port flake."""
+        port = reserve_port()
+        lst = TcpListener("127.0.0.1", port, sink=lambda f: None)
+        try:
+            assert lst.port == port
+            tx = TcpTransport("127.0.0.1", port)
+            tx.send(1, b"hello", 1)
+            tx.close()
+        finally:
+            lst.close()
+
+
+class TestUnixTransport:
+    def test_endpoint_detection(self):
+        assert is_unix_endpoint("unix:/tmp/x.sock")
+        assert not is_unix_endpoint("127.0.0.1")
+        assert not is_unix_endpoint("example.org")
+
+    def test_end_to_end_frames(self, tmp_path):
+        endpoint = f"unix:{tmp_path / 'fabric.sock'}"
+        got = FrameCollector()
+        lst = TcpListener(endpoint, 0, sink=got)
+        try:
+            assert lst.host == endpoint and lst.port == 0
+            tx = TcpTransport(endpoint, 0)
+            for i in range(20):
+                tx.send(link_id=7, body=f"msg-{i}".encode(), count=1)
+            assert got.wait(20, timeout=5.0)
+            frames = got.snapshot()
+            assert [f.body.decode() for f in frames] == [
+                f"msg-{i}" for i in range(20)
+            ]
+            assert [f.seq for f in frames] == list(range(20))
+            tx.close()
+        finally:
+            lst.close()
+
+    def test_socket_file_lifecycle(self, tmp_path):
+        """Bind replaces stale residue from a crashed listener; close
+        removes the socket file."""
+        path = tmp_path / "w0.sock"
+        endpoint = f"unix:{path}"
+        lst = TcpListener(endpoint, 0, sink=lambda f: None)
+        lst.close()
+        assert not path.exists()
+        # Simulate a crash leaving the file behind: rebinding must work.
+        path.touch()
+        lst = TcpListener(endpoint, 0, sink=lambda f: None)
+        try:
+            tx = TcpTransport(endpoint, 0)
+            tx.send(1, b"x", 1)
+            tx.close()
+        finally:
+            lst.close()
+        assert not path.exists()
+
+    def test_connect_refused(self, tmp_path):
+        with pytest.raises(TransportError):
+            TcpTransport(f"unix:{tmp_path / 'absent.sock'}", 0)
 
 
 class TestTcpBackpressure:

@@ -27,9 +27,12 @@ def _trace_block(tid: int) -> bytes:
 
 class TestTraceSurvivesReplay:
     def test_trace_block_replayed_byte_identical_and_deduped(self):
-        # Sever the connection right after the 3rd frame is written;
-        # recovery reconnects and replays every unacked frame.
-        plan = FaultPlan(seed=3).at("tcp.send", 2, FaultAction.KILL_CONNECTION)
+        # Truncate the 3rd frame mid-wire and sever: the listener must
+        # discard the partial frame, so it can never be acked and the
+        # recovery replay is *guaranteed* to retransmit it.  (A plain
+        # kill-after-write leaves a race where every frame gets acked
+        # before the sender snapshots its replay window.)
+        plan = FaultPlan(seed=3).at("tcp.send", 2, FaultAction.TRUNCATE, param=0.5)
         injector = FaultInjector(plan)
         received: list[Frame] = []
         lock = threading.Lock()
