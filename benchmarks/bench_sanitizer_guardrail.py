@@ -1,0 +1,164 @@
+"""Guardrail: duty-cycled lock-order recording must cost < 3% of a job.
+
+Runs the in-process relay pipeline A/B under an installed
+:class:`~repro.analysis.sanitizer.LockOrderSanitizer` in two arms,
+interleaved over several trials:
+
+- **baseline** — sanitizer installed *dormant* (``duty=0``): every
+  ``threading.Lock``/``RLock`` the runtime builds is wrapped, but no
+  acquire is recorded.  This mirrors ``bench_health_guardrail.py``,
+  whose baseline arm has the observer attached but idle: the wrapper
+  indirection is the instrumentation fixture, and what this guardrail
+  bounds is the *cost of witnessing* — the recording work itself.
+- **sampled** — the shipped duty-cycled config (``SAN_GUARDRAIL_DUTY``,
+  default 10% recording windows).  Lock-order edges are structural and
+  recur on every packet, so sampled windows witness the same edge set
+  an always-on recorder would; an always-on recorder cannot meet a
+  few-percent budget on a lock-bound pipeline (the runtime takes ~9
+  lock acquires per packet).
+
+Two verdicts, because they answer different questions:
+
+- **Duty cycle** (asserted at ``SAN_GUARDRAIL_PCT``, default 3%): the
+  calibrated *marginal* per-acquire recording cost
+  (:func:`repro.analysis.sanitizer.calibrate_recording`, active-window
+  acquire minus dormant-window acquire, measured on this machine at the
+  start of the run) times the witnessed active-window ``acquires``
+  count, over the sampled run's wall time.  This attributes the
+  recorder's *causal* cost — stable even on noisy shared runners,
+  where an end-to-end delta of a few percent is indistinguishable from
+  scheduler jitter.
+- **A/B wall clock** (asserted at ``SAN_GUARDRAIL_AB_PCT``, default
+  25%): min-of-N sampled vs dormant wall time.  Its noise floor sits
+  an order of magnitude above the duty-cycle budget, so it only
+  backstops catastrophic regressions — e.g. the dormant fast path
+  accidentally taking the edge-recording lock.
+
+Tunables via environment:
+
+- ``SAN_GUARDRAIL_PACKETS``  (default 20000)
+- ``SAN_GUARDRAIL_TRIALS``   (default 5)
+- ``SAN_GUARDRAIL_DUTY``     (default 0.1 — fraction of time recording)
+- ``SAN_GUARDRAIL_WINDOW``   (default 0.25 — seconds per on/off cycle)
+- ``SAN_GUARDRAIL_PCT``      (default 3.0)
+- ``SAN_GUARDRAIL_AB_PCT``   (default 25.0)
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+from repro.analysis.sanitizer import LockOrderSanitizer, calibrate_recording
+from repro.core import NeptuneConfig, NeptuneRuntime, StreamProcessingGraph
+from repro.workloads import CollectingSink, CountingSource, RelayProcessor
+
+PACKETS = int(os.environ.get("SAN_GUARDRAIL_PACKETS", "20000"))
+TRIALS = int(os.environ.get("SAN_GUARDRAIL_TRIALS", "5"))
+DUTY = float(os.environ.get("SAN_GUARDRAIL_DUTY", "0.1"))
+WINDOW = float(os.environ.get("SAN_GUARDRAIL_WINDOW", "0.25"))
+MAX_DUTY_PCT = float(os.environ.get("SAN_GUARDRAIL_PCT", "3.0"))
+MAX_AB_PCT = float(os.environ.get("SAN_GUARDRAIL_AB_PCT", "25.0"))
+
+
+def run_once(duty: float) -> tuple[float, int]:
+    """One pipeline run under an installed sanitizer at the given duty;
+    returns (wall seconds, active-window acquires witnessed)."""
+    sanitizer = LockOrderSanitizer(duty=duty, window=WINDOW)
+    sanitizer.install()
+    try:
+        store: list = []
+        g = StreamProcessingGraph(
+            "sanitizer-guardrail",
+            config=NeptuneConfig(buffer_capacity=64 * 1024, buffer_max_delay=0.005),
+        )
+        g.add_source("src", lambda: CountingSource(total=PACKETS))
+        g.add_processor("relay", RelayProcessor)
+        g.add_processor("sink", lambda: CollectingSink(store))
+        g.link("src", "relay").link("relay", "sink")
+        t0 = time.perf_counter()
+        with NeptuneRuntime() as rt:
+            handle = rt.submit(g)
+            ok = handle.await_completion(timeout=120)
+        elapsed = time.perf_counter() - t0
+    finally:
+        sanitizer.uninstall()
+    if not ok:
+        raise RuntimeError("guardrail pipeline did not drain")
+    if len(store) != PACKETS:
+        raise RuntimeError(f"expected {PACKETS} packets, got {len(store)}")
+    witness = sanitizer.witness()
+    if witness.dropped_edges:
+        raise RuntimeError(
+            f"sanitizer dropped {witness.dropped_edges} edges: MAX_EDGES too small"
+        )
+    if duty == 0.0 and witness.acquires:
+        raise RuntimeError("dormant sanitizer recorded acquires: duty gate broken")
+    return elapsed, witness.acquires
+
+
+def main() -> int:
+    marginal = calibrate_recording()
+    print(
+        f"calibrated marginal recording cost: {marginal * 1e9:.0f} ns/acquire "
+        f"(duty={DUTY:.2f}, window={WINDOW:.2f}s)"
+    )
+
+    # Warm both arms so imports/first-run costs hit neither.
+    run_once(0.0)
+    run_once(DUTY)
+
+    baseline: list[float] = []
+    sampled: list[float] = []
+    worst_duty = 0.0
+    total_acquires = 0
+    for trial in range(TRIALS):
+        # Interleave so slow machine drift penalizes both arms equally.
+        base_wall, _ = run_once(0.0)
+        samp_wall, acquires = run_once(DUTY)
+        baseline.append(base_wall)
+        sampled.append(samp_wall)
+        duty_cost = marginal * acquires / samp_wall
+        worst_duty = max(worst_duty, duty_cost)
+        total_acquires += acquires
+        print(
+            f"trial {trial + 1}/{TRIALS}: dormant={base_wall:.3f}s "
+            f"sampled={samp_wall:.3f}s acquires={acquires} "
+            f"recording cost={duty_cost * 100:.2f}%",
+            flush=True,
+        )
+
+    if total_acquires == 0:
+        print(
+            "FAIL: sampled arm witnessed no acquires — recording windows "
+            "never overlapped the run",
+            file=sys.stderr,
+        )
+        return 1
+
+    best_base = min(baseline)
+    best_samp = min(sampled)
+    ab_pct = (best_samp - best_base) / best_base * 100.0
+    print(
+        f"min-of-{TRIALS}: dormant={best_base:.3f}s "
+        f"sampled={best_samp:.3f}s A/B={ab_pct:+.2f}% "
+        f"(backstop {MAX_AB_PCT:.0f}%) worst recording cost={worst_duty * 100:.2f}% "
+        f"(budget {MAX_DUTY_PCT:.1f}%) over {total_acquires} acquires"
+    )
+    if worst_duty * 100.0 > MAX_DUTY_PCT:
+        print("FAIL: sanitizer recording cost exceeds budget", file=sys.stderr)
+        return 1
+    if ab_pct > MAX_AB_PCT:
+        print(
+            "FAIL: sampled wall time collapsed — edge recording is "
+            "leaking onto the dormant fast path",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK: sanitizer overhead within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,7 +14,19 @@ instead of runtime surprises:
   runtime's own two-tier (worker / IO) thread code: unsynchronized
   cross-thread mutation, inconsistent locking, lock-order cycles,
   state locks held across blocking calls, and callbacks invoked under
-  a state lock.
+  a state lock — plus a process-model tier (NEPL210–214) covering the
+  ``multiprocessing`` spawn boundary.
+
+Two cluster-era extensions ride on the same diagnostics spine:
+
+- :mod:`repro.analysis.plancheck` — a deployment-plan verifier
+  (NEPG130–139) over graph + :class:`DeploymentPlan`/``WorkerSpec``
+  sets: port and socket-path collisions, pin faults, cross-worker
+  partitioning determinism, config drift, exactly-once feasibility.
+  ``ClusterCoordinator.launch`` gates on it.
+- :mod:`repro.analysis.sanitizer` — an opt-in runtime lock-order
+  sanitizer whose witness files cross-validate the static NEPL203
+  lock-order prediction.
 
 Both are exposed through ``python -m repro.cli analyze`` and run in CI
 as a gate.  The package is stdlib-only (``ast`` + the repro core) so it
@@ -29,17 +41,27 @@ from repro.analysis.graphcheck import (
     verify_graph,
 )
 from repro.analysis.lint import lint_paths
+from repro.analysis.plancheck import (
+    PlanVerifier,
+    verify_cluster,
+    verify_cluster_file,
+    verify_plan,
+)
 from repro.analysis.schemaflow import is_assignable, unsatisfied_requirements
 
 __all__ = [
     "Diagnostic",
     "DiagnosticReport",
     "GraphVerifier",
+    "PlanVerifier",
     "Severity",
     "is_assignable",
     "lint_paths",
     "unsatisfied_requirements",
+    "verify_cluster",
+    "verify_cluster_file",
     "verify_descriptor",
     "verify_descriptor_file",
     "verify_graph",
+    "verify_plan",
 ]

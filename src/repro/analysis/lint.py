@@ -33,9 +33,12 @@ def collect_files(paths: list[str]) -> list[str]:
     return sorted(found)
 
 
-def lint_paths(paths: list[str]) -> DiagnosticReport:
-    """Lint every ``.py`` file under ``paths``."""
-    report = DiagnosticReport(subject=", ".join(paths))
+def collect_models(
+    paths: list[str], report: DiagnosticReport | None = None
+) -> list[ClassModel]:
+    """Extract class models for every ``.py`` file under ``paths``
+    (unreadable/unparsable files become NEPL200 when a report is given,
+    and are skipped otherwise)."""
     models: list[ClassModel] = []
     for filename in collect_files(paths):
         try:
@@ -43,11 +46,19 @@ def lint_paths(paths: list[str]) -> DiagnosticReport:
                 source = fh.read()
             models.extend(build_models(filename, source))
         except (OSError, SyntaxError) as exc:
-            report.add(
-                "NEPL200",
-                Severity.ERROR,
-                f"cannot lint file: {exc}",
-                where=filename,
-            )
+            if report is not None:
+                report.add(
+                    "NEPL200",
+                    Severity.ERROR,
+                    f"cannot lint file: {exc}",
+                    where=filename,
+                )
+    return models
+
+
+def lint_paths(paths: list[str]) -> DiagnosticReport:
+    """Lint every ``.py`` file under ``paths``."""
+    report = DiagnosticReport(subject=", ".join(paths))
+    models = collect_models(paths, report)
     evaluate(models, report)
     return report

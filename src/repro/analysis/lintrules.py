@@ -9,6 +9,11 @@ NEPL202    error     attribute mutated both with and without a lock
 NEPL203    error     lock-acquisition-order cycle (deadlock risk)
 NEPL204    warning   state lock held across a blocking call
 NEPL205    warning   callback invoked while a state lock is held
+NEPL210    error     parent state mutated after spawn but read in the child
+NEPL211    error     unpicklable attribute captured in Process args
+NEPL212    error     mp primitive from module default despite pinned context
+NEPL213    warning   blocking call inside an OS signal handler
+NEPL214    warning   fork/default-context spawn in a lock/thread-owning class
 =========  ========  =======================================================
 
 The engine works per class (see :mod:`repro.analysis.threadmodel`):
@@ -34,6 +39,19 @@ Lock-order edges include one level of cross-class resolution: a call
 ``self._chan.put(...)`` made under a held lock, where ``_chan`` was
 built from a known class, adds edges to every lock that class's method
 (transitively, intra-class) acquires.
+
+The NEPL210–214 tier reasons about the ``multiprocessing`` *spawn
+boundary* instead of threads: a spawned child gets a pickled copy of
+the parent object at spawn time, so parent-side mutation after spawn is
+invisible to child-reachable code (NEPL210), locks/sockets/threads in
+``Process`` args fail to pickle — or worse, pickle into useless copies
+(NEPL211), primitives created through the module default don't
+interoperate with a pinned ``get_context`` start method (NEPL212), and
+forking (or relying on the platform default, which forks on Linux)
+while the class owns locks or threads can clone a held lock into the
+child (NEPL214).  NEPL213 covers OS signal handlers, which interrupt
+the main thread at arbitrary points: a blocking call there stalls
+delivery of every subsequent signal.
 """
 
 from __future__ import annotations
@@ -49,6 +67,11 @@ def evaluate(models: list[ClassModel], report: DiagnosticReport) -> None:
     by_name = {m.name: m for m in models}
     order_edges: dict[tuple[str, str], tuple[str, str, int]] = {}
     for model in models:
+        _check_spawn_staleness(model, report)
+        _check_spawn_captures(model, report)
+        _check_context_mismatch(model, report)
+        _check_signal_handlers(model, report)
+        _check_fork_with_locks(model, report)
         if not model.has_concurrency():
             continue
         contexts = _entry_contexts(model)
@@ -239,6 +262,192 @@ def _check_callbacks(
                     "after release",
                 )
                 break
+
+
+def static_order_edges(
+    models: list[ClassModel],
+) -> dict[tuple[str, str], tuple[str, str, int]]:
+    """The lock-order edge set NEPL203 reasons over, as
+    ``(held_node, acquired_node) -> (path, method, lineno)`` with nodes
+    labelled ``ClassName.lockgroup``.
+
+    Public for :mod:`repro.analysis.sanitizer`, which cross-validates
+    these *predicted* edges against the edges an instrumented run
+    actually *witnesses*.
+    """
+    by_name = {m.name: m for m in models}
+    edges: dict[tuple[str, str], tuple[str, str, int]] = {}
+    for model in models:
+        if not model.has_concurrency():
+            continue
+        contexts = _entry_contexts(model)
+        _collect_order_edges(model, contexts, by_name, edges)
+    return edges
+
+
+# -- process-model rules (NEPL210–214) -----------------------------------------
+
+#: Attribute classes that cannot cross the pickle/spawn boundary (or
+#: arrive as useless copies).  threading locks are caught through the
+#: class's lock groups instead.
+UNPICKLABLE_CLASSES = frozenset({"Thread", "Timer", "socket", "Condition"})
+
+
+def _child_reachable(model: ClassModel) -> set[str]:
+    """Methods reachable (intra-class) from a process target."""
+    reachable = set(model.process_targets & model.methods.keys())
+    frontier = list(reachable)
+    while frontier:
+        mm = model.methods[frontier.pop()]
+        for event in mm.events:
+            if event.kind == "call" and event.name in model.methods:
+                if event.name not in reachable:
+                    reachable.add(event.name)
+                    frontier.append(event.name)
+    return reachable
+
+
+def _check_spawn_staleness(model: ClassModel, report: DiagnosticReport) -> None:
+    """NEPL210: parent-side mutation of state the spawned child reads.
+
+    A spawn-context child pickles the object once, at spawn time; any
+    later parent mutation updates the parent's copy only, so the child
+    silently computes on stale state.
+    """
+    if not model.process_targets:
+        return
+    child = _child_reachable(model)
+    child_reads: dict[str, int] = {}
+    for name in child:
+        for attr, lineno in model.methods[name].reads.items():
+            child_reads.setdefault(attr, lineno)
+    flagged: set[str] = set()
+    for name, mm in sorted(model.methods.items(), key=lambda kv: kv[1].lineno):
+        if name == "__init__" or name in child:
+            continue
+        mutations = [(e.name, e.lineno) for e in mm.events if e.kind == "mutate"]
+        mutations += list(mm.rebinds.items())
+        for attr, lineno in sorted(mutations, key=lambda kv: kv[1]):
+            if attr not in child_reads or attr in flagged:
+                continue
+            if attr in model.methods:
+                continue  # rebinding a method name — not state
+            flagged.add(attr)
+            report.add(
+                "NEPL210",
+                Severity.ERROR,
+                f"{model.name}.{attr} is written by parent-side "
+                f"{name}() but read inside process-target code; the "
+                "spawned child holds a pickled copy from spawn time and "
+                "never sees this write",
+                where=_where(model, lineno),
+                hint="move the state into the spec/args shipped at spawn, "
+                "or use an mp primitive (ctx.Value/ctx.Queue) for "
+                "cross-process state",
+            )
+
+
+def _check_spawn_captures(model: ClassModel, report: DiagnosticReport) -> None:
+    """NEPL211: locks/sockets/threads shipped through Process args."""
+    seen: set[str] = set()
+    for attr, lineno in model.spawn_captures:
+        if attr in seen or attr in model.mp_owned_attrs:
+            continue
+        if attr in model.lock_groups:
+            kind = "a threading lock"
+        elif model.attr_classes.get(attr) in UNPICKLABLE_CLASSES:
+            kind = f"a {model.attr_classes[attr]}"
+        else:
+            continue
+        seen.add(attr)
+        report.add(
+            "NEPL211",
+            Severity.ERROR,
+            f"{model.name}.{attr} ({kind}) is captured in Process args; "
+            "it either fails to pickle at spawn or arrives as a "
+            "disconnected copy that synchronizes nothing",
+            where=_where(model, lineno),
+            hint="ship plain data (JSON/specs) across the spawn boundary "
+            "and rebuild runtime objects in the child",
+        )
+
+
+def _check_context_mismatch(model: ClassModel, report: DiagnosticReport) -> None:
+    """NEPL212: module-default primitive in a pinned-context class."""
+    if not model.mp_contexts:
+        return
+    pinned = sorted(set(model.mp_contexts.values()))[0]
+    for factory, lineno in model.default_ctx_primitives:
+        report.add(
+            "NEPL212",
+            Severity.ERROR,
+            f"{model.name} pins multiprocessing context {pinned!r} but "
+            f"creates {factory} through the module default; primitives "
+            "from mismatched start methods fail (or deadlock) when "
+            "shared with the pinned context's processes",
+            where=_where(model, lineno),
+            hint=f"create it from the pinned context (ctx.{factory}(...))",
+        )
+
+
+def _check_signal_handlers(model: ClassModel, report: DiagnosticReport) -> None:
+    """NEPL213: blocking call reachable inside an OS signal handler."""
+    for handler in sorted(model.signal_handlers):
+        if handler not in model.methods:
+            continue
+        reachable = {handler}
+        frontier = [handler]
+        while frontier:
+            mm = model.methods[frontier.pop()]
+            for event in mm.events:
+                if event.kind == "call" and event.name in model.methods:
+                    if event.name not in reachable:
+                        reachable.add(event.name)
+                        frontier.append(event.name)
+        for name in sorted(reachable):
+            blocking = [
+                e for e in model.methods[name].events if e.kind == "blocking"
+            ]
+            if blocking:
+                event = min(blocking, key=lambda e: e.lineno)
+                report.add(
+                    "NEPL213",
+                    Severity.WARNING,
+                    f"signal handler {model.name}.{handler} reaches "
+                    f"blocking call {event.name}; handlers interrupt the "
+                    "main thread at arbitrary points, so blocking here "
+                    "stalls the interrupted code and delays every "
+                    "subsequent signal",
+                    where=_where(model, event.lineno),
+                    hint="set a flag in the handler and do the blocking "
+                    "work on the main loop",
+                )
+                break
+
+
+def _check_fork_with_locks(model: ClassModel, report: DiagnosticReport) -> None:
+    """NEPL214: forking while owning locks/threads clones lock state."""
+    if not model.lock_groups and not model.thread_targets:
+        return
+    for lineno, source in model.process_spawns:
+        if source in ("spawn", "forkserver"):
+            continue
+        if source == "?":
+            continue  # unresolvable context: don't guess
+        how = (
+            "the platform-default start method (fork on Linux)"
+            if source == "module"
+            else f"the {source!r} start method"
+        )
+        report.add(
+            "NEPL214",
+            Severity.WARNING,
+            f"{model.name} owns locks/threads but spawns a process via "
+            f"{how}; a fork taken while another thread holds a lock "
+            "clones that lock permanently-held into the child",
+            where=_where(model, lineno),
+            hint='pin a spawn context: ctx = multiprocessing.get_context("spawn")',
+        )
 
 
 # -- lock-order cycles ---------------------------------------------------------

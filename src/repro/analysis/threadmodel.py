@@ -27,6 +27,12 @@ Extracted per class:
   as a lock-free entry point.
 - **Attribute classes** — ``self._chan = WatermarkChannel(...)`` maps
   ``_chan`` to that class, enabling cross-class lock-order edges.
+- **Process-model facts** (the NEPL210–214 tier) — methods used as
+  ``Process(target=self.X)``, ``self`` attributes captured in process
+  ``args``, pinned ``multiprocessing.get_context(...)`` start methods
+  vs. primitives created through the module default, methods registered
+  as OS signal handlers, and each ``Process(...)`` construction with
+  the start method it resolves to.
 """
 
 from __future__ import annotations
@@ -71,6 +77,33 @@ BLOCKING_QUEUE_CLASSES = frozenset({"Queue", "SimpleQueue", "WatermarkChannel"})
 
 _MUST_HOLD = re.compile(r"[Cc]aller must hold\s+``?([A-Za-z_][A-Za-z0-9_]*)``?")
 
+#: ``multiprocessing`` factory names whose product lives on one start
+#: method; creating them through the module default while the class
+#: pins an explicit context mixes start methods (NEPL212).
+MP_PRIMITIVES = frozenset(
+    {
+        "Queue",
+        "SimpleQueue",
+        "JoinableQueue",
+        "Event",
+        "Lock",
+        "RLock",
+        "Condition",
+        "Semaphore",
+        "BoundedSemaphore",
+        "Barrier",
+        "Value",
+        "Array",
+        "Pipe",
+        "Manager",
+        "Pool",
+        "Process",
+    }
+)
+
+#: Names the ``multiprocessing`` module is commonly bound to.
+MP_MODULE_NAMES = frozenset({"multiprocessing", "mp"})
+
 
 @dataclass(frozen=True)
 class Event:
@@ -103,6 +136,12 @@ class MethodModel:
     #: Lock groups documented as already held on entry.
     requires: frozenset[str] = frozenset()
     is_public: bool = False
+    #: self attrs read (Load context) anywhere in the body -> first line.
+    reads: dict[str, int] = field(default_factory=dict)
+    #: self attrs rebound by plain assignment -> first line (plain
+    #: rebinds are atomic and excluded from ``mutate`` events, but the
+    #: spawn boundary makes even rebinds invisible to the child).
+    rebinds: dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -120,6 +159,26 @@ class ClassModel:
     attr_classes: dict[str, str] = field(default_factory=dict)
     #: attrs holding user callbacks (``_on_*`` or Callable-annotated).
     callback_attrs: set[str] = field(default_factory=set)
+    #: Methods used as ``Process(target=self.X)`` — code that runs in a
+    #: spawned child interpreter.
+    process_targets: set[str] = field(default_factory=set)
+    #: context name (self attr or local) -> pinned start method
+    #: (``self._ctx = multiprocessing.get_context("spawn")``).
+    mp_contexts: dict[str, str] = field(default_factory=dict)
+    #: Every ``Process(...)`` construction: (lineno, start method it
+    #: resolves to — a pinned method name, ``"module"`` for the
+    #: platform default, or ``"?"`` when unresolvable).
+    process_spawns: list[tuple[int, str]] = field(default_factory=list)
+    #: ``self`` attrs shipped through ``Process(args=...)``/kwargs.
+    spawn_captures: list[tuple[str, int]] = field(default_factory=list)
+    #: (factory name, lineno) of multiprocessing primitives created
+    #: through the module default rather than a pinned context.
+    default_ctx_primitives: list[tuple[str, int]] = field(default_factory=list)
+    #: Attrs assigned from a pinned-context or mp-module factory
+    #: (``self._q = ctx.Queue()``) — sharable across the spawn boundary.
+    mp_owned_attrs: set[str] = field(default_factory=set)
+    #: Methods registered as OS signal handlers via ``signal.signal``.
+    signal_handlers: set[str] = field(default_factory=set)
 
     @property
     def groups(self) -> frozenset[str]:
@@ -128,7 +187,12 @@ class ClassModel:
 
     def has_concurrency(self) -> bool:
         """Whether the lint should analyze this class at all."""
-        return bool(self.lock_groups) or bool(self.thread_targets)
+        return (
+            bool(self.lock_groups)
+            or bool(self.thread_targets)
+            or bool(self.process_spawns)
+            or bool(self.signal_handlers)
+        )
 
 
 def build_models(path: str, source: str) -> list[ClassModel]:
@@ -156,6 +220,10 @@ def _build_class(path: str, node: ast.ClassDef) -> ClassModel:
         _collect_thread_targets(model, meth)
         _collect_attr_classes(model, meth)
         _collect_callback_attrs(model, meth)
+        _collect_mp_contexts(model, meth)
+    for meth in methods:
+        _collect_process_model(model, meth)
+        _collect_signal_handlers(model, meth)
     for meth in methods:
         model.methods[meth.name] = _build_method(model, meth)
     return model
@@ -243,9 +311,14 @@ def _collect_attr_classes(model: ClassModel, meth: ast.AST) -> None:
                 name = _called_name(value)
                 if name and name[:1].isupper():
                     model.attr_classes.setdefault(attr, name)
+                elif name == "socket":
+                    # socket.socket(...) — lowercase ctor, but the lint
+                    # needs the class for unpicklable-capture checks.
+                    model.attr_classes.setdefault(attr, "socket")
             elif isinstance(value, ast.Name) and value.id in annotations:
                 ann = annotations[value.id]
-                head = ann.split("[")[0].split(".")[-1]
+                # Forward refs unparse with their quotes ('"PairB"').
+                head = ann.split("[")[0].split(".")[-1].strip("'\"")
                 if head[:1].isupper() and "Callable" not in ann:
                     model.attr_classes.setdefault(attr, head)
 
@@ -274,6 +347,120 @@ def _collect_callback_attrs(model: ClassModel, meth: ast.AST) -> None:
                 model.callback_attrs.add(attr)
 
 
+# -- process-model extraction --------------------------------------------------
+
+
+def _collect_mp_contexts(model: ClassModel, meth: ast.AST) -> None:
+    """``self._ctx = multiprocessing.get_context("spawn")`` (or a local
+    binding) pins a start method; Process/primitive creations resolve
+    against these."""
+    for node in ast.walk(meth):
+        if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+            continue
+        if _called_name(node.value) != "get_context":
+            continue
+        method = "?"
+        if node.value.args and isinstance(node.value.args[0], ast.Constant):
+            method = str(node.value.args[0].value)
+        elif not node.value.args:
+            method = "module"  # get_context() — the platform default
+        for target in node.targets:
+            attr = _self_attr(target)
+            if attr is not None:
+                model.mp_contexts[attr] = method
+            elif isinstance(target, ast.Name):
+                model.mp_contexts[target.id] = method
+
+
+def _spawn_source(model: ClassModel, func: ast.expr) -> str:
+    """Which start method a ``...Process(...)`` call resolves to."""
+    if isinstance(func, ast.Name):
+        return "module"  # from multiprocessing import Process
+    if isinstance(func, ast.Attribute):
+        attr = _self_attr(func.value)
+        if attr is not None:
+            return model.mp_contexts.get(attr, "?")
+        if isinstance(func.value, ast.Name):
+            name = func.value.id
+            if name in model.mp_contexts:
+                return model.mp_contexts[name]
+            if name in MP_MODULE_NAMES:
+                return "module"
+    return "?"
+
+
+def _collect_process_model(model: ClassModel, meth: ast.AST) -> None:
+    """Process constructions, targets, arg captures, and primitives
+    created through the module default."""
+    for node in ast.walk(meth):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            # self._q = ctx.Queue() / multiprocessing.Queue(): the attr
+            # is an mp-owned primitive, designed to cross the boundary.
+            value = node.value
+            if isinstance(value.func, ast.Attribute) and isinstance(
+                value.func.value, ast.Name
+            ):
+                recv = value.func.value.id
+                if recv in model.mp_contexts or recv in MP_MODULE_NAMES:
+                    for target in node.targets:
+                        attr = _self_attr(target)
+                        if attr is not None:
+                            model.mp_owned_attrs.add(attr)
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in MP_MODULE_NAMES
+            and func.attr in MP_PRIMITIVES
+        ):
+            model.default_ctx_primitives.append((func.attr, node.lineno))
+        if _called_name(node) != "Process":
+            continue
+        if isinstance(func, ast.Name) and not any(
+            kw.arg == "target" for kw in node.keywords
+        ):
+            # A bare ``Process(...)`` without target= is most likely a
+            # domain class (e.g. the simulator's), not multiprocessing.
+            continue
+        model.process_spawns.append((node.lineno, _spawn_source(model, func)))
+        for kw in node.keywords:
+            if kw.arg == "target":
+                target_attr = _self_attr(kw.value)
+                if target_attr is not None:
+                    model.process_targets.add(target_attr)
+            elif kw.arg == "args" and isinstance(kw.value, (ast.Tuple, ast.List)):
+                for elt in kw.value.elts:
+                    captured = _self_attr(elt)
+                    if captured is not None:
+                        model.spawn_captures.append((captured, elt.lineno))
+            elif kw.arg == "kwargs" and isinstance(kw.value, ast.Dict):
+                for elt in kw.value.values:
+                    captured = _self_attr(elt)
+                    if captured is not None:
+                        model.spawn_captures.append((captured, elt.lineno))
+
+
+def _collect_signal_handlers(model: ClassModel, meth: ast.AST) -> None:
+    """``signal.signal(SIG, self.handler)`` registrations."""
+    for node in ast.walk(meth):
+        if not isinstance(node, ast.Call) or len(node.args) < 2:
+            continue
+        func = node.func
+        is_signal = (
+            isinstance(func, ast.Attribute)
+            and func.attr == "signal"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "signal"
+        ) or (isinstance(func, ast.Name) and func.id == "signal")
+        if not is_signal:
+            continue
+        handler = _self_attr(node.args[1])
+        if handler is not None:
+            model.signal_handlers.add(handler)
+
+
 # -- method-level extraction ---------------------------------------------------
 
 
@@ -298,6 +485,19 @@ def _build_method(model: ClassModel, meth: ast.FunctionDef) -> MethodModel:
         ),
     )
     _visit_block(model, mm, meth.body, set())
+    for node in ast.walk(meth):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and isinstance(node.ctx, ast.Load)
+        ):
+            mm.reads.setdefault(node.attr, node.lineno)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                attr = _self_attr(target)
+                if attr is not None:
+                    mm.rebinds.setdefault(attr, node.lineno)
     return mm
 
 

@@ -3,7 +3,8 @@
 ::
 
     python -m repro.cli validate graph.json
-    python -m repro.cli analyze [--graph DESC.json ...] [--lint PATH ...]
+    python -m repro.cli analyze [--graph DESC.json ...] [--cluster SPEC.json ...]
+                                [--lint PATH ...] [--witness W.json ...]
     python -m repro.cli run graph.json [--duration 10] [--workers 2]
     python -m repro.cli trace [--example quickstart | DESC.json] [--sample-every N]
     python -m repro.cli metrics [--example quickstart | DESC.json] [--format prometheus|json]
@@ -18,8 +19,11 @@
 ``run`` deploys a JSON graph descriptor on the local runtime (or the
 distributed multi-resource runtime with ``--workers > 1``) and prints
 per-operator metrics; ``analyze`` runs the static analyzers — the
-stream-graph verifier over descriptors and/or the AST concurrency lint
-over runtime source — and exits non-zero on findings (the CI gate);
+stream-graph verifier over descriptors, the cluster deployment-plan
+verifier over cluster specs, the AST concurrency lint over runtime
+source, and sanitizer-witness cross-validation against the lint's
+static lock-order edges — and exits non-zero on findings (the CI
+gate);
 ``experiment`` regenerates one of the paper's tables/figures on the
 simulator; ``chaos`` runs a seeded fault-injection scenario against
 the TCP recovery protocol and exits 0 iff delivery stayed
@@ -62,22 +66,59 @@ def cmd_validate(args: argparse.Namespace) -> int:
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
-    """`analyze` subcommand: graph verifier + concurrency lint.
+    """`analyze` subcommand: graph verifier / plan verifier / lint.
 
     Exit code 0 iff no report reaches the ``--fail-on`` severity
-    (default: error; warnings still print).
+    (default: error; warnings still print).  ``--cluster SPEC.json``
+    runs the NEPG130–139 deployment-plan verifier (the same pass
+    ``ClusterCoordinator.launch`` gates on); ``--witness W.json``
+    cross-validates a sanitizer witness file against the static
+    NEPL203 lock-order edges of the ``--lint`` paths.
     """
-    from repro.analysis import Severity, lint_paths, verify_descriptor_file
+    from repro.analysis import (
+        Severity,
+        lint_paths,
+        verify_cluster_file,
+        verify_descriptor_file,
+    )
 
-    if not args.graph and not args.lint:
+    if not args.graph and not args.lint and not args.cluster:
         raise SystemExit(
-            "repro.cli analyze: error: nothing to do "
-            "(give --graph DESC.json and/or --lint PATH)"
+            "repro.cli analyze: error: nothing to do (give --graph "
+            "DESC.json, --cluster SPEC.json, and/or --lint PATH)"
+        )
+    if args.witness and not args.lint:
+        raise SystemExit(
+            "repro.cli analyze: error: --witness needs --lint PATH "
+            "(the source whose static lock-order edges to cross-validate)"
         )
     fail_on = Severity.WARNING if args.fail_on == "warning" else Severity.ERROR
     reports = [verify_descriptor_file(path) for path in args.graph]
+    reports += [verify_cluster_file(path) for path in args.cluster]
     if args.lint:
         reports.append(lint_paths(args.lint))
+    if args.witness:
+        from repro.analysis.lint import collect_models
+        from repro.analysis.lintrules import static_order_edges
+        from repro.analysis.sanitizer import Witness, witness_report
+
+        edges = static_order_edges(collect_models(args.lint))
+        for path in args.witness:
+            try:
+                witness = Witness.load(path)
+            except (OSError, ValueError, KeyError, TypeError) as exc:
+                from repro.analysis import DiagnosticReport
+
+                bad = DiagnosticReport(subject=path)
+                bad.add(
+                    "NEPL200",
+                    Severity.ERROR,
+                    f"cannot load witness file: {exc}",
+                    where=path,
+                )
+                reports.append(bad)
+                continue
+            reports.append(witness_report(witness, edges, subject=path))
     if args.json:
         print(json.dumps([json.loads(r.to_json()) for r in reports], indent=2))
     else:
@@ -588,7 +629,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_val.set_defaults(fn=cmd_validate)
 
     p_an = sub.add_parser(
-        "analyze", help="static analysis: stream-graph verifier / concurrency lint"
+        "analyze",
+        help="static analysis: graph verifier / plan verifier / concurrency lint",
     )
     p_an.add_argument(
         "--graph",
@@ -598,11 +640,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON graph descriptor(s) to verify",
     )
     p_an.add_argument(
+        "--cluster",
+        nargs="+",
+        default=[],
+        metavar="SPEC.json",
+        help="cluster spec(s) to run the NEPG130-139 plan verifier over",
+    )
+    p_an.add_argument(
         "--lint",
         nargs="+",
         default=[],
         metavar="PATH",
         help="Python files/directories to concurrency-lint",
+    )
+    p_an.add_argument(
+        "--witness",
+        nargs="+",
+        default=[],
+        metavar="W.json",
+        help="sanitizer witness file(s) to cross-validate against the "
+        "--lint paths' static lock-order edges",
     )
     p_an.add_argument(
         "--json", action="store_true", help="machine-readable findings"

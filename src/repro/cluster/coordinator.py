@@ -85,6 +85,12 @@ class ClusterCoordinator:
         When set, each worker appends stdout/stderr to
         ``<log_dir>/worker-<id>.log`` instead of inheriting the
         coordinator's streams.
+    verify:
+        Run the NEPG130–139 deployment-plan verifier before spawning
+        (:mod:`repro.analysis.plancheck`); :meth:`launch` raises
+        :class:`~repro.util.errors.PlanVerificationError` on any error
+        finding, before any process exists.  ``False`` opts out (e.g.
+        to deliberately deploy a degraded plan in a chaos test).
     """
 
     def __init__(
@@ -96,10 +102,13 @@ class ClusterCoordinator:
         host: str = "127.0.0.1",
         socket_dir: Optional[str] = None,
         log_dir: Optional[str] = None,
+        verify: bool = True,
     ) -> None:
         graph.validate()
         if fabric not in ("tcp", "unix"):
             raise NeptuneError(f"unknown fabric {fabric!r} (tcp or unix)")
+        self._graph = graph
+        self.verify = verify
         self.plan = plan if plan is not None else build_plan(graph, n_workers)
         self.n_workers = self.plan.n_workers
         self.fabric = fabric
@@ -113,10 +122,21 @@ class ClusterCoordinator:
                 w: (f"unix:{os.path.join(self._socket_dir, f'w{w}.sock')}", 0)
                 for w in range(self.n_workers)
             }
+            control_ports = reserve_ports(self.n_workers, "127.0.0.1")
+        elif host == "127.0.0.1":
+            # Data and control share the loopback host: reserve both in
+            # ONE batch.  Two sequential reserve_ports calls release the
+            # first batch's probe sockets before the second binds, so
+            # the kernel may hand a data port back as a control port —
+            # a NEPG133 collision that kills a worker at spawn.
+            batch = reserve_ports(2 * self.n_workers, host)
+            data_ports = batch[: self.n_workers]
+            control_ports = batch[self.n_workers :]
+            endpoints = {w: (host, data_ports[w]) for w in range(self.n_workers)}
         else:
             data_ports = reserve_ports(self.n_workers, host)
+            control_ports = reserve_ports(self.n_workers, "127.0.0.1")
             endpoints = {w: (host, data_ports[w]) for w in range(self.n_workers)}
-        control_ports = reserve_ports(self.n_workers, "127.0.0.1")
         descriptor = graph.to_descriptor()
         descriptor["config"] = config_to_dict(graph.config)
         plan_raw = {
@@ -143,7 +163,22 @@ class ClusterCoordinator:
 
     # -- lifecycle -----------------------------------------------------------
     def launch(self, connect_timeout: float = 60.0) -> RemoteDistributedJob:
-        """Spawn every worker, connect control proxies, return the job."""
+        """Spawn every worker, connect control proxies, return the job.
+
+        When ``verify`` is on (the default), the NEPG130–139 plan
+        verifier runs first and a failing plan raises
+        :class:`~repro.util.errors.PlanVerificationError` *before* any
+        worker process is spawned — fail-fast, nothing to tear down.
+        """
+        if self.verify:
+            from repro.analysis.plancheck import verify_plan
+            from repro.util.errors import PlanVerificationError
+
+            report = verify_plan(
+                self._graph, self.plan, specs=[h.spec for h in self.handles]
+            )
+            if report.errors():
+                raise PlanVerificationError(report)
         for handle in self.handles:
             self._spawn(handle)
         for handle in self.handles:

@@ -5,6 +5,11 @@ applications can catch framework faults without masking programming
 errors (``TypeError`` etc.) in user operator code.
 """
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # import cycle: analysis -> core -> util
+    from repro.analysis.diagnostics import DiagnosticReport
+
 
 class NeptuneError(Exception):
     """Base class for all framework errors."""
@@ -58,6 +63,25 @@ class BackpressureTimeout(NeptuneError):
 
 class JobStateError(NeptuneError):
     """An operation was attempted in an illegal job lifecycle state."""
+
+
+class PlanVerificationError(NeptuneError):
+    """A cluster deployment plan failed static verification.
+
+    Raised by :meth:`ClusterCoordinator.launch` before any worker is
+    spawned when the NEPG130–139 plan verifier reports errors.  The
+    message names every failing rule code; :attr:`report` carries the
+    full :class:`~repro.analysis.diagnostics.DiagnosticReport`.
+    """
+
+    def __init__(self, report: "DiagnosticReport") -> None:
+        codes = sorted({d.code for d in report.errors()})
+        super().__init__(
+            f"deployment plan failed verification ({', '.join(codes)}); "
+            "run `repro analyze --cluster` for the full report, or pass "
+            "verify=False to deploy anyway"
+        )
+        self.report = report
 
 
 class PoolExhausted(NeptuneError):

@@ -1,0 +1,24 @@
+"""Seeded-bad: parent mutates state the spawned child already copied.
+
+``start()`` spawns the worker process and *then* installs the route —
+but spawn pickles ``self`` exactly once, so the child's ``self.routes``
+is the empty pre-spawn snapshot and the late mutation is invisible to
+``_run``.
+"""
+
+import multiprocessing
+
+
+class ShardManager:
+    def __init__(self):
+        self.routes = {}
+        self._proc = None
+
+    def start(self):
+        self._proc = multiprocessing.Process(target=self._run)
+        self._proc.start()
+        self.routes["shard-0"] = "127.0.0.1:7001"
+
+    def _run(self):
+        for shard, addr in self.routes.items():
+            print(shard, addr)

@@ -1,0 +1,26 @@
+"""Seeded-bad: a threading lock shipped across the spawn boundary.
+
+``threading.Lock`` objects cannot be pickled — passing one in the
+``Process`` args either crashes at spawn or (under fork) silently
+duplicates the lock state, so parent and child no longer exclude each
+other.
+"""
+
+import multiprocessing
+import threading
+
+
+def run_child(lock):
+    with lock:
+        pass
+
+
+class Exporter:
+    def __init__(self):
+        self._ctx = multiprocessing.get_context("spawn")
+        self._lock = threading.Lock()
+        self._proc = None
+
+    def start(self):
+        self._proc = self._ctx.Process(target=run_child, args=(self._lock,))
+        self._proc.start()

@@ -1,0 +1,25 @@
+"""Seeded-bad: module-default mp primitive under a pinned context.
+
+The class pins ``get_context("spawn")`` for its processes but builds
+the queue from the module-level ``multiprocessing.Queue`` — whose
+feeder machinery follows the *platform default* start method.  On
+Linux that mixes fork-backed queue internals into spawn-backed
+children, which deadlocks or crashes depending on timing.
+"""
+
+import multiprocessing
+
+
+def run_child(queue):
+    queue.put("ready")
+
+
+class Pipeline:
+    def __init__(self):
+        self._ctx = multiprocessing.get_context("spawn")
+        self.queue = multiprocessing.Queue()
+        self._proc = None
+
+    def start(self):
+        self._proc = self._ctx.Process(target=run_child, args=(self.queue,))
+        self._proc.start()

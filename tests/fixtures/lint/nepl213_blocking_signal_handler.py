@@ -1,0 +1,24 @@
+"""Seeded-bad: a signal handler that can block.
+
+Signal handlers run *inside* whatever frame the interpreter happened
+to interrupt; a ``time.sleep`` (or lock acquire, or socket recv) there
+stalls the interrupted thread — and if that thread held a lock, every
+other thread too.  Handlers must only set flags or write to a wakeup
+fd.
+"""
+
+import signal
+import time
+
+
+class Watchdog:
+    def __init__(self):
+        self.draining = False
+        signal.signal(signal.SIGTERM, self._on_term)
+
+    def _on_term(self, signum, frame):
+        self.draining = True
+        self._drain()
+
+    def _drain(self):
+        time.sleep(1.0)

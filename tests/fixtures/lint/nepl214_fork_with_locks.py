@@ -1,0 +1,26 @@
+"""Seeded-bad: fork start method in a lock-owning class.
+
+``fork`` duplicates the whole process image, including any lock
+currently held by *another* thread — the child inherits it locked with
+no owner to ever release it.  A class that owns locks (or threads)
+must pin ``spawn`` or ``forkserver``.
+"""
+
+import multiprocessing
+import threading
+
+
+def collect_child():
+    pass
+
+
+class Collector:
+    def __init__(self):
+        self._ctx = multiprocessing.get_context("fork")
+        self._lock = threading.Lock()
+        self.rows = []
+        self._proc = None
+
+    def start(self):
+        self._proc = self._ctx.Process(target=collect_child)
+        self._proc.start()

@@ -14,7 +14,7 @@ HERE = os.path.dirname(__file__)
 REPO = os.path.dirname(HERE)
 FIXTURES = sorted(glob.glob(os.path.join(HERE, "fixtures", "lint", "*")))
 
-WARNING_CODES = {"NEPL204", "NEPL205"}
+WARNING_CODES = {"NEPL204", "NEPL205", "NEPL213", "NEPL214"}
 
 
 def _expected_code(path: str) -> str:
@@ -35,7 +35,9 @@ def test_lint_fixture_fires_its_code_exactly_once(path):
 
 def test_fixture_corpus_covers_every_lint_code():
     covered = {_expected_code(p) for p in FIXTURES}
-    assert covered == {f"NEPL{n}" for n in range(200, 206)}
+    expected = {f"NEPL{n}" for n in range(200, 206)}  # thread-model rules
+    expected |= {f"NEPL{n}" for n in range(210, 215)}  # process-model rules
+    assert covered == expected
 
 
 def test_runtime_source_tree_lints_clean():
@@ -150,6 +152,43 @@ def test_init_mutations_are_exempt():
         """
     )
     assert not report.diagnostics, report.render()
+
+
+def test_forward_ref_annotation_resolves_peer_class():
+    # Regression: a quoted ctor-parameter annotation (`hub: "Hub"`)
+    # must still bind the stored attribute to its class, or cross-class
+    # cycles through mutually-referencing classes go undetected.
+    report = _lint_source(
+        """
+        import threading
+
+        class Peer:
+            def __init__(self, hub: "Hub"):
+                self._plock = threading.Lock()
+                self.inbox = []
+                self._hub = hub
+
+            def deliver(self, msg):
+                with self._plock:
+                    self.inbox.append(msg)
+                    self._hub.route(msg)
+
+        class Hub:
+            def __init__(self, peer: "Peer"):
+                self._hlock = threading.Lock()
+                self.routed = []
+                self._peer = peer
+
+            def route(self, msg):
+                with self._hlock:
+                    self.routed.append(msg)
+
+            def broadcast(self, msg):
+                with self._hlock:
+                    self._peer.deliver(msg)
+        """
+    )
+    assert report.count("NEPL203") == 1, report.render()
 
 
 def test_cross_class_lock_order_cycle_detected():

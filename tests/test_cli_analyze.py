@@ -13,6 +13,10 @@ GOOD_DESC = os.path.join(REPO, "examples", "descriptors", "fig1_relay.json")
 BAD_DESC = os.path.join(HERE, "fixtures", "graphs", "nepg107_cycle.json")
 WARN_DESC = os.path.join(HERE, "fixtures", "graphs", "nepg121_dangling_source.json")
 BAD_LINT = os.path.join(HERE, "fixtures", "lint", "nepl202_inconsistent_locking.py")
+GOOD_CLUSTER = os.path.join(REPO, "examples", "cluster_specs", "fig1_two_workers.json")
+BAD_CLUSTER = os.path.join(
+    HERE, "fixtures", "cluster", "nepg136_unseeded_shuffle.json"
+)
 
 
 class TestAnalyzeGraph:
@@ -56,6 +60,55 @@ class TestAnalyzeLint:
         assert main(["analyze", "--graph", GOOD_DESC, "--lint", BAD_LINT]) == 1
         out = capsys.readouterr().out
         assert "clean — no findings" in out and "NEPL202" in out
+
+
+class TestAnalyzeCluster:
+    def test_clean_cluster_spec_exits_zero(self, capsys):
+        assert main(["analyze", "--cluster", GOOD_CLUSTER]) == 0
+        assert "clean — no findings" in capsys.readouterr().out
+
+    def test_bad_cluster_spec_exits_one_with_code(self, capsys):
+        assert main(["analyze", "--cluster", BAD_CLUSTER]) == 1
+        out = capsys.readouterr().out
+        assert "NEPG136" in out and "exactly-once" in out
+
+    def test_cluster_and_graph_combined(self):
+        assert main(["analyze", "--graph", GOOD_DESC, "--cluster", BAD_CLUSTER]) == 1
+
+
+class TestAnalyzeWitness:
+    def _dump(self, tmp_path, edges):
+        from repro.analysis.sanitizer import Witness
+
+        path = tmp_path / "witness.json"
+        Witness(edges=edges, acquires=len(edges)).dump(str(path))
+        return str(path)
+
+    def test_acyclic_witness_is_clean(self, capsys, tmp_path):
+        path = self._dump(tmp_path, {("A.x", "A.y"): 1})
+        assert main(["analyze", "--lint", BAD_LINT, "--witness", path]) == 1
+        out = capsys.readouterr().out
+        assert "NEPL202" in out  # the lint finding, not the witness
+        assert out.count("NEPL203") == 0
+
+    def test_witnessed_unpredicted_cycle_is_an_error(self, capsys, tmp_path):
+        path = self._dump(
+            tmp_path, {("A.x", "A.y"): 1, ("A.y", "A.x"): 1}
+        )
+        src = os.path.join(REPO, "src", "repro")
+        assert main(["analyze", "--lint", src, "--witness", path]) == 1
+        out = capsys.readouterr().out
+        assert "NEPL203" in out and "NOT statically predicted" in out
+
+    def test_witness_requires_lint(self, tmp_path):
+        path = self._dump(tmp_path, {})
+        with pytest.raises(SystemExit):
+            main(["analyze", "--witness", path])
+
+    def test_unreadable_witness_is_a_finding_not_a_crash(self, capsys, tmp_path):
+        missing = str(tmp_path / "nope.json")
+        assert main(["analyze", "--lint", BAD_LINT, "--witness", missing]) == 1
+        assert "cannot load witness file" in capsys.readouterr().out
 
 
 def test_analyze_without_targets_is_an_error():

@@ -97,6 +97,90 @@ class TestPortReservation:
         ports = reserve_ports(8)
         assert len(set(ports)) == 8
 
+    def test_coordinator_data_and_control_ports_disjoint(self):
+        # Regression: data and control ports used to come from two
+        # sequential reserve_ports batches — the first batch's probe
+        # sockets were already closed, so the kernel could hand a data
+        # port back as a control port.  One combined batch guarantees
+        # pairwise-distinct ports.
+        coordinator = ClusterCoordinator(relay_graph(), n_workers=3)
+        try:
+            data = {
+                handle.spec.endpoints[handle.worker_id][1]
+                for handle in coordinator.handles
+            }
+            control = {handle.spec.control_port for handle in coordinator.handles}
+            assert len(data) == 3 and len(control) == 3
+            assert not data & control
+        finally:
+            coordinator.terminate()
+
+
+class TestLaunchVerification:
+    """The NEPG130-139 gate in front of ``launch`` (no processes spawn,
+    so these stay tier-1)."""
+
+    def unseeded_graph(self):
+        graph = relay_graph()
+        # Rebuild the source->relay link with an unseeded shuffle: a
+        # NEPG122 warning single-process, promoted to NEPG136 once the
+        # plan splits the link across workers.
+        graph.links[0].partitioning = {"scheme": "shuffle"}
+        graph._validated = False
+        graph.validate()
+        return graph
+
+    def test_launch_refuses_failing_plan_before_spawning(self):
+        from repro.util.errors import PlanVerificationError
+
+        coordinator = ClusterCoordinator(self.unseeded_graph(), n_workers=2)
+        try:
+            with pytest.raises(PlanVerificationError) as excinfo:
+                coordinator.launch()
+            # The typed error names the failing rule and carries the
+            # full report; nothing was ever spawned.
+            assert "NEPG136" in str(excinfo.value)
+            assert excinfo.value.report.count("NEPG136") == 1
+            assert all(h.process is None for h in coordinator.handles)
+        finally:
+            coordinator.terminate()
+
+    def test_verify_false_opts_out(self, monkeypatch):
+        # With verify=False the gate is skipped and launch() proceeds
+        # straight to spawning (stubbed out — tier-1 spawns nothing).
+        coordinator = ClusterCoordinator(
+            self.unseeded_graph(), n_workers=2, verify=False
+        )
+        spawned = []
+        monkeypatch.setattr(
+            ClusterCoordinator, "_spawn", lambda self, h: spawned.append(h)
+        )
+        monkeypatch.setattr(
+            ClusterCoordinator, "_connect", lambda self, h, t: None
+        )
+        try:
+            coordinator.launch()
+            assert len(spawned) == 2
+        finally:
+            coordinator.job = None
+            coordinator.terminate()
+
+    def test_clean_plan_passes_the_gate(self, monkeypatch):
+        coordinator = ClusterCoordinator(relay_graph(), n_workers=2)
+        spawned = []
+        monkeypatch.setattr(
+            ClusterCoordinator, "_spawn", lambda self, h: spawned.append(h)
+        )
+        monkeypatch.setattr(
+            ClusterCoordinator, "_connect", lambda self, h, t: None
+        )
+        try:
+            coordinator.launch()
+            assert len(spawned) == 2
+        finally:
+            coordinator.job = None
+            coordinator.terminate()
+
     def test_reserved_port_is_immediately_bindable(self):
         import socket
 
