@@ -1,0 +1,211 @@
+"""Guardrail: the cluster telemetry plane must cost < 3% of a job.
+
+Runs a real-process relay cluster A/B — workers spawned by a
+:class:`ClusterCoordinator` with observability off vs the full plane
+on (per-worker :class:`RuntimeObserver` + :class:`DeltaSource`, flight
+recorder, and the coordinator's polling
+:class:`~repro.observe.collector.ClusterCollector` absorbing and
+stitching deltas over the control channel) — interleaved over several
+trials.
+
+Two verdicts, the same scheme as ``bench_health_guardrail``:
+
+- **Duty cycle** (asserted at ``COLLECTOR_GUARDRAIL_PCT``, default 3%):
+  the plane's causally-attributable compute over the observed run's
+  wall time — the workers' delta ``build_cpu_seconds`` plus the
+  coordinator's merge CPU (``poll_cpu_seconds``).  The
+  raw poll time is NOT the cost: polls are RPC-synchronous, so most of
+  it is the coordinator *waiting* for a busy worker's control thread
+  to win a GIL slice, time during which the data plane keeps running
+  at full speed.  (That contention is real but shows up where it
+  belongs, in the A/B arm.)  Min-of-N across trials, since duty is a
+  property of the code while its jitter belongs to the runner; the raw
+  poll duty is printed per trial as a diagnostic.
+- **A/B wall clock** (asserted at ``COLLECTOR_GUARDRAIL_AB_PCT``,
+  default 25%): min-of-N observed vs bare wall time, measured from
+  *after* ``launch`` returns to the drain-complete sample so
+  interpreter spawn cost (identical in both arms but noisy) cancels
+  out.  Its noise floor sits far above the duty budget, so it only
+  backstops catastrophic regressions — collection work leaking onto
+  the data plane's hot path.
+
+Tunables via environment:
+
+- ``COLLECTOR_GUARDRAIL_PACKETS``      (default 20000)
+- ``COLLECTOR_GUARDRAIL_TRIALS``       (default 3)
+- ``COLLECTOR_GUARDRAIL_PCT``          (default 3.0)
+- ``COLLECTOR_GUARDRAIL_AB_PCT``       (default 25.0)
+- ``COLLECTOR_GUARDRAIL_INTERVAL``     (default 0.25 seconds)
+- ``COLLECTOR_GUARDRAIL_SAMPLE_EVERY`` (default 256; trace sampling —
+  span shipping dominates poll cost, so the duty verdict is for this
+  pinned rate)
+- ``COLLECTOR_GUARDRAIL_WORKERS``      (default 2)
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+from repro.cluster import ClusterCoordinator
+from repro.core import NeptuneConfig, StreamProcessingGraph
+from repro.core.graph import descriptor_factory
+
+PACKETS = int(os.environ.get("COLLECTOR_GUARDRAIL_PACKETS", "20000"))
+TRIALS = int(os.environ.get("COLLECTOR_GUARDRAIL_TRIALS", "3"))
+MAX_DUTY_PCT = float(os.environ.get("COLLECTOR_GUARDRAIL_PCT", "3.0"))
+MAX_AB_PCT = float(os.environ.get("COLLECTOR_GUARDRAIL_AB_PCT", "25.0"))
+POLL_INTERVAL = float(os.environ.get("COLLECTOR_GUARDRAIL_INTERVAL", "0.25"))
+SAMPLE_EVERY = int(os.environ.get("COLLECTOR_GUARDRAIL_SAMPLE_EVERY", "256"))
+WORKERS = int(os.environ.get("COLLECTOR_GUARDRAIL_WORKERS", "2"))
+
+
+def build_graph() -> StreamProcessingGraph:
+    g = StreamProcessingGraph(
+        "collector-guardrail",
+        config=NeptuneConfig(buffer_capacity=4096, buffer_max_delay=0.005),
+    )
+    g.add_source(
+        "source",
+        descriptor_factory(
+            "repro.workloads.operators:CountingSource",
+            total=PACKETS,
+            payload_size=32,
+        ),
+    )
+    g.add_processor(
+        "relay", descriptor_factory("repro.workloads.operators:RelayProcessor")
+    )
+    g.add_processor(
+        "sink", descriptor_factory("repro.workloads.operators:CollectingSink")
+    )
+    g.link("source", "relay").link("relay", "sink")
+    return g
+
+
+def run_once(observed: bool) -> tuple[float, float, float, int]:
+    """One cluster run; returns (wall, cost seconds, poll seconds, polls).
+
+    Wall time runs from post-launch to the metrics sample that shows
+    the sink complete, so per-process interpreter start-up (seconds,
+    and identical in both arms) does not drown the signal.  ``cost``
+    is the plane's attributable compute: worker build time plus
+    coordinator merge time (see module docstring).
+    """
+    coordinator = ClusterCoordinator(
+        build_graph(),
+        n_workers=WORKERS,
+        observe={"sample_every": SAMPLE_EVERY} if observed else None,
+        collect_interval=POLL_INTERVAL,
+    )
+    try:
+        job = coordinator.launch(connect_timeout=120)
+        t0 = time.perf_counter()
+        deadline = time.monotonic() + 300
+        while True:
+            count = float(job.metrics().get("sink", {}).get("packets_in", 0))
+            if count >= PACKETS:
+                break
+            if time.monotonic() > deadline:
+                raise RuntimeError(
+                    f"guardrail cluster stalled at {count:.0f}/{PACKETS}"
+                )
+            time.sleep(0.03)
+        elapsed = time.perf_counter() - t0
+        # Snapshot all cost counters at the window edge: the drain
+        # below runs more polls plus the coordinator's final tail
+        # collect, work that happens outside the measured window.
+        build_secs = 0.0
+        merge_secs = 0.0
+        poll_secs = 0.0
+        polls = 0
+        absorbed = 0
+        collector = coordinator.collector
+        if observed and collector is not None:
+            # Polling-thread CPU: fetch waits consume none, so this is
+            # the coordinator-side merge (absorb + stitch) alone.
+            merge_secs = collector.poll_cpu_seconds
+            poll_secs = collector.poll_seconds
+            polls = collector.polls
+            absorbed = collector.absorbed
+            for handle in coordinator.handles:
+                info = handle.proxy.collect_info() if handle.proxy else None
+                info = info or {}
+                # CPU seconds, not wall: in a busy worker the wall
+                # build time is inflated by GIL waits the data plane
+                # spends *running*.
+                build_secs += float(
+                    info.get("build_cpu_seconds", info.get("build_seconds", 0.0))
+                )
+        if not coordinator.await_completion(timeout=120):
+            raise RuntimeError("guardrail cluster drain failed")
+        final = coordinator.metrics()["sink"]["packets_in"]
+        if final != PACKETS:
+            raise RuntimeError(f"guardrail cluster lost packets: {final}/{PACKETS}")
+    finally:
+        coordinator.terminate()
+    if not observed:
+        return elapsed, 0.0, 0.0, 0
+    if polls == 0:
+        raise RuntimeError("collector never polled: run too short to compare")
+    if absorbed == 0:
+        raise RuntimeError("collector absorbed no deltas: nothing was measured")
+    return elapsed, build_secs + merge_secs, poll_secs, polls
+
+
+def main() -> int:
+    # Warm both arms so import/first-spawn costs hit neither.
+    run_once(False)
+    run_once(True)
+
+    baseline: list[float] = []
+    observed: list[float] = []
+    duties: list[float] = []
+    total_polls = 0
+    for trial in range(TRIALS):
+        # Interleave so slow machine drift penalizes both arms equally.
+        base_wall, _, _, _ = run_once(False)
+        obs_wall, cost_secs, poll_secs, polls = run_once(True)
+        baseline.append(base_wall)
+        observed.append(obs_wall)
+        duty = cost_secs / obs_wall
+        duties.append(duty)
+        total_polls += polls
+        print(
+            f"trial {trial + 1}/{TRIALS}: baseline={base_wall:.3f}s "
+            f"observed={obs_wall:.3f}s polls={polls} duty={duty * 100:.2f}% "
+            f"(raw poll wait {poll_secs / obs_wall * 100:.2f}%)",
+            flush=True,
+        )
+
+    best_base = min(baseline)
+    best_obs = min(observed)
+    ab_pct = (best_obs - best_base) / best_base * 100.0
+    # Duty is a property of the code, not of the runner: max-of-N
+    # measures the machine's worst scheduling jitter, min-of-N the
+    # plane's actual cost — the same rationale as the min-of-N A/B.
+    best_duty = min(duties)
+    print(
+        f"min-of-{TRIALS}: baseline={best_base:.3f}s "
+        f"collector={best_obs:.3f}s A/B={ab_pct:+.2f}% "
+        f"(backstop {MAX_AB_PCT:.0f}%) duty cycle={best_duty * 100:.2f}% "
+        f"(budget {MAX_DUTY_PCT:.1f}%, worst {max(duties) * 100:.2f}%) "
+        f"over {total_polls} polls"
+    )
+    if best_duty * 100.0 > MAX_DUTY_PCT:
+        print("FAIL: cluster-collector poll duty cycle exceeds budget", file=sys.stderr)
+        return 1
+    if ab_pct > MAX_AB_PCT:
+        print(
+            "FAIL: observed wall time collapsed — collection work is "
+            "leaking onto the data plane",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK: cluster-collector overhead within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,6 +17,13 @@ Three scenarios cover the layers the paper optimizes (§III-B):
   in the background.  The acceptance metric is ``overhead_frac``: the
   monitors must cost < 3% of bare throughput (asserted in-scenario on
   non-smoke profiles, mirroring the relay lost-packet check).
+- ``collector`` — the relay job as a two-worker in-process
+  distributed job, run collector-off vs collector-on (a
+  :class:`~repro.observe.collector.DeltaSource` shipping bounded
+  telemetry deltas into a polling
+  :class:`~repro.observe.collector.ClusterCollector`).  Guarded the
+  same two ways as ``health``: the collector's poll duty cycle must
+  stay < 3% of the run, with a 25% A/B wall-clock backstop.
 - ``cluster_scaling`` — aggregate relay throughput through real worker
   *processes* (the ``repro.cluster`` coordinator) at each worker count
   in the profile; the guarded metric is the scale-up ratio between the
@@ -343,6 +350,119 @@ def scenario_health(profile: BenchProfile) -> BenchResult:
     return result
 
 
+def _timed_collected(
+    profile: BenchProfile, collected: bool
+) -> "tuple[float, float, float, int, int]":
+    """One in-process two-worker relay run; returns
+    ``(rate, elapsed, poll_seconds, polls, spans)``.
+
+    Both arms carry a sampling :class:`~repro.observe.RuntimeObserver`
+    (its cost is bounded by the observe guardrail); the ``collected``
+    arm additionally runs the cluster telemetry plane — a
+    :class:`~repro.observe.collector.DeltaSource` building bounded
+    deltas and a :class:`~repro.observe.collector.ClusterCollector`
+    polling, absorbing, and stitching them in the background.  The
+    delta build runs synchronously inside the collector's fetch, so
+    ``poll_seconds`` is the plane's entire cost.
+    """
+    from repro.core.distributed import DistributedJob
+    from repro.observe import RuntimeObserver
+    from repro.observe.collector import ClusterCollector, DeltaSource
+
+    sink = _LatencySink()
+    graph = StreamProcessingGraph(
+        "bench-collector",
+        config=NeptuneConfig(
+            buffer_capacity=32 * 1024,
+            buffer_max_delay=profile.relay_max_delay,
+        ),
+    )
+    graph.add_source("source", lambda: _RelaySource(profile.relay_packets))
+    graph.add_processor("relay", _Relay)
+    graph.add_processor("sink", lambda: sink)
+    graph.link("source", "relay").link("relay", "sink")
+
+    # Production-plausible observability config: 1-in-256 trace
+    # sampling and the coordinator's default 0.25s poll interval.
+    # Span shipping dominates poll cost, so the duty bound below is
+    # for *this* pinned sampling rate; correctness suites that trace
+    # every packet trade that cost for coverage deliberately.
+    observer = RuntimeObserver(sample_every=256)
+    job = DistributedJob(graph, n_workers=2, observer=observer)
+    collector: "ClusterCollector | None" = None
+    source: "DeltaSource | None" = None
+    t0 = time.perf_counter()
+    job.start()
+    if collected:
+        source = DeltaSource(observer, 0, worker=job.workers[0])
+        collector = ClusterCollector(interval=0.25)
+        collector.attach(0, source.collect)
+        collector.start()
+    ok = job.await_completion(timeout=300)
+    if collector is not None:
+        collector.stop()
+        collector.poll_once()  # the tail, same as the coordinator's hook
+    elapsed = time.perf_counter() - t0
+    if not ok:
+        raise RuntimeError("collector benchmark did not complete in 300s")
+    if sink.count != profile.relay_packets:
+        raise RuntimeError(
+            f"collector relay lost packets: {sink.count}/{profile.relay_packets}"
+        )
+    rate = sink.count / elapsed if elapsed else 0.0
+    if collector is None or source is None:
+        return rate, elapsed, 0.0, 0, 0
+    return rate, elapsed, collector.poll_seconds, collector.polls, source.spans_shipped
+
+
+def scenario_collector(profile: BenchProfile) -> BenchResult:
+    """Cluster-collector-on vs -off relay cost (A/B interleaved).
+
+    The same two-verdict scheme as ``health``: the duty cycle (seconds
+    inside ``poll_once`` — delta build + absorb + stitch + bookkeeping,
+    nothing runs between polls — over the collected run's wall time)
+    gates at < 3% on non-smoke tiers, and the best-of-N wall-clock A/B
+    delta backstops catastrophic regressions at 25% (e.g. collection
+    work leaking onto the data plane's hot path).
+    """
+    result = BenchResult("collector")
+    best_off = 0.0
+    best_on = 0.0
+    duty = 0.0
+    polls = 0
+    spans = 0
+    for _ in range(max(1, profile.codec_repeats)):
+        off, _, _, _, _ = _timed_collected(profile, collected=False)
+        on, on_elapsed, poll_secs, n_polls, n_spans = _timed_collected(
+            profile, collected=True
+        )
+        best_off = max(best_off, off)
+        best_on = max(best_on, on)
+        duty = max(duty, poll_secs / on_elapsed if on_elapsed else 0.0)
+        polls = max(polls, n_polls)
+        spans = max(spans, n_spans)
+    ab_overhead = max(0.0, (best_off - best_on) / best_off) if best_off else 0.0
+    result.metrics["packets_per_sec_collector_off"] = best_off
+    result.metrics["packets_per_sec_collector_on"] = best_on
+    result.metrics["collector_overhead_frac"] = duty
+    result.metrics["collector_ab_overhead_frac"] = ab_overhead
+    result.metrics["collector_polls"] = float(polls)
+    result.metrics["collector_spans_shipped"] = float(spans)
+    if profile.name != "smoke":
+        if duty >= 0.03:
+            raise RuntimeError(
+                f"cluster collector consumed {duty:.1%} of the collected "
+                "run (poll duty cycle); budget is < 3%"
+            )
+        if ab_overhead >= 0.25:
+            raise RuntimeError(
+                f"collector-on throughput collapsed: {best_on:.0f} vs "
+                f"{best_off:.0f} pkts/s ({ab_overhead:.0%} drop) — "
+                "collection work is leaking onto the data plane"
+            )
+    return result
+
+
 def _cluster_rate(profile: BenchProfile, n_workers: int) -> float:
     """Aggregate relay throughput of one ``n_workers``-process cluster.
 
@@ -448,6 +568,7 @@ def run_scenarios(profile: BenchProfile) -> list[BenchResult]:
         scenario_buffer(profile),
         scenario_relay(profile),
         scenario_health(profile),
+        scenario_collector(profile),
     ]
     if profile.cluster_worker_counts:
         results.append(scenario_cluster_scaling(profile))

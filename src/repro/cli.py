@@ -7,8 +7,9 @@
                                 [--lint PATH ...] [--witness W.json ...]
     python -m repro.cli run graph.json [--duration 10] [--workers 2]
     python -m repro.cli trace [--example quickstart | DESC.json] [--sample-every N]
-    python -m repro.cli metrics [--example quickstart | DESC.json] [--format prometheus|json]
-    python -m repro.cli doctor [--example quickstart | DESC.json] [--json] [--from-dump SNAP.json]
+    python -m repro.cli metrics [--example quickstart | DESC.json] [--format prometheus|json] [--cluster]
+    python -m repro.cli doctor [--example quickstart | DESC.json] [--json] [--cluster] [--from-dump SNAP.json|FLIGHT.json|DIR]
+    python -m repro.cli top [--example quickstart | DESC.json] [--workers N] [--frames N] [--state STATE.json]
     python -m repro.cli experiment fig2|table1|gc|fig4|fig5|fig6|fig7|fig9|fig10|headline
     python -m repro.cli chaos [--mode wire|pipeline] [--seed N] [...]
     python -m repro.cli cluster launch DESC.json [--workers N] [--fabric tcp|unix]
@@ -34,7 +35,14 @@ the ``--state`` file ``launch`` wrote); ``trace`` runs a graph with
 causal packet tracing on and
 prints the per-stage latency breakdown; ``metrics`` runs a graph and
 exports the unified telemetry registry (Prometheus text exposition or
-a JSON snapshot).
+a JSON snapshot); ``top`` renders a live cluster view — per-worker
+throughput, per-stage p99, open gates, SLO state — from the cluster
+collector (self-launched workers, or attached to a running cluster via
+``--state``).  ``metrics --cluster`` and ``doctor --cluster`` run the
+graph across real worker *processes* and operate on the merged
+worker-labeled cluster view; ``doctor --from-dump`` also accepts a
+flight-recorder dump (or a directory of them, merged), so a SIGKILLed
+cluster can be diagnosed from its black boxes.
 """
 
 from __future__ import annotations
@@ -239,6 +247,8 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     from repro.observe import bridge, export
 
     graph = _observed_graph(args)
+    if args.cluster:
+        return _metrics_cluster(args, graph)
     obs = RuntimeObserver(sample_every=args.sample_every)
     if args.workers > 1:
         from repro.core.distributed import DistributedJob
@@ -263,6 +273,274 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _metrics_cluster(args: argparse.Namespace, graph) -> int:
+    """``metrics --cluster``: real worker processes, merged registry."""
+    from repro.cluster import ClusterCoordinator
+    from repro.observe import bridge, export
+
+    coordinator = ClusterCoordinator(
+        graph,
+        n_workers=max(2, args.workers),
+        observe={"sample_every": args.sample_every},
+    )
+    try:
+        coordinator.launch()
+        ok = coordinator.await_completion(timeout=args.drain_timeout)
+    finally:
+        coordinator.terminate()
+    collector = coordinator.collector
+    assert collector is not None
+    bridge.scrape_observer(collector.observer)
+    if args.format == "prometheus":
+        sys.stdout.write(export.to_prometheus(collector.observer.registry))
+    else:
+        print(export.to_json(collector.observer))
+    return 0 if ok else 1
+
+
+def _hist_quantile(hists, q: float):
+    """Quantile upper bound across merged cumulative histograms."""
+    merged: dict = {}
+    for hist in hists:
+        for bound, cum in hist.cumulative_buckets():
+            merged[bound] = merged.get(bound, 0) + cum
+    total = merged.get(float("inf"), 0)
+    if total <= 0:
+        return None
+    target = q * total
+    for bound in sorted(merged):
+        if merged[bound] >= target:
+            return bound
+    return float("inf")
+
+
+def _render_top(collector, entries, title: str, frame: int) -> str:
+    """One ``repro top`` frame over the merged cluster registry."""
+    samples = collector.observer.registry.collect()
+    per_in: dict = {}
+    per_out: dict = {}
+    gates = set()
+    stage_hists: dict = {}
+    for s in samples:
+        labels = dict(s.labels)
+        worker = labels.get("worker")
+        if s.name == "neptune_operator_packets_in_total" and worker is not None:
+            per_in[worker] = per_in.get(worker, 0.0) + s.value
+        elif s.name == "neptune_operator_packets_out_total" and worker is not None:
+            per_out[worker] = per_out.get(worker, 0.0) + s.value
+        elif s.name == "neptune_flowcontrol_gated" and s.value > 0:
+            gates.add(labels.get("operator", "?"))
+        elif s.name == "neptune_trace_stage_seconds" and s.histogram is not None:
+            stage_hists.setdefault(labels.get("stage", "?"), []).append(s.histogram)
+    stats = collector.status()
+    lines = [
+        f"=== repro top — {title} frame {frame} "
+        f"(polls={stats['polls']} absorbed={stats['absorbed']} "
+        f"stale={stats['stale']} fetch_errors={stats['fetch_errors']}) ==="
+    ]
+    for entry in entries:
+        wid = str(entry["worker_id"])
+        age = entry.get("last_collect_age")
+        age_s = f"{age:.2f}s" if isinstance(age, float) else "never"
+        bits = [
+            f"w{wid}",
+            "up" if entry.get("alive", True) else "DOWN",
+            f"restarts={entry.get('restarts', 0)}",
+            f"collect_age={age_s}",
+            f"in={per_in.get(wid, 0):.0f}",
+            f"out={per_out.get(wid, 0):.0f}",
+        ]
+        lines.append("  " + " ".join(bits))
+    for stage in sorted(stage_hists):
+        hists = stage_hists[stage]
+        p99 = _hist_quantile(hists, 0.99)
+        count = sum(h.count for h in hists)
+        p99_s = f"<= {p99 * 1e3:.3g}ms" if p99 is not None else "n/a"
+        lines.append(f"  stage {stage:12s} p99 {p99_s:>14s}  n={count}")
+    lines.append(
+        "  gates open: " + (", ".join(sorted(gates)) if gates else "none")
+    )
+    monitors = []
+    if collector.health is not None:
+        monitors = collector.health.status().get("monitors", [])
+    for mon in monitors:
+        value = mon.get("value")
+        value_s = f"{value:.4g}" if isinstance(value, (int, float)) else "n/a"
+        lines.append(
+            f"  slo {mon.get('slo', '?'):28s} {mon.get('status', '?'):7s} "
+            f"value={value_s} threshold={mon.get('threshold')}"
+        )
+    stitched = collector.stitched()
+    complete = sum(1 for t in stitched if t.complete)
+    cross = sum(1 for t in stitched if len(t.workers) > 1)
+    lines.append(
+        f"  traces: {len(stitched)} stitched, {complete} complete, "
+        f"{cross} cross-worker"
+    )
+    return "\n".join(lines)
+
+
+def _top_attached(args: argparse.Namespace) -> int:
+    """``top --state``: attach to a running cluster, poll it ourselves."""
+    from repro.cluster import attach_proxies
+    from repro.core.control import ControlError
+    from repro.observe.collector import ClusterCollector
+
+    state = _load_cluster_state(args.state)
+    try:
+        proxies = attach_proxies(state, connect_timeout=args.connect_timeout)
+    except (ControlError, OSError) as exc:
+        raise SystemExit(f"repro.cli top: error: cannot attach: {exc}")
+    collector = ClusterCollector(interval=max(0.05, min(args.refresh, 0.25)))
+    for wid, proxy in enumerate(proxies):
+        collector.attach(wid, lambda p=proxy: p.collect())
+    frame = 0
+    try:
+        while args.frames <= 0 or frame < args.frames:
+            collector.poll_once()
+            frame += 1
+            ages = collector.ages()
+            entries = [
+                {"worker_id": wid, "last_collect_age": ages.get(wid)}
+                for wid in sorted(ages)
+            ]
+            print(_render_top(collector, entries, "attached", frame))
+            if args.frames <= 0 or frame < args.frames:
+                time.sleep(args.refresh)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        for proxy in proxies:
+            proxy.close()
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """`top` subcommand: live cluster status from the collector plane.
+
+    Default mode launches the graph across ``--workers`` real worker
+    processes with observability on and renders one frame per
+    ``--refresh`` seconds: per-worker throughput and collection age,
+    cluster-wide p99 per trace stage, open backpressure gates, SLO
+    monitor state, and stitched-trace counts.  ``--frames N`` bounds
+    the run (CI smoke); ``--state`` attaches to an already-running
+    cluster instead of launching one.
+    """
+    if args.state:
+        return _top_attached(args)
+    from repro.cluster import ClusterCoordinator
+    from repro.observe.health import default_slos
+
+    graph = _observed_graph(args)
+    slos = default_slos(
+        graph.operators,
+        latency_budget=args.latency_budget,
+        e2e_budget=args.e2e_budget,
+    )
+    coordinator = ClusterCoordinator(
+        graph,
+        n_workers=args.workers,
+        observe={"sample_every": max(1, args.sample_every)},
+        slos=slos,
+        collect_interval=max(0.05, min(args.refresh, 0.25)),
+    )
+    frame = 0
+    quiet_frames = 0
+    ok = True
+    try:
+        coordinator.launch(connect_timeout=args.connect_timeout)
+        try:
+            while args.frames <= 0 or frame < args.frames:
+                time.sleep(args.refresh)
+                frame += 1
+                entries = coordinator.status()
+                print(_render_top(coordinator.collector, entries, graph.name, frame))
+                if not any(e.get("alive") for e in entries):
+                    break
+                # Two consecutive all-quiet frames = the job is done;
+                # stop rendering and drain instead of spinning forever.
+                if all(e.get("quiet") for e in entries):
+                    quiet_frames += 1
+                    if quiet_frames >= 2:
+                        break
+                else:
+                    quiet_frames = 0
+        except KeyboardInterrupt:
+            print("interrupted — draining", file=sys.stderr)
+        ok = coordinator.await_completion(timeout=args.drain_timeout)
+    finally:
+        coordinator.terminate()
+    return 0 if ok else 1
+
+
+def _load_doctor_dump(path: str) -> dict:
+    """Resolve ``--from-dump``: an observer snapshot, one flight dump,
+    or a directory of flight dumps (merged into one snapshot)."""
+    import os
+
+    from repro.observe.flightrec import (
+        FLIGHT_SCHEMA,
+        load_flight_dump,
+        merge_flight_dumps,
+    )
+
+    if os.path.isdir(path):
+        dumps = []
+        for name in sorted(os.listdir(path)):
+            if not name.endswith(".json"):
+                continue
+            try:
+                dump = load_flight_dump(os.path.join(path, name))
+            except (OSError, ValueError):
+                continue
+            if dump.get("schema") == FLIGHT_SCHEMA:
+                dumps.append(dump)
+        if not dumps:
+            raise SystemExit(
+                f"repro.cli doctor: error: no flight dumps under {path!r}"
+            )
+        return merge_flight_dumps(dumps)
+    with open(path, "r", encoding="utf-8") as fh:
+        snap = json.load(fh)
+    if isinstance(snap, dict) and snap.get("schema") == FLIGHT_SCHEMA:
+        return merge_flight_dumps([snap])
+    return snap
+
+
+def _doctor_cluster(args: argparse.Namespace, graph, slos) -> int:
+    """``doctor --cluster``: diagnose the merged multi-process view."""
+    from repro.cluster import ClusterCoordinator
+    from repro.observe import bridge, export
+    from repro.observe import doctor as doctor_mod
+
+    coordinator = ClusterCoordinator(
+        graph,
+        n_workers=max(2, args.workers),
+        observe={"sample_every": max(1, args.sample_every)},
+        slos=slos,
+        collect_interval=max(0.1, args.scan_interval),
+    )
+    try:
+        coordinator.launch()
+        ok = coordinator.await_completion(timeout=args.drain_timeout)
+    finally:
+        coordinator.terminate()
+    collector = coordinator.collector
+    assert collector is not None
+    obs = collector.observer
+    if collector.health is not None:
+        collector.health.scan_once()  # final verdict over the merged view
+    bridge.scrape_observer(obs)
+    snap = export.snapshot(obs)
+    if args.dump:
+        with open(args.dump, "w", encoding="utf-8") as fh:
+            json.dump(snap, fh, indent=2, default=str, sort_keys=True)
+        print(f"wrote {args.dump}", file=sys.stderr)
+    report = doctor_mod.diagnose(snap, max_causes=args.max_causes)
+    _print_doctor(report, args.json)
+    return 0 if ok else 1
+
+
 def cmd_doctor(args: argparse.Namespace) -> int:
     """`doctor` subcommand: correlate signals into a root-cause report.
 
@@ -275,8 +553,7 @@ def cmd_doctor(args: argparse.Namespace) -> int:
     from repro.observe import doctor as doctor_mod
 
     if args.from_dump:
-        with open(args.from_dump, "r", encoding="utf-8") as fh:
-            snap = json.load(fh)
+        snap = _load_doctor_dump(args.from_dump)
         report = doctor_mod.diagnose(snap, max_causes=args.max_causes)
         _print_doctor(report, args.json)
         return 0
@@ -296,6 +573,8 @@ def cmd_doctor(args: argparse.Namespace) -> int:
         latency_budget=args.latency_budget,
         e2e_budget=args.e2e_budget,
     )
+    if args.cluster:
+        return _doctor_cluster(args, graph, slos)
     sampler = AdaptiveSampler(obs.tracer)
     if args.workers > 1:
         from repro.core.distributed import DistributedJob
@@ -577,12 +856,22 @@ def cmd_cluster_status(args: argparse.Namespace) -> int:
             sink_in = sum(
                 m.get("packets_in", 0) for m in proxy.metrics().values()
             )
+            try:
+                collect_info = proxy.collect_info()
+            except (ControlError, OSError):
+                collect_info = None
         finally:
             proxy.close()
         alive += 1
+        if collect_info:
+            age = collect_info.get("last_collect_age")
+            age_s = f"{age:.2f}s" if isinstance(age, float) else "never"
+            collect_s = f" collect_age={age_s} seq={collect_info.get('seq')}"
+        else:
+            collect_s = ""
         print(
             f"worker {entry['worker_id']} pid={pid}: up "
-            f"quiet={quiet} failures={n_fail} packets_in={sink_in}"
+            f"quiet={quiet} failures={n_fail} packets_in={sink_in}{collect_s}"
         )
         if os.name == "posix" and isinstance(pid, int):
             try:
@@ -751,7 +1040,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="also trace every Nth packet (0 = tracing off)",
     )
     p_met.add_argument("--drain-timeout", type=float, default=60.0)
+    p_met.add_argument(
+        "--cluster",
+        action="store_true",
+        help="deploy across real worker processes and export the merged "
+        "worker-labeled cluster registry (uses --workers, min 2)",
+    )
     p_met.set_defaults(fn=cmd_metrics)
+
+    p_top = sub.add_parser(
+        "top", help="live cluster view: throughput, p99/stage, gates, SLOs"
+    )
+    p_top.add_argument(
+        "descriptor", nargs="?", default=None, help="JSON graph descriptor"
+    )
+    p_top.add_argument(
+        "--example",
+        default="quickstart",
+        help="examples/<NAME>.py exposing build_graph() (default: quickstart)",
+    )
+    p_top.add_argument(
+        "--workers",
+        type=int,
+        default=3,
+        help="worker processes to launch (default: 3)",
+    )
+    p_top.add_argument(
+        "--frames",
+        type=int,
+        default=0,
+        metavar="N",
+        help="render N frames then drain and exit (0 = until the job "
+        "quiesces or Ctrl-C)",
+    )
+    p_top.add_argument(
+        "--refresh",
+        type=float,
+        default=1.0,
+        metavar="SEC",
+        help="seconds between frames (default: 1.0)",
+    )
+    p_top.add_argument(
+        "--state",
+        default=None,
+        metavar="STATE.json",
+        help="attach to a running cluster (from `cluster launch --state`) "
+        "instead of launching one",
+    )
+    p_top.add_argument(
+        "--sample-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="trace every Nth source packet (default: 1)",
+    )
+    p_top.add_argument("--latency-budget", type=float, default=0.05)
+    p_top.add_argument("--e2e-budget", type=float, default=0.25)
+    p_top.add_argument("--drain-timeout", type=float, default=60.0)
+    p_top.add_argument("--connect-timeout", type=float, default=60.0)
+    p_top.set_defaults(fn=cmd_top)
 
     p_doc = sub.add_parser(
         "doctor", help="correlate health signals into a root-cause report"
@@ -767,8 +1114,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_doc.add_argument(
         "--from-dump",
         default=None,
-        metavar="SNAP.json",
-        help="diagnose a snapshot written by --dump instead of running a graph",
+        metavar="SNAP.json|FLIGHT.json|DIR",
+        help="diagnose a snapshot written by --dump, a flight-recorder "
+        "dump, or a directory of flight dumps (merged), instead of "
+        "running a graph",
+    )
+    p_doc.add_argument(
+        "--cluster",
+        action="store_true",
+        help="deploy across real worker processes and diagnose the merged "
+        "cluster view (uses --workers, min 2)",
     )
     p_doc.add_argument(
         "--dump",

@@ -91,6 +91,21 @@ class ClusterCoordinator:
         :class:`~repro.util.errors.PlanVerificationError` on any error
         finding, before any process exists.  ``False`` opts out (e.g.
         to deliberately deploy a degraded plan in a chaos test).
+    observe:
+        When set (even ``{}``), every worker runs its observability
+        plane (see :class:`~repro.cluster.spec.WorkerSpec`) and the
+        coordinator runs a :class:`~repro.observe.collector.ClusterCollector`
+        that polls worker deltas over the control channel and merges
+        them into one worker-labeled cluster view.  Keys are the
+        WorkerSpec ``observe`` keys plus ``flight_dir`` (where
+        per-worker flight-recorder dumps land; default ``log_dir`` or a
+        fresh temp dir — dumps are post-mortems, never cleaned up).
+    slos:
+        Cluster-scope :class:`~repro.observe.health.SLO` list evaluated
+        against the merged registry after each poll (implies
+        ``observe={}`` if not given).
+    collect_interval:
+        Background poll period of the cluster collector, seconds.
     """
 
     def __init__(
@@ -103,6 +118,9 @@ class ClusterCoordinator:
         socket_dir: Optional[str] = None,
         log_dir: Optional[str] = None,
         verify: bool = True,
+        observe: Optional[Mapping[str, Any]] = None,
+        slos: Optional[Sequence[Any]] = None,
+        collect_interval: float = 0.25,
     ) -> None:
         graph.validate()
         if fabric not in ("tcp", "unix"):
@@ -137,6 +155,21 @@ class ClusterCoordinator:
             data_ports = reserve_ports(self.n_workers, host)
             control_ports = reserve_ports(self.n_workers, "127.0.0.1")
             endpoints = {w: (host, data_ports[w]) for w in range(self.n_workers)}
+        self.collector: Optional[Any] = None
+        self.flight_dir: Optional[str] = None
+        obs_cfg: Optional[Dict[str, Any]] = None
+        if observe is not None or slos:
+            obs_cfg = dict(observe or {})
+            obs_cfg.setdefault("sample_every", 1)
+            flight_dir = obs_cfg.pop("flight_dir", None) or log_dir
+            if flight_dir is None:
+                flight_dir = tempfile.mkdtemp(prefix="neptune-flight-")
+            self.flight_dir = str(flight_dir)
+            from repro.observe.collector import ClusterCollector
+
+            self.collector = ClusterCollector(
+                slos=list(slos or ()), interval=collect_interval
+            )
         descriptor = graph.to_descriptor()
         descriptor["config"] = config_to_dict(graph.config)
         plan_raw = {
@@ -148,12 +181,19 @@ class ClusterCoordinator:
         }
         self.handles: List[WorkerHandle] = []
         for w in range(self.n_workers):
+            worker_obs: Optional[Dict[str, Any]] = None
+            if obs_cfg is not None and self.flight_dir is not None:
+                worker_obs = dict(obs_cfg)
+                worker_obs["flight_path"] = os.path.join(
+                    self.flight_dir, f"flight-w{w}.json"
+                )
             spec = WorkerSpec(
                 worker_id=w,
                 descriptor=descriptor,
                 plan=plan_raw,
                 endpoints=endpoints,
                 control_port=control_ports[w],
+                observe=worker_obs,
             )
             log_path = (
                 os.path.join(log_dir, f"worker-{w}.log") if log_dir else None
@@ -184,7 +224,35 @@ class ClusterCoordinator:
         for handle in self.handles:
             self._connect(handle, connect_timeout)
         self.job = RemoteDistributedJob([h.proxy for h in self.handles])
+        if self.collector is not None:
+            for handle in self.handles:
+                self._attach_collect(handle)
+            # Drain hook: one final synchronous poll after the cluster
+            # quiesces but before workers stop, so the merged view holds
+            # the run's complete tail (spans, events, final counters).
+            self.job.pre_stop_hooks.append(self._final_collect)
+            self.collector.start()
         return self.job
+
+    def _attach_collect(self, handle: WorkerHandle) -> None:
+        collector = self.collector
+        if collector is None:
+            return
+
+        def fetch(h: WorkerHandle = handle) -> Optional[Mapping[str, Any]]:
+            # Re-read the proxy each call: restart_worker splices in a
+            # fresh one and this closure keeps working unchanged.
+            proxy = h.proxy
+            if proxy is None or not h.alive:
+                return None
+            return proxy.collect()
+
+        collector.attach(handle.worker_id, fetch)
+
+    def _final_collect(self) -> None:
+        if self.collector is not None:
+            self.collector.stop()
+            self.collector.poll_once()
 
     def _spawn(self, handle: WorkerHandle) -> None:
         process = self._ctx.Process(
@@ -205,13 +273,31 @@ class ClusterCoordinator:
             self.terminate()
             raise
 
-    def kill_worker(self, worker_id: int, sig: int = signal.SIGKILL) -> None:
+    def kill_worker(
+        self,
+        worker_id: int,
+        sig: int = signal.SIGKILL,
+        dump: Optional[bool] = None,
+    ) -> None:
         """Send ``sig`` to one worker process and reap it (chaos path:
         SIGKILL means no drain, no goodbye — exactly what a crashed
-        shard looks like to its peers)."""
+        shard looks like to its peers).
+
+        When the observability plane is on, a flight-recorder dump is
+        requested over the control channel first (best-effort — the
+        worker's own periodic dump already survives a straight SIGKILL).
+        Pass ``dump=False`` for a pure, no-warning kill.
+        """
         handle = self.handles[worker_id]
         if handle.process is None:
             raise NeptuneError(f"worker {worker_id} was never spawned")
+        if dump is None:
+            dump = self.collector is not None
+        if dump and handle.proxy is not None and handle.alive:
+            try:
+                handle.proxy.flight_dump()
+            except (ControlError, OSError):
+                pass
         if handle.pid is not None and handle.alive:
             os.kill(handle.pid, sig)
         handle.process.join(10.0)
@@ -227,6 +313,11 @@ class ClusterCoordinator:
         self._connect(handle, connect_timeout)
         if self.job is not None:
             self.job.workers[worker_id] = handle.proxy
+        if self.collector is not None:
+            # A fresh process restarts its delta seq at 1: forget the
+            # old cursor so its deltas are not dropped as stale (span
+            # identity dedup still suppresses re-shipped hops).
+            self.collector.reset_worker(worker_id)
 
     def await_completion(self, timeout: float = 60.0) -> bool:
         """Coordinated global drain after natural source completion."""
@@ -252,7 +343,10 @@ class ClusterCoordinator:
 
     def terminate(self) -> None:
         """Hard teardown: no drain, just reap. Idempotent — the
-        guaranteed-cleanup path for tests and error exits."""
+        guaranteed-cleanup path for tests and error exits.  Flight
+        dumps are left on disk: they are the post-mortem."""
+        if self.collector is not None:
+            self.collector.stop()
         for handle in self.handles:
             proxy, handle.proxy = handle.proxy, None
             if proxy is not None:
@@ -273,6 +367,8 @@ class ClusterCoordinator:
         self._cleanup_fabric()
 
     def _join_all(self) -> None:
+        if self.collector is not None:
+            self.collector.stop()
         for handle in self.handles:
             if handle.process is not None:
                 handle.process.join(10.0)
@@ -309,8 +405,20 @@ class ClusterCoordinator:
             if handle.proxy is not None:
                 absorb_series(registry, handle.proxy.telemetry())
 
+    def flight_paths(self) -> List[str]:
+        """Per-worker flight-dump paths that exist on disk right now."""
+        out: List[str] = []
+        for handle in self.handles:
+            path = (handle.spec.observe or {}).get("flight_path")
+            if path and os.path.exists(str(path)):
+                out.append(str(path))
+        return out
+
     def status(self) -> List[Dict[str, Any]]:
         """Per-worker liveness/progress snapshot (the CLI's view)."""
+        ages: Dict[int, Optional[float]] = (
+            self.collector.ages() if self.collector is not None else {}
+        )
         out: List[Dict[str, Any]] = []
         for handle in self.handles:
             entry: Dict[str, Any] = {
@@ -321,6 +429,8 @@ class ClusterCoordinator:
                 "control_port": handle.spec.control_port,
                 "endpoint": list(handle.spec.endpoints[handle.worker_id]),
             }
+            if self.collector is not None:
+                entry["last_collect_age"] = ages.get(handle.worker_id)
             if handle.proxy is not None and handle.alive:
                 try:
                     entry["quiet"] = handle.proxy.is_quiet()
@@ -335,6 +445,8 @@ class ClusterCoordinator:
         """JSON-able handle for out-of-process ``status``/``stop``."""
         return {
             "fabric": self.fabric,
+            "observe": self.collector is not None,
+            "flight_dir": self.flight_dir,
             "workers": [
                 {
                     "worker_id": h.worker_id,
@@ -343,6 +455,7 @@ class ClusterCoordinator:
                     "control_port": h.spec.control_port,
                     "endpoint": list(h.spec.endpoints[h.worker_id]),
                     "log": h.log_path,
+                    "flight_path": (h.spec.observe or {}).get("flight_path"),
                 }
                 for h in self.handles
             ],

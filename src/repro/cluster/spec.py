@@ -76,24 +76,33 @@ def build_plan(
 
 @dataclass(frozen=True)
 class WorkerSpec:
-    """One worker process's share of a cluster deployment."""
+    """One worker process's share of a cluster deployment.
+
+    ``observe`` (optional) configures the worker's observability plane:
+    ``sample_every`` (trace sampling), ``slos`` (worker-local health
+    engine config), ``flight_path`` / ``flight_every`` (black-box
+    flight recorder), ``scan_interval``.  Absent → the worker runs
+    unobserved, exactly as before this field existed.
+    """
 
     worker_id: int
     descriptor: Dict[str, Any]
     plan: Dict[str, Any]
     endpoints: Dict[int, Tuple[str, int]]
     control_port: int
+    observe: Optional[Dict[str, Any]] = None
 
     def to_json(self) -> str:
-        return json.dumps(
-            {
-                "worker_id": self.worker_id,
-                "descriptor": self.descriptor,
-                "plan": self.plan,
-                "endpoints": {str(w): list(ep) for w, ep in self.endpoints.items()},
-                "control_port": self.control_port,
-            }
-        )
+        raw: Dict[str, Any] = {
+            "worker_id": self.worker_id,
+            "descriptor": self.descriptor,
+            "plan": self.plan,
+            "endpoints": {str(w): list(ep) for w, ep in self.endpoints.items()},
+            "control_port": self.control_port,
+        }
+        if self.observe is not None:
+            raw["observe"] = self.observe
+        return json.dumps(raw)
 
     @classmethod
     def from_json(cls, text: str) -> "WorkerSpec":
@@ -108,6 +117,7 @@ class WorkerSpec:
                     for w, ep in raw["endpoints"].items()
                 },
                 control_port=int(raw["control_port"]),
+                observe=raw.get("observe"),
             )
         except (KeyError, TypeError, ValueError, IndexError) as exc:
             raise NeptuneError(f"bad worker spec: {exc}") from exc

@@ -7,19 +7,89 @@ from the JSON :class:`~repro.cluster.spec.WorkerSpec`, serves control
 commands, and blocks until the coordinator says stop.  Also runnable by
 hand (``python -m repro.cluster.worker --spec spec.json``) for
 debugging a single shard.
+
+When the spec carries an ``observe`` block the worker additionally
+builds its observability plane: a :class:`~repro.observe.RuntimeObserver`
+threaded through the runtime, a
+:class:`~repro.observe.collector.DeltaSource` answering the control
+plane's ``collect`` command, optionally a worker-local
+:class:`~repro.observe.HealthEngine` over its own shard, and a
+:class:`~repro.observe.flightrec.FlightRecorder` persisting a black-box
+window so even a SIGKILL leaves a post-mortem on disk.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
-from typing import Optional
+from typing import Any, Optional
 
 from repro.cluster.spec import WorkerSpec
 from repro.core.control import ControlServer
 from repro.core.distributed import DistributedWorker
 from repro.core.graph import StreamProcessingGraph
+
+
+def _build_observability(
+    worker: DistributedWorker, spec: WorkerSpec, plan: Any
+) -> "tuple[Any, Any]":
+    """Attach observer-side facilities per ``spec.observe``.
+
+    Returns ``(health_engine, flight_recorder)`` (either may be None).
+    The DeltaSource is attached as ``worker.delta_source`` and the
+    recorder as ``worker.flight_recorder`` — the duck-typed attributes
+    the control server's ``collect`` / ``flight_dump`` commands read.
+    """
+    cfg = spec.observe or {}
+    observer = worker.observer
+    if observer is None:
+        return None, None
+    from repro.observe.bridge import scrape_worker, worker_series
+    from repro.observe.collector import DeltaSource
+
+    health = None
+    slo_cfg = cfg.get("slos")
+    if slo_cfg:
+        from repro.observe.health import HealthEngine, default_slos
+
+        local_ops = sorted(
+            {op for (op, _idx), w in plan.assignment.items() if w == spec.worker_id}
+        )
+        slos = default_slos(
+            local_ops,
+            latency_budget=float(slo_cfg.get("latency_budget", 0.05)),
+            e2e_budget=None,  # e2e needs the full trace: cluster-scope only
+        )
+        health = HealthEngine(
+            observer,
+            slos,
+            scrape=lambda: scrape_worker(observer.registry, worker),
+            interval=float(cfg.get("scan_interval", 0.25)),
+        )
+    worker.delta_source = DeltaSource(
+        observer, spec.worker_id, worker=worker, health=health
+    )
+    recorder = None
+    flight_path = cfg.get("flight_path")
+    if flight_path:
+        from repro.observe.flightrec import FlightRecorder
+
+        recorder = FlightRecorder(
+            observer,
+            str(flight_path),
+            worker_id=spec.worker_id,
+            every=float(cfg.get("flight_every", 1.0)),
+            series_fn=lambda: worker_series(worker),
+            monitors_fn=(
+                (lambda: [dict(m.as_dict()) for m in health.monitors])
+                if health is not None
+                else None
+            ),
+        )
+        recorder.install()  # SIGTERM/atexit/faulthandler (main thread)
+        recorder.start()
+        worker.flight_recorder = recorder
+    return health, recorder
 
 
 def run_worker(spec: WorkerSpec) -> int:
@@ -28,13 +98,28 @@ def run_worker(spec: WorkerSpec) -> int:
     graph.validate()
     plan = spec.deployment_plan()
     listen_host, listen_port = spec.endpoints[spec.worker_id]
+    observer = None
+    if spec.observe is not None:
+        from repro.observe import RuntimeObserver
+
+        observer = RuntimeObserver(
+            sample_every=int(spec.observe.get("sample_every", 0) or 0)
+        )
     worker = DistributedWorker(
-        spec.worker_id, graph, plan, listen_host=listen_host, listen_port=listen_port
+        spec.worker_id,
+        graph,
+        plan,
+        listen_host=listen_host,
+        listen_port=listen_port,
+        observer=observer,
     )
+    health, recorder = _build_observability(worker, spec, plan)
     control = ControlServer(worker, port=spec.control_port)
     try:
         worker.connect(spec.endpoints)
         worker.start()
+        if health is not None:
+            health.start()
         print(
             f"worker {spec.worker_id}: data={worker.address} "
             f"control={control.port} "
@@ -43,6 +128,11 @@ def run_worker(spec: WorkerSpec) -> int:
         )
         control.stop_requested.wait()
     finally:
+        if health is not None:
+            health.stop()
+        if recorder is not None:
+            recorder.stop()
+            recorder.dump("shutdown")
         control.close()
     return 0
 

@@ -66,6 +66,10 @@ class ControlServer:
 
     def _serve(self, conn: socket.socket) -> None:
         try:
+            # Request/response lines are tiny: without TCP_NODELAY each
+            # exchange stalls on Nagle + delayed ACK (~40ms), which
+            # alone would blow the collector's poll-duty budget.
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             rfile = conn.makefile("r", encoding="utf-8")
             wfile = conn.makefile("w", encoding="utf-8")
             for line in rfile:
@@ -111,6 +115,29 @@ class ControlServer:
             from repro.observe.bridge import worker_series
 
             return {"ok": True, "series": worker_series(worker)}
+        if cmd == "collect":
+            # One bounded telemetry delta (series + new spans/events +
+            # SLO states) for the cluster collector.  None when the
+            # worker runs without an observability plane.
+            source = getattr(worker, "delta_source", None)
+            return {
+                "ok": True,
+                "delta": None if source is None else source.collect(),
+            }
+        if cmd == "collect_info":
+            source = getattr(worker, "delta_source", None)
+            return {
+                "ok": True,
+                "info": None if source is None else source.info(),
+            }
+        if cmd == "flight_dump":
+            # Coordinator-requested black-box dump (kill_worker asks
+            # for one before delivering the signal).
+            recorder = getattr(worker, "flight_recorder", None)
+            return {
+                "ok": True,
+                "path": None if recorder is None else recorder.dump("request"),
+            }
         if cmd == "failures":
             return {
                 "ok": True,
@@ -145,6 +172,7 @@ class RemoteWorker:
         else:
             raise ControlError(f"cannot reach worker control at {host}:{port}: {last_error}")
         self._sock.settimeout(60.0)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._rfile = self._sock.makefile("r", encoding="utf-8")
         self._wfile = self._sock.makefile("w", encoding="utf-8")
         self._lock = threading.Lock()
@@ -194,6 +222,20 @@ class RemoteWorker:
         :func:`repro.observe.bridge.worker_series`)."""
         return self._call({"cmd": "telemetry"})["series"]
 
+    def collect(self) -> dict | None:
+        """One telemetry delta from the worker's DeltaSource (None when
+        the worker runs without an observability plane)."""
+        return self._call({"cmd": "collect"})["delta"]
+
+    def collect_info(self) -> dict | None:
+        """Cheap DeltaSource status (last-collection age, counters)."""
+        return self._call({"cmd": "collect_info"})["info"]
+
+    def flight_dump(self) -> str | None:
+        """Request an immediate flight-recorder dump; returns its path
+        on the worker's filesystem (None without a recorder)."""
+        return self._call({"cmd": "flight_dump"})["path"]
+
     @property
     def failures(self) -> dict:
         """Operator-instance failures keyed by 'operator[index]'."""
@@ -220,6 +262,11 @@ class RemoteDistributedJob:
         if not workers:
             raise NeptuneError("RemoteDistributedJob needs at least one worker")
         self.workers = workers
+        #: Zero-arg callables invoked after the cluster quiesces but
+        #: before the workers are stopped (stopping severs the control
+        #: sockets).  The cluster collector registers its final poll
+        #: here so the merged view includes the drain's tail.
+        self.pre_stop_hooks: list = []
         self._final_metrics: dict | None = None
         self._final_failures: dict | None = None
 
@@ -277,6 +324,11 @@ class RemoteDistributedJob:
                     quiesced = True
                     break
             time.sleep(0.01)
+        for hook in self.pre_stop_hooks:
+            try:
+                hook()
+            except Exception:
+                pass  # a dying hook must not block the drain
         try:
             # Stopping severs the control connections: snapshot the
             # final counters first so post-run metrics()/failures()

@@ -27,6 +27,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
+from typing import Any
 
 from repro.compression import CompressionPolicy
 from repro.core.buffering import FlushTimerService, StreamBuffer
@@ -283,13 +284,23 @@ class DistributedWorker:
                     sender_inst.out_links.setdefault(link.stream, []).append(out)
 
         # Watermark gate transitions land on the observer's timeline,
-        # same as the single-process runtime.
+        # same as the single-process runtime — including the throttled
+        # upstream operators (bare graph names), so the doctor's
+        # cascade closure works across worker boundaries.
         if self.observer is not None:
+            upstream: dict = {}
+            for link in self.graph.links:
+                ops = upstream.setdefault(link.to_op, [])
+                if link.from_op not in ops:
+                    ops.append(link.from_op)
             for inst in self.job.all_instances():
                 if inst.channel is not None:
                     inst.channel.on_gate_change(
                         NeptuneRuntime._make_gate_callback(
-                            self.observer, f"w{self.worker_id}:{inst.op_label}"
+                            self.observer,
+                            f"w{self.worker_id}:{inst.op_label}",
+                            inst.channel,
+                            tuple(upstream.get(inst.spec.name, ())),
                         )
                     )
 
@@ -527,8 +538,8 @@ class DistributedJob:
         self,
         graph: StreamProcessingGraph,
         n_workers: int = 2,
-        injector=None,
-        observer=None,
+        injector: Any = None,
+        observer: Any = None,
     ) -> None:
         self.graph = graph
         self.plan = round_robin_plan(graph, n_workers)

@@ -29,6 +29,15 @@ visible without bespoke probes:
 - :mod:`repro.observe.doctor` — root-cause correlation: breach
   episodes ranked against backpressure cascades, injected faults, and
   transport stalls; the ``repro doctor`` CLI front-end.
+- :mod:`repro.observe.collector` — the cluster observability plane:
+  worker-side :class:`DeltaSource` deltas over the control channel,
+  coordinator-side :class:`ClusterCollector` merge (worker-labeled
+  registry, cross-process trace stitching, cluster-scope HealthEngine)
+  behind ``repro top`` / ``repro doctor --cluster``.
+- :mod:`repro.observe.flightrec` — the black-box flight recorder:
+  atomically-persisted periodic dumps of recent spans/events/metrics
+  so SIGKILLed workers leave a post-mortem
+  (``repro doctor --cluster --from-dump``).
 
 Everything is opt-in: a runtime without a :class:`RuntimeObserver`
 pays a single ``is None`` check on the hot paths, and an attached
@@ -37,7 +46,19 @@ observer with ``sample_every=0`` records no spans.
 
 from __future__ import annotations
 
+from repro.observe.collector import (
+    ClusterCollector,
+    DeltaSource,
+    StitchedTrace,
+    stitch,
+    stitch_spans,
+)
 from repro.observe.doctor import diagnose, diagnose_observer, render_report
+from repro.observe.flightrec import (
+    FlightRecorder,
+    load_flight_dump,
+    merge_flight_dumps,
+)
 from repro.observe.health import (
     SLO,
     AdaptiveSampler,
@@ -67,7 +88,15 @@ from repro.observe.tracing import (
 __all__ = [
     "SLO",
     "AdaptiveSampler",
+    "ClusterCollector",
+    "DeltaSource",
+    "FlightRecorder",
     "HealthEngine",
+    "StitchedTrace",
+    "load_flight_dump",
+    "merge_flight_dumps",
+    "stitch",
+    "stitch_spans",
     "default_slos",
     "diagnose",
     "diagnose_observer",

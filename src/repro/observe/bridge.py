@@ -22,6 +22,7 @@ from repro.observe.instruments import TelemetryRegistry
 
 __all__ = [
     "absorb_series",
+    "registry_series",
     "scrape_distributed",
     "scrape_job",
     "scrape_listener",
@@ -249,6 +250,42 @@ def scrape_distributed(registry: TelemetryRegistry, job: Any) -> None:
         scrape_worker(registry, w)
 
 
+def registry_series(
+    registry: TelemetryRegistry,
+    extra: Optional[Mapping[str, str]] = None,
+) -> List[Dict[str, Any]]:
+    """Flatten every instrument of ``registry`` into JSON-able series.
+
+    Histograms ship their finite-bound cumulative counts (the +Inf
+    remainder is implied by ``count``), so :func:`absorb_series` can
+    reconstruct the exact bucket state on the other side.  ``extra``
+    labels are merged into every sample (pass ``{"worker": "0"}`` when
+    exporting a worker-local registry for the cluster collector).
+    """
+    out: List[Dict[str, Any]] = []
+    for sample in registry.collect():
+        labels = dict(sample.labels or ())
+        if extra:
+            labels.update(extra)
+        flat: Dict[str, Any] = {
+            "name": sample.name,
+            "kind": sample.kind,
+            "help": sample.help,
+            "labels": labels,
+            "value": sample.value,
+        }
+        if sample.histogram is not None:
+            hist = sample.histogram
+            flat["count"] = hist.count
+            flat["buckets"] = [
+                [bound, cum]
+                for bound, cum in hist.cumulative_buckets()
+                if bound != float("inf")
+            ]
+        out.append(flat)
+    return out
+
+
 def worker_series(worker: Any) -> List[Dict[str, Any]]:
     """One worker's full instrument state as JSON-able flat series.
 
@@ -260,28 +297,18 @@ def worker_series(worker: Any) -> List[Dict[str, Any]]:
     """
     registry = TelemetryRegistry()
     scrape_worker(registry, worker)
-    out: List[Dict[str, Any]] = []
-    for sample in registry.collect():
-        if sample.histogram is not None:
-            continue  # bridge scrapers emit counters/gauges only
-        out.append(
-            {
-                "name": sample.name,
-                "kind": sample.kind,
-                "help": sample.help,
-                "labels": dict(sample.labels or ()),
-                "value": sample.value,
-            }
-        )
-    return out
+    return registry_series(registry)
 
 
 def absorb_series(registry: TelemetryRegistry, series: Any) -> None:
-    """Merge :func:`worker_series` output into ``registry``.
+    """Merge :func:`worker_series`/:func:`registry_series` output into
+    ``registry``.
 
-    Counters land via ``set_total`` (idempotent re-scrapes never move a
-    counter backwards), gauges via ``set``; unknown kinds are ignored
-    rather than poisoning the whole scrape.
+    Counters land via ``set_total`` and histograms via
+    ``set_cumulative`` (both never-backwards, so idempotent re-scrapes
+    and re-delivered deltas never inflate a series), gauges via ``set``;
+    unknown kinds and shape mismatches are ignored rather than
+    poisoning the whole scrape.
     """
     for raw in series:
         name = raw.get("name")
@@ -295,6 +322,18 @@ def absorb_series(registry: TelemetryRegistry, series: Any) -> None:
             registry.counter(name, labels, help_).set_total(value)
         elif kind == "gauge":
             registry.gauge(name, labels, help_).set(value)
+        elif kind == "histogram":
+            raw_buckets = raw.get("buckets") or []
+            try:
+                bounds = tuple(float(b[0]) for b in raw_buckets)
+                hist = registry.histogram(name, labels, help_, buckets=bounds)
+                hist.set_cumulative(
+                    [int(b[1]) for b in raw_buckets],
+                    int(raw.get("count", 0)),
+                    value,
+                )
+            except (ValueError, TypeError, IndexError):
+                continue  # malformed or bound-mismatched snapshot
 
 
 def scrape_transport(

@@ -37,11 +37,21 @@ DOCTOR_SCHEMA = "neptune-doctor/1"
 _LOOKBACK = 30.0
 
 _INSTANCE_SUFFIX = re.compile(r"\[\d+\]\Z")
+_WORKER_PREFIX = re.compile(r"\Aw(\d+):")
 
 
 def _bare(operator: str) -> str:
-    """``sink[0]`` → ``sink`` (instance labels → graph operator names)."""
-    return _INSTANCE_SUFFIX.sub("", operator)
+    """``w1:sink[0]`` → ``sink`` (worker-qualified instance labels →
+    graph operator names).  Distributed workers label gate events with
+    their ``wN:`` prefix so per-worker episodes stay distinct on the
+    timeline; cause attribution works on graph names."""
+    return _INSTANCE_SUFFIX.sub("", _WORKER_PREFIX.sub("", operator))
+
+
+def _worker_of(operator: str) -> Optional[str]:
+    """The worker id embedded in a ``wN:``-prefixed label, if any."""
+    match = _WORKER_PREFIX.match(operator)
+    return match.group(1) if match else None
 
 
 def _f(value: Any, default: float = 0.0) -> float:
@@ -205,6 +215,7 @@ def diagnose(snap: Mapping[str, Any], max_causes: int = 3) -> Dict[str, Any]:
                 {
                     "type": "injected_fault",
                     "operator": target,
+                    "worker": attrs.get("worker"),
                     "score": 3.0 / (1.0 + lead),
                     "detail": f"injected {event.get('name')} on {target!r} "
                     f"at t={ts:.3f}s ({lead:.3f}s before breach)",
@@ -214,7 +225,9 @@ def diagnose(snap: Mapping[str, Any], max_causes: int = 3) -> Dict[str, Any]:
             overlap = gate.overlap(b_start - _LOOKBACK, b_end)
             if overlap <= 0.0:
                 continue
-            gated_op = _bare(str(gate.attrs.get("operator", "")))
+            gated_raw = str(gate.attrs.get("operator", ""))
+            gated_op = _bare(gated_raw)
+            gate_worker = _worker_of(gated_raw) or gate.attrs.get("worker")
             affected = cascades.get(gated_op, {gated_op})
             if b_op_bare is not None and b_op_bare not in affected:
                 continue
@@ -226,9 +239,10 @@ def diagnose(snap: Mapping[str, Any], max_causes: int = 3) -> Dict[str, Any]:
             )
             window = b_end - b_start
             frac = min(1.0, overlap / window) if window > 0 else 1.0
+            where = f" (worker {gate_worker})" if gate_worker is not None else ""
             detail = (
-                f"inbound buffer of {gated_op!r} >= high watermark for "
-                f"{duration:.3f}s"
+                f"inbound buffer of {gated_op!r}{where} >= high watermark "
+                f"for {duration:.3f}s"
             )
             if throttled:
                 detail += " -> throttled " + ", ".join(repr(t) for t in throttled)
@@ -240,6 +254,7 @@ def diagnose(snap: Mapping[str, Any], max_causes: int = 3) -> Dict[str, Any]:
                 {
                     "type": "backpressure_cascade",
                     "operator": gated_op,
+                    "worker": gate_worker,
                     "score": score,
                     "detail": detail,
                 }
@@ -255,6 +270,7 @@ def diagnose(snap: Mapping[str, Any], max_causes: int = 3) -> Dict[str, Any]:
                 {
                     "type": "transport",
                     "operator": endpoint,
+                    "worker": attrs.get("worker"),
                     "score": 1.5 / (1.0 + lead),
                     "detail": f"transport {event.get('name')} on {endpoint} "
                     f"at t={ts:.3f}s",
@@ -270,6 +286,7 @@ def diagnose(snap: Mapping[str, Any], max_causes: int = 3) -> Dict[str, Any]:
                 "slo": str(breach.attrs.get("slo", "")),
                 "kind": breach.attrs.get("kind"),
                 "operator": b_op,
+                "observed_on_worker": breach.attrs.get("worker"),
                 "value": breach.attrs.get("value"),
                 "threshold": breach.attrs.get("threshold"),
                 "start": b_start,
@@ -356,9 +373,11 @@ def render_report(report: Mapping[str, Any]) -> str:
             )
     root = report.get("root_cause")
     if root:
+        worker = root.get("worker")
+        where = f" on worker {worker}" if worker is not None else ""
         lines.append(
-            f"root cause: [{root.get('type')}] {root.get('operator')!r} — "
-            f"{root.get('detail')}"
+            f"root cause: [{root.get('type')}] {root.get('operator')!r}"
+            f"{where} — {root.get('detail')}"
         )
     for warning in report.get("warnings", []):
         lines.append(f"warning: {warning}")

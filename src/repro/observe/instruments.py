@@ -192,6 +192,38 @@ class Histogram:
         with self._lock:
             return self._sum
 
+    def set_cumulative(
+        self,
+        bucket_counts: Iterable[int],
+        total_count: int,
+        total_sum: float,
+    ) -> None:
+        """Overwrite state from a cumulative snapshot (bridge use).
+
+        ``bucket_counts`` are cumulative counts for this histogram's
+        finite bounds, in order (the +Inf remainder is derived from
+        ``total_count``).  Mirrors :meth:`Counter.set_total`'s
+        never-backwards contract: a snapshot whose total count does not
+        exceed what is already recorded is ignored, which makes
+        re-absorbing the same worker delta idempotent.
+        """
+        counts = [int(c) for c in bucket_counts]
+        if len(counts) != len(self.buckets):
+            raise ValueError(
+                f"expected {len(self.buckets)} cumulative bucket counts, "
+                f"got {len(counts)}"
+            )
+        with self._lock:
+            if total_count <= self._count:
+                return
+            prev = 0
+            for i, cum in enumerate(counts):
+                self._counts[i] = cum - prev
+                prev = cum
+            self._counts[len(self.buckets)] = int(total_count) - prev
+            self._count = int(total_count)
+            self._sum = float(total_sum)
+
     def cumulative_buckets(self) -> List[Tuple[float, int]]:
         """(upper_bound, cumulative_count) pairs, ending with +Inf."""
         with self._lock:

@@ -93,6 +93,45 @@ class EventTimeline:
             self._recorded += 1
         return event
 
+    def record_at(
+        self,
+        ts: float,
+        category: str,
+        name: str,
+        attrs: Optional[Dict[str, object]] = None,
+    ) -> RuntimeEvent:
+        """Append one event with an explicit timestamp.
+
+        Used when merging events recorded elsewhere (another worker
+        process) into this timeline: the original monotonic timestamp
+        is preserved so episode pairing and cross-worker ordering stay
+        meaningful (``CLOCK_MONOTONIC`` is machine-wide).
+        """
+        event = RuntimeEvent(ts, category, name, dict(attrs or {}))
+        with self._lock:
+            if len(self._events) >= self.capacity:
+                self._dropped += 1
+            self._events.append(event)
+            self._recorded += 1
+        return event
+
+    def events_since(self, seen: int) -> "tuple[List[RuntimeEvent], int]":
+        """Events recorded after the first ``seen``, plus the new total.
+
+        Returns the suffix of events not yet consumed by a caller that
+        previously saw ``seen`` recorded events.  If the ring evicted
+        part of that suffix the evicted events are simply gone (the
+        eviction is already counted); the returned total lets the
+        caller advance its cursor atomically with the snapshot.
+        """
+        with self._lock:
+            recorded = self._recorded
+            new = recorded - seen
+            if new <= 0:
+                return [], recorded
+            events = list(self._events)
+            return events[-min(new, len(events)) :], recorded
+
     @property
     def recorded(self) -> int:
         """Total events ever recorded (including evicted ones)."""

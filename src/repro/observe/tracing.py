@@ -261,9 +261,14 @@ class Tracer:
 
 
 class SpanRecord:
-    """One closed stage of one hop of one trace."""
+    """One closed stage of one hop of one trace.
 
-    __slots__ = ("trace_id", "hop", "stage", "start", "end", "operator")
+    ``worker`` is ``None`` for spans closed in-process; the cluster
+    collector stamps the closing worker's id when it merges spans from
+    multiple processes into one stitched trace.
+    """
+
+    __slots__ = ("trace_id", "hop", "stage", "start", "end", "operator", "worker")
 
     def __init__(
         self,
@@ -273,6 +278,7 @@ class SpanRecord:
         start: float,
         end: float,
         operator: str,
+        worker: Optional[str] = None,
     ) -> None:
         self.trace_id = trace_id
         self.hop = hop
@@ -280,6 +286,7 @@ class SpanRecord:
         self.start = start
         self.end = end
         self.operator = operator
+        self.worker = worker
 
     @property
     def duration(self) -> float:
@@ -288,7 +295,7 @@ class SpanRecord:
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-friendly form."""
-        return {
+        out: Dict[str, object] = {
             "trace_id": self.trace_id,
             "hop": self.hop,
             "stage": self.stage,
@@ -297,6 +304,9 @@ class SpanRecord:
             "duration": self.duration,
             "operator": self.operator,
         }
+        if self.worker is not None:
+            out["worker"] = self.worker
+        return out
 
     def __repr__(self) -> str:
         return (
@@ -367,6 +377,25 @@ class TraceCollector:
         """Every stored span (unsorted snapshot)."""
         with self._lock:
             return [s for spans in self._spans.values() for s in spans]
+
+    def spans_since(self, cursor: Dict[int, int]) -> List[SpanRecord]:
+        """Spans added since ``cursor`` was last advanced; advances it.
+
+        ``cursor`` maps trace id → number of spans already consumed
+        from that trace's bucket.  Buckets are append-only (``add``
+        only extends), so slicing past the cursor yields every new span
+        exactly once — the loss/duplication-free delta the cluster
+        collector ships over the control channel.  The caller owns the
+        cursor dict; passing a fresh ``{}`` replays everything.
+        """
+        out: List[SpanRecord] = []
+        with self._lock:
+            for tid, bucket in self._spans.items():
+                seen = cursor.get(tid, 0)
+                if len(bucket) > seen:
+                    out.extend(bucket[seen:])
+                    cursor[tid] = len(bucket)
+        return out
 
     def __len__(self) -> int:
         with self._lock:

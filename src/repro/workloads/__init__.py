@@ -22,6 +22,7 @@ from repro.workloads.operators import (
     LatencySink,
     RelayProcessor,
     ReplaySource,
+    SlowSink,
     VariableRateProcessor,
 )
 from repro.workloads.stdlib import (
@@ -45,6 +46,7 @@ __all__ = [
     "ExclusiveServiceProcessor",
     "FileSink",
     "LatencySink",
+    "SlowSink",
     "MapProcessor",
     "FilterProcessor",
     "WindowedAggregateProcessor",

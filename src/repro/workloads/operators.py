@@ -288,6 +288,37 @@ class CollectingSink(StreamProcessor):
         raise KeyError(stream)
 
 
+class SlowSink(StreamProcessor):
+    """Terminal stage that stalls after a warm-up — a backpressure seed.
+
+    Processes the first ``after`` packets at full speed, then sleeps
+    ``sleep`` seconds per packet.  Its inbound buffer fills, the
+    watermark gate closes, and the stall propagates upstream — the
+    canonical root-cause scenario the cluster doctor must attribute
+    across process boundaries.  Descriptor-friendly: both knobs are
+    plain JSON kwargs.
+    """
+
+    def __init__(self, sleep: float = 0.05, after: int = 0) -> None:
+        super().__init__()
+        self.sleep = float(sleep)
+        self.after = int(after)
+        self.seen = 0
+        self._lock = threading.Lock()
+
+    def process(self, packet: StreamPacket, ctx) -> None:
+        """Handle one stream packet (StreamProcessor contract)."""
+        with self._lock:
+            self.seen += 1
+            stall = self.seen > self.after
+        if stall and self.sleep > 0:
+            time.sleep(self.sleep)
+
+    def output_schema(self, stream: str) -> PacketSchema:
+        """Declare the schema of the named outgoing stream."""
+        raise KeyError(stream)
+
+
 class LatencySink(StreamProcessor):
     """Terminal stage computing end-to-end latency from ``emitted_at``."""
 

@@ -69,18 +69,30 @@ def live_cluster(
     plan=None,
     launch_timeout: float = LAUNCH_TIMEOUT,
     log_dir: Optional[str] = None,
+    observe=None,
+    slos=None,
+    collect_interval: float = 0.25,
 ) -> Iterator[ClusterCoordinator]:
     """Launch a real-process cluster; terminate it no matter what.
 
     Yields the launched :class:`ClusterCoordinator` (``.job`` is ready).
     Worker stdout/stderr goes to per-worker files under ``log_dir``
     (a fresh temp dir by default) and is attached to the launch error
-    when the cluster fails to come up.
+    when the cluster fails to come up.  ``observe``/``slos``/
+    ``collect_interval`` pass straight through to the coordinator
+    (cluster observability plane).
     """
     if log_dir is None:
         log_dir = tempfile.mkdtemp(prefix="neptune-test-logs-")
     coordinator = ClusterCoordinator(
-        graph, n_workers=n_workers, fabric=fabric, plan=plan, log_dir=log_dir
+        graph,
+        n_workers=n_workers,
+        fabric=fabric,
+        plan=plan,
+        log_dir=log_dir,
+        observe=observe,
+        slos=slos,
+        collect_interval=collect_interval,
     )
     try:
         try:

@@ -1,0 +1,445 @@
+"""Unit tests for the cluster observability plane (tier-1, in-process).
+
+Covers the collector protocol end to end without spawning processes:
+delta building (cursors, seq), merge idempotency under re-delivery
+(the satellite-1 regression: histogram series absorb never-backwards,
+whole deltas dedup by seq, spans dedup by identity), cross-worker
+trace stitching invariants (tiling: zero gap, zero overlap), the
+flight recorder's atomic dumps and multi-dump merge, and the doctor's
+cross-worker cause attribution.  The real-process versions live in
+``tests/test_cluster_observe.py`` behind ``@pytest.mark.cluster``.
+"""
+
+import json
+import math
+import os
+
+import pytest
+
+from repro.observe import (
+    STAGES,
+    ClusterCollector,
+    DeltaSource,
+    FlightRecorder,
+    RuntimeObserver,
+    SpanRecord,
+    TelemetryRegistry,
+    load_flight_dump,
+    merge_flight_dumps,
+    stitch,
+    stitch_spans,
+)
+from repro.observe.bridge import absorb_series, registry_series
+from repro.observe.collector import COLLECT_SCHEMA
+from repro.observe.doctor import diagnose, render_report
+from repro.observe.flightrec import FLIGHT_SCHEMA
+from repro.observe.health import SLO
+
+
+# ---------------------------------------------------------------------------
+# Histogram cumulative absorption (satellite 1)
+# ---------------------------------------------------------------------------
+
+def test_histogram_set_cumulative_and_replay_is_noop():
+    reg = TelemetryRegistry()
+    hist = reg.histogram("h", None, "test", buckets=(1.0, 2.0))
+    hist.set_cumulative([1, 3], 4, 10.0)
+    assert hist.count == 4
+    assert hist.sum == 10.0
+    assert hist.cumulative_buckets() == [(1.0, 1), (2.0, 3), (math.inf, 4)]
+    # Replaying the same snapshot must not double-count.
+    hist.set_cumulative([1, 3], 4, 10.0)
+    assert hist.count == 4
+    # An older snapshot (re-delivery out of order) is ignored.
+    hist.set_cumulative([0, 1], 2, 3.0)
+    assert hist.count == 4
+    assert hist.cumulative_buckets() == [(1.0, 1), (2.0, 3), (math.inf, 4)]
+    # A newer one advances.
+    hist.set_cumulative([2, 5], 7, 20.0)
+    assert hist.count == 7
+    assert hist.cumulative_buckets() == [(1.0, 2), (2.0, 5), (math.inf, 7)]
+
+
+def test_histogram_set_cumulative_rejects_bucket_mismatch():
+    reg = TelemetryRegistry()
+    hist = reg.histogram("h", None, "test", buckets=(1.0, 2.0))
+    with pytest.raises(ValueError):
+        hist.set_cumulative([1], 2, 3.0)
+
+
+def test_series_histogram_round_trip_idempotent():
+    """registry_series -> absorb_series carries histograms, and
+    absorbing the same series twice changes nothing (satellite 1)."""
+    src = TelemetryRegistry()
+    hist = src.histogram("lat_seconds", {"operator": "x"}, "test")
+    hist.observe(0.004)
+    hist.observe(0.5)
+    src.counter("c_total", {"operator": "x"}, "test").inc(5)
+    series = registry_series(src, {"worker": "1"})
+    kinds = {s["name"]: s["kind"] for s in series}
+    assert kinds == {"lat_seconds": "histogram", "c_total": "counter"}
+
+    dst = TelemetryRegistry()
+    absorb_series(dst, series)
+    absorb_series(dst, series)  # re-delivery
+    out = {s.name: s for s in dst.collect()}
+    assert dict(out["lat_seconds"].labels)["worker"] == "1"
+    merged = out["lat_seconds"].histogram
+    assert merged is not None
+    assert merged.count == 2
+    assert abs(merged.sum - 0.504) < 1e-9
+    assert out["c_total"].value == 5.0
+
+
+# ---------------------------------------------------------------------------
+# DeltaSource
+# ---------------------------------------------------------------------------
+
+def _span(tid, hop, stage, start, end, op="src", worker=None):
+    return SpanRecord(tid, hop, stage, start, end, op, worker=worker)
+
+
+def test_delta_source_ships_each_span_and_event_once():
+    obs = RuntimeObserver()
+    obs.collector.add([_span(1, 0, "serialize", 0.0, 0.5)])
+    obs.timeline.record("runtime", "started", graph="g")
+    source = DeltaSource(obs, 3)
+
+    d1 = source.collect()
+    assert d1["schema"] == COLLECT_SCHEMA
+    assert d1["worker"] == 3
+    assert d1["seq"] == 1
+    assert [s["stage"] for s in d1["spans"]] == ["serialize"]
+    assert d1["spans"][0]["worker"] == "3"
+    assert any(e["name"] == "started" for e in d1["events"])
+    assert d1["series"], "series must not be empty after a collect"
+    assert all(s["labels"].get("worker") == "3" for s in d1["series"])
+    # Shipped span durations feed the per-stage histogram.
+    assert any(
+        s["name"] == "neptune_trace_stage_seconds"
+        and s["labels"].get("stage") == "serialize"
+        for s in d1["series"]
+    )
+
+    d2 = source.collect()
+    assert d2["seq"] == 2
+    assert d2["spans"] == []
+    assert all(e["name"] != "started" for e in d2["events"])
+
+    obs.collector.add([_span(1, 0, "enqueue", 0.5, 0.7)])
+    d3 = source.collect()
+    assert [s["stage"] for s in d3["spans"]] == ["enqueue"]
+
+    info = source.info()
+    assert info["collects"] == 3
+    assert info["spans_shipped"] == 2
+    assert info["last_collect_age"] is not None
+
+
+# ---------------------------------------------------------------------------
+# ClusterCollector merge semantics
+# ---------------------------------------------------------------------------
+
+def test_collector_drops_stale_seq_redelivery():
+    """Re-delivering the same delta must be a complete no-op."""
+    obs = RuntimeObserver()
+    obs.collector.add([_span(5, 0, "serialize", 0.0, 1.0)])
+    obs.timeline.record("runtime", "started")
+    source = DeltaSource(obs, 0)
+    collector = ClusterCollector()
+    delta = source.collect()
+
+    assert collector.absorb(delta) is True
+    assert collector.absorb(delta) is False  # same seq: stale
+    assert collector.stale == 1
+    assert len(collector.observer.collector.all_spans()) == 1
+    assert len(collector.observer.timeline) == 1
+
+
+def test_collector_dedups_spans_across_new_seq():
+    """Ack-replay re-executes hops: same span identity under a fresh
+    seq must not double-count, and histogram series must not move."""
+    obs = RuntimeObserver()
+    obs.collector.add([_span(5, 0, "serialize", 0.0, 1.0)])
+    source = DeltaSource(obs, 0)
+    collector = ClusterCollector()
+    delta = source.collect()
+    assert collector.absorb(delta)
+
+    replay = dict(delta)
+    replay["seq"] = delta["seq"] + 1  # a *new* message, same payload
+    assert collector.absorb(replay) is True
+    assert len(collector.observer.collector.all_spans()) == 1
+    samples = {s.name: s for s in collector.observer.registry.collect()}
+    stage_hist = samples["neptune_trace_stage_seconds"].histogram
+    assert stage_hist is not None and stage_hist.count == 1
+
+
+def test_collector_reset_worker_accepts_fresh_seq():
+    obs = RuntimeObserver()
+    source = DeltaSource(obs, 0)
+    collector = ClusterCollector()
+    assert collector.absorb(source.collect())  # seq 1
+    assert collector.absorb(source.collect())  # seq 2
+
+    restarted = DeltaSource(RuntimeObserver(), 0)  # fresh process: seq 1
+    stale = restarted.collect()
+    assert collector.absorb(stale) is False
+    collector.reset_worker(0)
+    restarted2 = DeltaSource(RuntimeObserver(), 0)
+    assert collector.absorb(restarted2.collect()) is True
+
+
+def test_collector_events_keep_origin_timestamp_and_worker():
+    obs = RuntimeObserver()
+    event = obs.timeline.record("chaos", "kill_worker", target="w1")
+    source = DeltaSource(obs, 7)
+    collector = ClusterCollector()
+    collector.absorb(source.collect())
+    merged = collector.observer.timeline.snapshot()
+    assert len(merged) == 1
+    assert merged[0].ts == event.ts
+    assert merged[0].attrs["worker"] == "7"
+    assert merged[0].attrs["target"] == "w1"
+
+
+def test_poll_once_survives_fetch_failures():
+    obs = RuntimeObserver()
+    source = DeltaSource(obs, 0)
+    collector = ClusterCollector()
+    collector.attach(0, source.collect)
+
+    def severed():
+        raise OSError("control socket gone")
+
+    collector.attach(1, severed)
+    collector.attach(2, lambda: None)  # worker with no delta source
+    assert collector.poll_once() == 1
+    assert collector.fetch_errors == 1
+    ages = collector.ages()
+    assert ages[0] is not None and ages[1] is None and ages[2] is None
+    status = collector.status()
+    assert status["polls"] == 1 and status["absorbed"] == 1
+
+
+def test_collector_health_scans_merged_series():
+    """A cluster-scope SLO evaluates against worker-labeled series
+    (subset label matching sums across workers)."""
+    slo = SLO(
+        "relay.floor", "throughput_floor", 1e9, operator="relay",
+        for_scans=1, warmup_scans=0,
+    )
+    collector = ClusterCollector(slos=[slo])
+    assert collector.health is not None
+
+    def series_for(worker, total):
+        reg = TelemetryRegistry()
+        reg.counter(
+            "neptune_operator_packets_in_total", {"operator": "relay"}, "t"
+        ).inc(total)
+        return registry_series(reg, {"worker": worker})
+
+    collector.absorb({
+        "schema": COLLECT_SCHEMA, "worker": 0, "seq": 1,
+        "series": series_for("0", 10), "spans": [], "events": [],
+        "monitors": [],
+    })
+    collector.absorb({
+        "schema": COLLECT_SCHEMA, "worker": 1, "seq": 1,
+        "series": series_for("1", 32), "spans": [], "events": [],
+        "monitors": [],
+    })
+    collector.health.scan_once()  # first sighting primes the rate
+    collector.health.scan_once()
+    monitor = collector.health.monitors[0]
+    # Rate computed over the summed 42 packets across both workers —
+    # far below the absurd floor, so the monitor must be breaching.
+    assert monitor.bad_scans >= 1
+
+
+def test_worker_monitors_reported_per_worker():
+    collector = ClusterCollector()
+    collector.absorb({
+        "schema": COLLECT_SCHEMA, "worker": 2, "seq": 1, "series": [],
+        "spans": [], "events": [],
+        "monitors": [{"slo": "sink.p99_latency", "status": "breach"}],
+    })
+    monitors = collector.worker_monitors()
+    assert monitors == [
+        {"slo": "sink.p99_latency", "status": "breach", "worker": 2}
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Stitching invariants
+# ---------------------------------------------------------------------------
+
+def _tiled_spans(tid, n_hops, stage_len=1.0):
+    spans, t = [], 0.0
+    for hop in range(n_hops):
+        for stage in STAGES:
+            spans.append(
+                _span(tid, hop, stage, t, t + stage_len, f"op{hop}", str(hop))
+            )
+            t += stage_len
+    return spans
+
+
+def test_stitched_trace_tiles_across_workers():
+    trace = stitch_spans(9, _tiled_spans(9, 2))
+    assert trace.complete
+    assert trace.workers == ["0", "1"]
+    assert trace.hops == 2
+    assert trace.gap_seconds == 0.0
+    assert trace.overlap_seconds == 0.0
+    assert trace.duration == pytest.approx(12.0)
+    d = trace.as_dict()
+    assert d["complete"] and len(d["spans"]) == 12
+
+
+def test_stitched_trace_detects_gaps_and_missing_hops():
+    spans = _tiled_spans(4, 2)
+    del spans[3]  # drop hop 0 "wire": incomplete + a gap
+    trace = stitch_spans(4, spans)
+    assert not trace.complete
+    assert trace.gap_seconds > 0.0
+
+    hop1_only = [s for s in _tiled_spans(6, 2) if s.hop == 1]
+    trace2 = stitch_spans(6, hop1_only)
+    assert not trace2.complete  # hops must be contiguous from 0
+
+
+def test_stitch_collector_orders_by_trace_id():
+    collector = ClusterCollector()
+    obs_a = RuntimeObserver()
+    obs_a.collector.add(_tiled_spans(11, 1))
+    obs_b = RuntimeObserver()
+    obs_b.collector.add(_tiled_spans(3, 1))
+    collector.absorb(DeltaSource(obs_a, 0).collect())
+    collector.absorb(DeltaSource(obs_b, 1).collect())
+    stitched = collector.stitched()
+    assert [t.trace_id for t in stitched] == [3, 11]
+    assert stitch(collector.observer.collector)[0].trace_id == 3
+
+
+# ---------------------------------------------------------------------------
+# Flight recorder
+# ---------------------------------------------------------------------------
+
+def test_flight_recorder_dump_atomic_and_loadable(tmp_path):
+    obs = RuntimeObserver()
+    obs.timeline.record("runtime", "started")
+    obs.collector.add([_span(1, 0, "serialize", 0.0, 0.5)])
+    path = str(tmp_path / "flight-w0.json")
+    recorder = FlightRecorder(obs, path, worker_id=0)
+    assert recorder.dump("test") == path
+    assert not os.path.exists(path + ".tmp"), "tmp file must be replaced"
+    dump = load_flight_dump(path)
+    assert dump["schema"] == FLIGHT_SCHEMA
+    assert dump["reason"] == "test"
+    assert dump["dumps"] == 1
+    assert dump["spans"][0]["worker"] == "0"
+    assert dump["events"][0]["attrs"]["worker"] == "0"
+    assert dump["instruments"], "instrument snapshot must be present"
+    # A later dump overwrites with fresh state, never appends.
+    assert recorder.dump("periodic") == path
+    assert load_flight_dump(path)["dumps"] == 2
+
+
+def test_flight_recorder_never_raises_on_bad_path(tmp_path):
+    obs = RuntimeObserver()
+    recorder = FlightRecorder(obs, str(tmp_path / "no-such-dir" / "f.json"))
+    assert recorder.dump("test") is None
+    assert recorder.dump_errors == 1
+
+
+def test_flight_recorder_bounds_window(tmp_path):
+    obs = RuntimeObserver()
+    for i in range(20):
+        obs.timeline.record("runtime", f"e{i}")
+    obs.collector.add(_tiled_spans(1, 2))
+    path = str(tmp_path / "flight.json")
+    recorder = FlightRecorder(obs, path, max_events=5, max_spans=4)
+    recorder.dump("test")
+    dump = load_flight_dump(path)
+    assert len(dump["events"]) == 5
+    assert dump["events"][-1]["name"] == "e19"  # most recent kept
+    assert len(dump["spans"]) == 4
+    # Most-recently-closed spans survive the cap.
+    assert {s["hop"] for s in dump["spans"]} == {1}
+
+
+def test_merge_flight_dumps_dedups_and_shapes_for_doctor(tmp_path):
+    def dump_for(worker, spans, reason):
+        obs = RuntimeObserver()
+        obs.collector.add(spans)
+        obs.timeline.record("runtime", f"w{worker}-event")
+        path = str(tmp_path / f"flight-w{worker}.json")
+        FlightRecorder(obs, path, worker_id=worker).dump(reason)
+        return load_flight_dump(path)
+
+    tiled = _tiled_spans(7, 2)
+    hop0, hop1 = tiled[:6], tiled[6:]
+    # Overlapping windows: both workers persisted hop0's serialize span.
+    d0 = dump_for(0, hop0, "periodic")
+    d1 = dump_for(1, [hop0[0]] + hop1, "sigterm")
+    merged = merge_flight_dumps([d0, d1, {"schema": "other/1"}])
+    assert merged["flight"]["workers"] == [0, 1]
+    assert merged["flight"]["reasons"] == {"0": "periodic", "1": "sigterm"}
+    spans = merged["traces"]["7"]
+    assert len(spans) == 12, "duplicate span must merge away"
+    hops_stages = [(s["hop"], s["stage"]) for s in spans]
+    assert hops_stages == [(h, st) for h in (0, 1) for st in STAGES]
+    names = [e["name"] for e in merged["timeline"]]
+    assert "w0-event" in names and "w1-event" in names
+    # The merged shape is directly diagnosable.
+    report = diagnose(merged)
+    assert report["schema"] == "neptune-doctor/1"
+    assert report["healthy"]
+
+
+def test_load_flight_dump_rejects_non_object(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps([1, 2, 3]))
+    with pytest.raises(ValueError):
+        load_flight_dump(str(path))
+
+
+# ---------------------------------------------------------------------------
+# Doctor: cross-worker attribution
+# ---------------------------------------------------------------------------
+
+def test_doctor_attributes_breach_to_gate_on_other_worker():
+    """Breach observed on worker 1, root cause the stalled sink gate on
+    worker 2 (its throttle cascade reaches the breaching operator)."""
+    timeline = [
+        {"ts": 1.0, "category": "flowcontrol", "name": "gate_closed",
+         "attrs": {"operator": "w2:sink[0]", "throttles": ["w1:relay[0]"],
+                   "worker": "2"}},
+        {"ts": 1.2, "category": "flowcontrol", "name": "gate_closed",
+         "attrs": {"operator": "w1:relay[0]", "throttles": ["w0:src[0]"],
+                   "worker": "1"}},
+        {"ts": 2.0, "category": "health", "name": "slo_breach",
+         "attrs": {"slo": "relay.p99_latency", "operator": "relay",
+                   "worker": "1", "value": 0.2, "threshold": 0.05}},
+        {"ts": 4.0, "category": "health", "name": "slo_recover",
+         "attrs": {"slo": "relay.p99_latency"}},
+        {"ts": 5.0, "category": "flowcontrol", "name": "gate_opened",
+         "attrs": {"operator": "w1:relay[0]"}},
+        {"ts": 5.1, "category": "flowcontrol", "name": "gate_opened",
+         "attrs": {"operator": "w2:sink[0]"}},
+    ]
+    report = diagnose({"timeline": timeline, "traces": {}, "instruments": []})
+    assert not report["healthy"]
+    episode = report["breaches"][0]
+    assert episode["observed_on_worker"] == "1"
+    root = report["root_cause"]
+    assert root["type"] == "backpressure_cascade"
+    assert root["operator"] == "sink"
+    assert root["worker"] == "2"
+    # The relay gate is a cascade victim, demoted below the sink gate.
+    ops = [c["operator"] for c in episode["causes"]]
+    assert ops.index("sink") < ops.index("relay")
+    rendered = render_report(report)
+    assert "root cause" in rendered and "'sink'" in rendered
+    assert "on worker 2" in rendered
