@@ -1,0 +1,114 @@
+"""Guardrail: the elasticity policy must heal cheaply — and actually heal.
+
+Runs the stalled-sink pipeline A/B, interleaved over several trials:
+
+- **policed** — a ``buffer_occupancy`` SLO scanned at 10 Hz; every
+  breach/recover transition runs diagnose → PolicyEngine → live
+  ``reconfigure`` on the runtime (the coordinator's ``on_scan`` hook,
+  minus the processes).  The stall trips the SLO, the doctor blames
+  the sink's backpressure cascade, and the engine's ``batch_up``
+  retune amortizes the sink's fixed per-batch overhead.
+- **control** — the identical pipeline draining the stall at full
+  per-batch price.
+
+Three verdicts:
+
+- **Closed loop** (hard): every policed trial must record at least one
+  breach and at least one policy action.  A policy that never fires is
+  a dead code path, not a cheap one.
+- **Heal floor** (asserted at ``POLICY_GUARDRAIL_HEAL_PCT``, default
+  25%): min-of-N policed wall time must beat min-of-N control wall
+  time by at least this margin.  Both arms are sleep-bound (the sink's
+  batch overhead), so the ratio is stable across runner speeds.
+- **Duty cycle** (asserted at ``POLICY_GUARDRAIL_PCT``, default 3%):
+  seconds spent scanning + diagnosing + deciding + applying over the
+  policed run's wall time — the whole observe-and-act plane's cost.
+
+Tunables via environment:
+
+- ``POLICY_GUARDRAIL_PACKETS``   (default 6000)
+- ``POLICY_GUARDRAIL_TRIALS``    (default 3)
+- ``POLICY_GUARDRAIL_PCT``       (default 3.0)
+- ``POLICY_GUARDRAIL_HEAL_PCT``  (default 25.0)
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from repro.bench.harness import BenchProfile
+from repro.bench.scenarios import _timed_policy
+
+PACKETS = int(os.environ.get("POLICY_GUARDRAIL_PACKETS", "6000"))
+TRIALS = int(os.environ.get("POLICY_GUARDRAIL_TRIALS", "3"))
+MAX_DUTY_PCT = float(os.environ.get("POLICY_GUARDRAIL_PCT", "3.0"))
+MIN_HEAL_PCT = float(os.environ.get("POLICY_GUARDRAIL_HEAL_PCT", "25.0"))
+
+PROFILE = BenchProfile(
+    name="policy-guardrail",
+    codec_messages=0,
+    codec_repeats=1,
+    buffer_appends=0,
+    relay_packets=0,
+    relay_max_delay=0.005,
+    policy_packets=PACKETS,
+)
+
+
+def main() -> int:
+    control: list[float] = []
+    policed: list[float] = []
+    worst_duty = 0.0
+    for trial in range(TRIALS):
+        # Interleave so slow machine drift penalizes both arms equally.
+        t_off, _, _, _, _ = _timed_policy(PROFILE, policed=False)
+        t_on, plane_secs, actions, breaches, recoveries = _timed_policy(
+            PROFILE, policed=True
+        )
+        control.append(t_off)
+        policed.append(t_on)
+        duty = plane_secs / t_on if t_on else 0.0
+        worst_duty = max(worst_duty, duty)
+        print(
+            f"trial {trial + 1}/{TRIALS}: control={t_off:.3f}s "
+            f"policed={t_on:.3f}s breaches={breaches} actions={actions} "
+            f"recoveries={recoveries} duty={duty * 100:.2f}%",
+            flush=True,
+        )
+        if breaches < 1 or actions < 1:
+            print(
+                "FAIL: the policy never closed the loop — the stall must "
+                "trip the SLO and the doctor must attribute it",
+                file=sys.stderr,
+            )
+            return 1
+
+    best_off = min(control)
+    best_on = min(policed)
+    heal_pct = (best_off - best_on) / best_off * 100.0 if best_off else 0.0
+    print(
+        f"min-of-{TRIALS}: control={best_off:.3f}s policed={best_on:.3f}s "
+        f"heal={heal_pct:+.1f}% (floor {MIN_HEAL_PCT:.0f}%) "
+        f"worst duty cycle={worst_duty * 100:.2f}% (budget {MAX_DUTY_PCT:.1f}%)"
+    )
+    if worst_duty * 100.0 > MAX_DUTY_PCT:
+        print(
+            "FAIL: policy plane duty cycle exceeds budget — scanning or "
+            "deciding is leaking onto the hot path",
+            file=sys.stderr,
+        )
+        return 1
+    if heal_pct < MIN_HEAL_PCT:
+        print(
+            "FAIL: the retune is not paying for itself — the policed drain "
+            "must beat the stalled control by the heal floor",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK: policy heals the stall within the duty budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

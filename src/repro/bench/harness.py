@@ -47,15 +47,19 @@ class BenchProfile:
     #: Worker-process counts to measure; the scale-up ratio is taken
     #: between the largest and smallest entry.
     cluster_worker_counts: tuple[int, ...] = ()
+    #: Packets pushed through the ``policy`` self-healing scenario's
+    #: stalled pipeline (kept small: every pre-heal frame pays the
+    #: sink's fixed batch overhead, so this bounds the control arm).
+    policy_packets: int = 600
 
 
 PROFILES: dict[str, BenchProfile] = {
     "smoke": BenchProfile("smoke", 2_000, 1, 4_000, 2_000, 0.005),
     "quick": BenchProfile(
-        "quick", 20_000, 3, 100_000, 40_000, 0.005, 2_400, 0.002, (1, 4)
+        "quick", 20_000, 3, 100_000, 40_000, 0.005, 2_400, 0.002, (1, 4), 6_000
     ),
     "full": BenchProfile(
-        "full", 100_000, 5, 400_000, 150_000, 0.005, 6_000, 0.002, (1, 2, 4)
+        "full", 100_000, 5, 400_000, 150_000, 0.005, 6_000, 0.002, (1, 2, 4), 12_000
     ),
 }
 

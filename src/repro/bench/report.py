@@ -43,6 +43,7 @@ GUARDED_RATIOS: tuple[tuple[str, str], ...] = (
     ("codec", "encode_speedup"),
     ("codec", "decode_speedup"),
     ("cluster_scaling", "scaleup_w4"),
+    ("policy", "heal_speedup"),
 )
 
 

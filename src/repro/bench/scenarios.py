@@ -29,6 +29,15 @@ Three scenarios cover the layers the paper optimizes (§III-B):
   in the profile; the guarded metric is the scale-up ratio between the
   largest and smallest count.  Skipped on the smoke tier: tier-1 test
   runs must never spawn processes.
+- ``policy`` — the closed loop: a sink paying a fixed per-batch
+  overhead drowns in deliberately tiny frames, breaches a
+  ``buffer_occupancy`` SLO, and a
+  :class:`~repro.observe.policy.PolicyEngine` retunes the legs feeding
+  it live (no restart).  Guarded three ways on non-smoke tiers: the
+  policy must act, the drain must beat the policy-off control by ≥25%
+  (the heal is real, not a timer artifact), and the whole observe+
+  decide plane (health scans + diagnose + decide) must cost < 3% of
+  the healed run's wall time.
 """
 
 from __future__ import annotations
@@ -463,6 +472,178 @@ def scenario_collector(profile: BenchProfile) -> BenchResult:
     return result
 
 
+def _timed_policy(
+    profile: BenchProfile, policed: bool
+) -> "tuple[float, float, int, int, int]":
+    """One stalled-sink run; returns
+    ``(elapsed, plane_seconds, actions, breaches, recoveries)``.
+
+    The pipeline is rigged to need the policy: a tiny capacity cut
+    produces frames of a handful of packets, and the sink pays a fixed
+    cost per *batch* (:class:`~repro.workloads.BatchOverheadSink`), so
+    its inbound channel backs up against the watermark.  The ``policed``
+    arm scans a ``buffer_occupancy`` SLO at 10 Hz and feeds every
+    breach/recover transition through diagnose → PolicyEngine →
+    :func:`~repro.observe.policy.apply_action` against the live
+    runtime; the control arm just drains the stall at full price.
+    ``plane_seconds`` is the entire observe+decide cost: scan seconds
+    plus time inside the diagnose/decide/apply hook.
+    """
+    from repro.observe import (
+        SLO,
+        HealthEngine,
+        PolicyEngine,
+        RuntimeObserver,
+        apply_action,
+        bridge,
+    )
+    from repro.observe.doctor import diagnose_observer
+    from repro.workloads import BatchOverheadSink
+
+    overhead = 0.004 if profile.name == "smoke" else 0.012
+    sink = BatchOverheadSink(overhead=overhead)
+    graph = StreamProcessingGraph(
+        "bench-policy",
+        config=NeptuneConfig(
+            buffer_capacity=256,
+            buffer_max_delay=0.5,
+            inbound_high_watermark=16384,
+        ),
+    )
+    graph.add_source("source", lambda: _RelaySource(profile.policy_packets))
+    graph.add_processor("relay", _Relay)
+    graph.add_processor("sink", lambda: sink)
+    graph.link("source", "relay").link("relay", "sink")
+
+    observer = RuntimeObserver(sample_every=0) if policed else None
+    engine: "HealthEngine | None" = None
+    policy: "PolicyEngine | None" = None
+    plane_seconds = 0.0
+    breaches = 0
+    recoveries = 0
+    t0 = time.perf_counter()
+    with NeptuneRuntime(observer=observer) as runtime:
+        handle = runtime.submit(graph)
+        if observer is not None:
+            registry = observer.registry
+            slo = SLO(
+                "sink-backlog",
+                "buffer_occupancy",
+                threshold=2048.0,
+                operator="sink",
+                for_scans=2,
+                clear_scans=2,
+                warmup_scans=1,
+            )
+            engine = HealthEngine(
+                observer,
+                [slo],
+                scrape=lambda: bridge.scrape_job(registry, handle),
+                interval=0.1,
+            )
+            policy = PolicyEngine()
+
+            def scan_and_decide() -> None:
+                nonlocal breaches, recoveries, plane_seconds
+                transitions = engine.scan_once()
+                if not transitions:
+                    return
+                breaches += sum(1 for _, k in transitions if k == "breach")
+                recoveries += sum(1 for _, k in transitions if k == "recover")
+                t_hook = time.perf_counter()
+                report = diagnose_observer(observer)
+                for action in policy.observe(
+                    engine.scans, transitions, report, observer
+                ):
+                    if action.kind != "migrate":  # single process: nowhere to go
+                        apply_action(runtime, action)
+                plane_seconds += time.perf_counter() - t_hook
+
+            # Foreground 10 Hz scan loop (the coordinator's on_scan
+            # hook, minus the processes).  Progress is polled off the
+            # sink's own counter: ``await_completion`` is a one-shot
+            # drain (it tears the job down on timeout), not a poll.
+            scan_deadline = time.monotonic() + 600
+            while sink.seen < profile.policy_packets:
+                if handle.failures:
+                    raise RuntimeError(f"policy bench job failed: {handle.failures}")
+                if time.monotonic() > scan_deadline:
+                    raise RuntimeError(
+                        f"policy bench stalled at {sink.seen}/"
+                        f"{profile.policy_packets} packets"
+                    )
+                time.sleep(0.1)
+                scan_and_decide()
+            if not handle.await_completion(timeout=60):
+                raise RuntimeError("policy benchmark did not drain")
+            # The backlog is gone; a few post-drain scans let the
+            # monitor's clear hysteresis observe the recovery.
+            for _ in range(3):
+                scan_and_decide()
+        else:
+            if not handle.await_completion(timeout=600):
+                raise RuntimeError("policy benchmark did not complete in 600s")
+    elapsed = time.perf_counter() - t0
+    if sink.seen != profile.policy_packets:
+        raise RuntimeError(
+            f"policy relay lost packets: {sink.seen}/{profile.policy_packets}"
+        )
+    if engine is None or policy is None:
+        return elapsed, 0.0, 0, 0, 0
+    plane_seconds += engine.scan_seconds
+    return elapsed, plane_seconds, len(policy.decisions), breaches, recoveries
+
+
+def scenario_policy(profile: BenchProfile) -> BenchResult:
+    """Stalled-sink heal: breach → retune → drain, policy-on vs -off.
+
+    Three verdicts on non-smoke tiers:
+
+    - the engine must have *acted* (≥1 retune) off a real breach;
+    - ``heal_speedup`` (policy-off wall / policy-on wall) must be
+      ≥ 1.25 — the retune visibly beats draining the stall at full
+      per-batch price, the scenario's whole point;
+    - ``plane_duty_frac`` — (scan + diagnose + decide + apply) seconds
+      over the healed run's wall time — must stay < 3%, the same duty
+      budget as the ``health`` and ``collector`` planes.
+
+    The smoke tier runs the machinery but skips the gates: its run is
+    too short for the breach hysteresis to reliably fire at all.
+    """
+    result = BenchResult("policy")
+    t_on, plane_seconds, actions, breaches, recoveries = _timed_policy(
+        profile, policed=True
+    )
+    t_off, _, _, _, _ = _timed_policy(profile, policed=False)
+    duty = plane_seconds / t_on if t_on else 0.0
+    speedup = t_off / t_on if t_on else 0.0
+    result.metrics["drain_sec_policy_off"] = t_off
+    result.metrics["drain_sec_policy_on"] = t_on
+    result.metrics["heal_speedup"] = speedup
+    result.metrics["plane_duty_frac"] = duty
+    result.metrics["policy_actions"] = float(actions)
+    result.metrics["slo_breaches"] = float(breaches)
+    result.metrics["slo_recoveries"] = float(recoveries)
+    if profile.name != "smoke":
+        if actions < 1 or breaches < 1:
+            raise RuntimeError(
+                f"policy never closed the loop: {breaches} breach(es), "
+                f"{actions} action(s) — the stall must trip the SLO and "
+                "the doctor must attribute it"
+            )
+        if speedup < 1.25:
+            raise RuntimeError(
+                f"policy heal is not paying for itself: {t_on:.2f}s healed vs "
+                f"{t_off:.2f}s stalled ({speedup:.2f}x; floor is 1.25x)"
+            )
+        if duty >= 0.03:
+            raise RuntimeError(
+                f"policy plane consumed {duty:.1%} of the healed run "
+                "(scan + diagnose + decide duty); budget is < 3%"
+            )
+    return result
+
+
 def _cluster_rate(profile: BenchProfile, n_workers: int) -> float:
     """Aggregate relay throughput of one ``n_workers``-process cluster.
 
@@ -569,6 +750,7 @@ def run_scenarios(profile: BenchProfile) -> list[BenchResult]:
         scenario_relay(profile),
         scenario_health(profile),
         scenario_collector(profile),
+        scenario_policy(profile),
     ]
     if profile.cluster_worker_counts:
         results.append(scenario_cluster_scaling(profile))

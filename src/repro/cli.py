@@ -12,9 +12,10 @@
     python -m repro.cli top [--example quickstart | DESC.json] [--workers N] [--frames N] [--state STATE.json]
     python -m repro.cli experiment fig2|table1|gc|fig4|fig5|fig6|fig7|fig9|fig10|headline
     python -m repro.cli chaos [--mode wire|pipeline] [--seed N] [...]
-    python -m repro.cli cluster launch DESC.json [--workers N] [--fabric tcp|unix]
+    python -m repro.cli cluster launch DESC.json [--workers N] [--fabric tcp|unix] [--policy]
     python -m repro.cli cluster status --state STATE.json
     python -m repro.cli cluster stop --state STATE.json
+    python -m repro.cli policy status|log --state STATE.json
     python -m repro.cli info
 
 ``run`` deploys a JSON graph descriptor on the local runtime (or the
@@ -42,7 +43,10 @@ collector (self-launched workers, or attached to a running cluster via
 graph across real worker *processes* and operate on the merged
 worker-labeled cluster view; ``doctor --from-dump`` also accepts a
 flight-recorder dump (or a directory of them, merged), so a SIGKILLed
-cluster can be diagnosed from its black boxes.
+cluster can be diagnosed from its black boxes.  ``cluster launch
+--policy`` additionally runs the elasticity policy engine (SLO breach →
+diagnose → live retune/scale/migrate); ``policy status``/``policy log``
+read its persisted canonical action log through the state file.
 """
 
 from __future__ import annotations
@@ -784,11 +788,23 @@ def cmd_cluster_launch(args: argparse.Namespace) -> int:
     from repro.core.control import ControlError
 
     graph = _load_graph(args.descriptor)
+    extra: dict = {}
+    if getattr(args, "policy", False):
+        from repro.observe.health import default_slos
+
+        extra["observe"] = {}
+        extra["slos"] = default_slos(
+            sorted(graph.operators),
+            latency_budget=args.slo_latency,
+            e2e_budget=None,
+        )
+        extra["policy"] = True
     coordinator = ClusterCoordinator(
         graph,
         n_workers=args.workers,
         fabric=args.fabric,
         log_dir=args.log_dir,
+        **extra,
     )
     try:
         coordinator.launch(connect_timeout=args.connect_timeout)
@@ -818,6 +834,13 @@ def cmd_cluster_launch(args: argparse.Namespace) -> int:
             print(f"job {graph.name!r}: workers already stopped")
             return 0 if ok else 1
         _print_metrics(graph.name, ok, metrics, failures)
+        if coordinator.policy is not None:
+            status = coordinator.policy_status()
+            print(
+                f"policy: {status['actions']} action(s), "
+                f"{status['no_cause']} unattributed breach(es), "
+                f"log={status['log']}"
+            )
         return 0 if ok and not failures else 1
     finally:
         coordinator.terminate()
@@ -897,6 +920,45 @@ def cmd_cluster_stop(args: argparse.Namespace) -> int:
     ok = job.stop(timeout=args.drain_timeout)
     _print_metrics("cluster", ok, job.metrics(), {})
     return 0 if ok else 1
+
+
+def cmd_policy(args: argparse.Namespace) -> int:
+    """`policy status|log`: inspect a cluster's elasticity action log.
+
+    The policy engine lives in the ``cluster launch --policy`` process;
+    its decisions are persisted as canonical JSON lines (one per
+    action, byte-identical across identical runs), so attaching is a
+    file read — no control traffic.
+    """
+    import os
+
+    state = _load_cluster_state(args.state)
+    policy = state.get("policy") or {}
+    if not policy.get("enabled"):
+        print("policy: not enabled for this cluster (launch with --policy)")
+        return 1
+    log_path = policy.get("log")
+    lines: list[str] = []
+    if log_path and os.path.exists(str(log_path)):
+        with open(str(log_path), "r", encoding="utf-8") as fh:
+            lines = [line.rstrip("\n") for line in fh if line.strip()]
+    if args.action == "log":
+        for line in lines:
+            print(line)
+        return 0
+    by_kind: dict[str, int] = {}
+    for line in lines:
+        try:
+            kind = str(json.loads(line).get("kind"))
+        except (json.JSONDecodeError, AttributeError):
+            continue
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+    print(f"policy: enabled log={log_path}")
+    kinds = " ".join(f"{k}={v}" for k, v in sorted(by_kind.items()))
+    print(f"actions: {len(lines)}" + (f" ({kinds})" if kinds else ""))
+    for line in lines[-5:]:
+        print(f"  {line}")
+    return 0
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -1286,6 +1348,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_cl.add_argument("--drain-timeout", type=float, default=60.0)
     p_cl.add_argument("--connect-timeout", type=float, default=60.0)
+    p_cl.add_argument(
+        "--policy",
+        action="store_true",
+        help="run the elasticity policy engine: per-operator p99 SLOs, "
+        "breach diagnosis, live retune/scale/migrate reactions",
+    )
+    p_cl.add_argument(
+        "--slo-latency",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="p99 stage-latency budget for --policy SLOs (default: 0.05)",
+    )
     p_cl.set_defaults(fn=cmd_cluster_launch)
 
     p_cs = cluster_sub.add_parser(
@@ -1302,6 +1377,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_cx.add_argument("--drain-timeout", type=float, default=60.0)
     p_cx.add_argument("--connect-timeout", type=float, default=5.0)
     p_cx.set_defaults(fn=cmd_cluster_stop)
+
+    p_pol = sub.add_parser(
+        "policy", help="elasticity policy engine (status / action log)"
+    )
+    policy_sub = p_pol.add_subparsers(dest="action", required=True)
+    p_ps = policy_sub.add_parser(
+        "status", help="summarize a cluster's policy decisions"
+    )
+    p_ps.add_argument("--state", required=True, metavar="STATE.json")
+    p_ps.set_defaults(fn=cmd_policy)
+    p_pl = policy_sub.add_parser(
+        "log", help="print the canonical policy action log (one JSON line each)"
+    )
+    p_pl.add_argument("--state", required=True, metavar="STATE.json")
+    p_pl.set_defaults(fn=cmd_policy)
 
     p_info = sub.add_parser("info", help="version and usage")
     p_info.set_defaults(fn=cmd_info)

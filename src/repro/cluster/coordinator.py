@@ -24,7 +24,7 @@ import os
 import signal
 import tempfile
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.cluster.ports import reserve_ports
@@ -106,6 +106,20 @@ class ClusterCoordinator:
         ``observe={}`` if not given).
     collect_interval:
         Background poll period of the cluster collector, seconds.
+    policy:
+        Enable the elasticity policy engine
+        (:class:`~repro.observe.policy.PolicyEngine`): ``True`` for the
+        default :class:`~repro.observe.policy.PolicyConfig`, or a
+        config instance.  Requires ``slos`` (the engine reacts to their
+        breach/recover transitions).  After every collector poll's
+        health scan, breaches are diagnosed
+        (:func:`~repro.observe.doctor.diagnose`) and the engine's
+        actions applied live: retunes/scales through the workers'
+        ``reconfigure`` control command, migrations through
+        :meth:`migrate_operator`.  Every decision is appended to
+        ``policy-actions.log`` (under ``log_dir``, else the flight
+        dir) — one canonical JSON line each, byte-identical across
+        identical runs.
     """
 
     def __init__(
@@ -121,6 +135,7 @@ class ClusterCoordinator:
         observe: Optional[Mapping[str, Any]] = None,
         slos: Optional[Sequence[Any]] = None,
         collect_interval: float = 0.25,
+        policy: Any = None,
     ) -> None:
         graph.validate()
         if fabric not in ("tcp", "unix"):
@@ -170,6 +185,23 @@ class ClusterCoordinator:
             self.collector = ClusterCollector(
                 slos=list(slos or ()), interval=collect_interval
             )
+        self.policy: Optional[Any] = None
+        self.policy_log_path: Optional[str] = None
+        self.policy_applied: List[Dict[str, Any]] = []
+        self.policy_errors = 0
+        if policy:
+            if self.collector is None or self.collector.health is None:
+                raise NeptuneError(
+                    "policy requires cluster-scope SLOs (pass slos=[...])"
+                )
+            from repro.observe.policy import PolicyConfig, PolicyEngine
+
+            config = policy if isinstance(policy, PolicyConfig) else None
+            self.policy = PolicyEngine(config)
+            policy_dir = log_dir or self.flight_dir
+            if policy_dir is None:
+                policy_dir = tempfile.mkdtemp(prefix="neptune-policy-")
+            self.policy_log_path = os.path.join(policy_dir, "policy-actions.log")
         descriptor = graph.to_descriptor()
         descriptor["config"] = config_to_dict(graph.config)
         plan_raw = {
@@ -231,6 +263,12 @@ class ClusterCoordinator:
             # quiesces but before workers stop, so the merged view holds
             # the run's complete tail (spans, events, final counters).
             self.job.pre_stop_hooks.append(self._final_collect)
+            if self.policy is not None and self.policy_log_path is not None:
+                # Fresh log per launch: the file holds exactly this
+                # run's canonical action lines (the determinism unit).
+                with open(self.policy_log_path, "w", encoding="utf-8"):
+                    pass
+                self.collector.on_scan = self._on_health_scan
             self.collector.start()
         return self.job
 
@@ -302,22 +340,232 @@ class ClusterCoordinator:
             os.kill(handle.pid, sig)
         handle.process.join(10.0)
 
-    def restart_worker(self, worker_id: int, connect_timeout: float = 60.0) -> None:
-        """Respawn a dead worker with its identical spec (same ports /
-        socket paths) and splice the fresh proxy into the job."""
+    def restart_worker(
+        self,
+        worker_id: int,
+        connect_timeout: float = 60.0,
+        spec: Optional[WorkerSpec] = None,
+    ) -> None:
+        """Respawn a dead worker (same ports / socket paths) and splice
+        the fresh proxy into the job.
+
+        ``spec`` overrides the shard's spec for the new incarnation
+        (the migration path ships a re-planned spec); default is the
+        identical spec.  Either way the spec's ``incarnation`` is
+        bumped to the new restart count so the collector can fence the
+        dead incarnation's in-flight telemetry.
+        """
         handle = self.handles[worker_id]
         if handle.alive:
             raise NeptuneError(f"worker {worker_id} is still running")
+        new_incarnation = handle.restarts + 1
+        handle.spec = replace(
+            spec if spec is not None else handle.spec,
+            incarnation=new_incarnation,
+        )
         self._spawn(handle)
         handle.restarts += 1
+        if self.collector is not None:
+            # Fence BEFORE the fresh proxy is spliced in: a delta the
+            # dead incarnation built (fetched pre-kill, absorbed after
+            # this point) would otherwise land under the new worker
+            # label with a high seq and bury the restarted sequence.
+            # reset_worker also forgets the old cursor so the fresh
+            # process's seq=1 is not dropped as stale (span identity
+            # dedup still suppresses re-shipped hops).
+            self.collector.reset_worker(worker_id, incarnation=new_incarnation)
         self._connect(handle, connect_timeout)
         if self.job is not None:
             self.job.workers[worker_id] = handle.proxy
-        if self.collector is not None:
-            # A fresh process restarts its delta seq at 1: forget the
-            # old cursor so its deltas are not dropped as stale (span
-            # identity dedup still suppresses re-shipped hops).
-            self.collector.reset_worker(worker_id)
+
+    # -- elasticity (policy act path) ----------------------------------------
+    def _on_health_scan(self, scan: int, transitions: List[Any]) -> None:
+        """Collector hook: one health scan's transitions → policy →
+        applied actions.  Runs on the collector poll thread, which also
+        runs the delta fetchers — every proxy use here is serialized
+        with collection (and RemoteWorker calls are locked anyway)."""
+        if self.policy is None or not transitions:
+            return
+        from repro.observe.doctor import diagnose
+        from repro.observe.export import snapshot
+
+        report = diagnose(snapshot(self.collector.observer))
+        actions = self.policy.observe(
+            scan, transitions, report, self.collector.observer
+        )
+        for action in actions:
+            self._apply_policy_action(action)
+
+    def _apply_policy_action(self, action: Any) -> None:
+        """Apply one engine decision to the live cluster.
+
+        Retunes broadcast to every worker (the buffer legs feeding an
+        operator live on whichever shards host its upstreams; shards
+        owning none apply nothing).  Scales target the attributed
+        worker.  Migrations go through :meth:`migrate_operator` with a
+        deterministic target (lowest-id other worker).  The action is
+        logged whether or not applying succeeds: the log records
+        decisions, the ``policy_applied`` journal records outcomes.
+        """
+        from repro.observe.policy import action_to_changes
+
+        applied: List[Dict[str, Any]] = []
+        try:
+            if action.kind == "migrate":
+                from_worker = int(action.params.get("from_worker", -1))
+                targets = [
+                    h.worker_id for h in self.handles if h.worker_id != from_worker
+                ]
+                if not targets:
+                    self.policy_errors += 1
+                else:
+                    applied.append(self.migrate_operator(action.operator, targets[0]))
+            else:
+                changes = action_to_changes(action)
+                handles = self.handles
+                if action.kind == "scale" and action.worker is not None:
+                    handles = [self.handles[action.worker]]
+                for handle in handles:
+                    proxy = handle.proxy
+                    if proxy is None or not handle.alive:
+                        continue
+                    try:
+                        applied.append(proxy.reconfigure(changes))
+                    except (ControlError, OSError):
+                        self.policy_errors += 1
+        except NeptuneError:
+            self.policy_errors += 1
+        finally:
+            self.policy_applied.append(
+                {"action": action.as_dict(), "applied": applied}
+            )
+            if self.policy_log_path is not None:
+                with open(self.policy_log_path, "a", encoding="utf-8") as fh:
+                    fh.write(action.as_line() + "\n")
+
+    def policy_status(self) -> Dict[str, Any]:
+        """JSON-friendly policy summary (``repro policy status``)."""
+        if self.policy is None:
+            return {"enabled": False}
+        status = dict(self.policy.status())
+        status["enabled"] = True
+        status["log"] = self.policy_log_path
+        status["errors"] = self.policy_errors
+        status["applied"] = self.policy_applied
+        return status
+
+    def migrate_operator(
+        self, operator: str, to_worker: int, connect_timeout: float = 60.0
+    ) -> Dict[str, Any]:
+        """Move every instance of ``operator`` to ``to_worker`` via
+        verified re-plan + kill/restart splicing, preserving
+        exactly-once delivery.
+
+        Safety interlocks, in order:
+
+        1. The new plan (current assignment with ``operator`` pinned to
+           ``to_worker``) is re-verified by the NEPG130–139 checker —
+           including NEPG138 exactly-once coverage — *before* any
+           process is touched; a failing plan raises and the cluster is
+           untouched.
+        2. The restart set is ``to_worker`` plus every worker hosting
+           ``operator`` or any operator transitively upstream of it.
+           Restarted shards replay deterministically from their
+           sources; surviving receivers' link-id-keyed
+           :class:`~repro.net.framing.SequenceTracker` state suppresses
+           the replayed prefix, so delivery stays exactly-once (the
+           same mechanism as :meth:`restart_worker`; DESIGN.md §12).
+        3. No worker in the restart set may host a sink: a sink's
+           external effects have already escaped, so replaying into a
+           *fresh* tracker would emit duplicates.  Such a migration is
+           refused.
+
+        Returns a JSON-able report of what moved and what restarted.
+        """
+        if operator not in self._graph.operators:
+            raise NeptuneError(f"unknown operator {operator!r}")
+        if not 0 <= to_worker < self.n_workers:
+            raise NeptuneError(
+                f"target worker {to_worker} out of range 0..{self.n_workers - 1}"
+            )
+        new_assignment = dict(self.plan.assignment)
+        moved_from = sorted(
+            {w for (op, _idx), w in new_assignment.items() if op == operator}
+        )
+        for key in list(new_assignment):
+            if key[0] == operator:
+                new_assignment[key] = to_worker
+        new_plan = DeploymentPlan(self.n_workers, new_assignment)
+        # Transitive upstream closure of the migrated operator: those
+        # shards must replay from their sources for the migrated
+        # instances to regenerate their full input.
+        upstream_of: Dict[str, set] = {}
+        for link in self._graph.links:
+            upstream_of.setdefault(link.to_op, set()).add(link.from_op)
+        replay_ops = {operator}
+        frontier = [operator]
+        while frontier:
+            for up in upstream_of.get(frontier.pop(), ()):
+                if up not in replay_ops:
+                    replay_ops.add(up)
+                    frontier.append(up)
+        restart = {to_worker}
+        for (op, _idx), worker in self.plan.assignment.items():
+            if op in replay_ops:
+                restart.add(worker)
+        sinks = {
+            name
+            for name in self._graph.operators
+            if name not in {link.from_op for link in self._graph.links}
+        }
+        for (op, _idx), worker in self.plan.assignment.items():
+            if op in sinks and worker in restart and op not in replay_ops:
+                raise NeptuneError(
+                    f"cannot migrate {operator!r}: worker {worker} is in the "
+                    f"restart set but hosts sink {op!r} whose effects have "
+                    "already escaped (replay into a fresh tracker would "
+                    "duplicate them)"
+                )
+        if sinks & replay_ops:
+            raise NeptuneError(
+                f"cannot migrate {operator!r}: the replay closure contains "
+                f"sink(s) {sorted(sinks & replay_ops)!r} — sink effects are "
+                "external and cannot be replayed exactly-once"
+            )
+        plan_raw = {
+            "n_workers": new_plan.n_workers,
+            "assignment": [
+                [op, idx, worker]
+                for (op, idx), worker in sorted(new_plan.assignment.items())
+            ],
+        }
+        new_specs = [replace(h.spec, plan=plan_raw) for h in self.handles]
+        from repro.analysis.plancheck import verify_plan
+        from repro.util.errors import PlanVerificationError
+
+        report = verify_plan(self._graph, new_plan, specs=new_specs)
+        if report.errors():
+            raise PlanVerificationError(report)
+        # Commit: every future (re)spawn — including unrelated crash
+        # restarts — uses the converged plan.
+        self.plan = new_plan
+        for handle, spec in zip(self.handles, new_specs):
+            handle.spec = spec
+        ordered = sorted(restart)
+        # Kill the whole restart set first so no mixed-plan window
+        # exists in which an old-plan sender routes to a new-plan host.
+        for worker_id in ordered:
+            if self.handles[worker_id].alive:
+                self.kill_worker(worker_id)
+        for worker_id in ordered:
+            self.restart_worker(worker_id, connect_timeout=connect_timeout)
+        return {
+            "kind": "migrate",
+            "operator": operator,
+            "from": moved_from,
+            "to": to_worker,
+            "restarted": ordered,
+        }
 
     def await_completion(self, timeout: float = 60.0) -> bool:
         """Coordinated global drain after natural source completion."""
@@ -447,6 +695,10 @@ class ClusterCoordinator:
             "fabric": self.fabric,
             "observe": self.collector is not None,
             "flight_dir": self.flight_dir,
+            "policy": {
+                "enabled": self.policy is not None,
+                "log": self.policy_log_path,
+            },
             "workers": [
                 {
                     "worker_id": h.worker_id,

@@ -83,6 +83,12 @@ class WorkerSpec:
     engine config), ``flight_path`` / ``flight_every`` (black-box
     flight recorder), ``scan_interval``.  Absent → the worker runs
     unobserved, exactly as before this field existed.
+
+    ``incarnation`` counts process (re)spawns of this shard: 0 for the
+    first launch, then the coordinator's restart count.  The worker
+    stamps it on every telemetry delta so the collector can fence
+    deltas from a dead incarnation (see
+    :meth:`~repro.observe.collector.ClusterCollector.reset_worker`).
     """
 
     worker_id: int
@@ -91,6 +97,7 @@ class WorkerSpec:
     endpoints: Dict[int, Tuple[str, int]]
     control_port: int
     observe: Optional[Dict[str, Any]] = None
+    incarnation: int = 0
 
     def to_json(self) -> str:
         raw: Dict[str, Any] = {
@@ -99,6 +106,7 @@ class WorkerSpec:
             "plan": self.plan,
             "endpoints": {str(w): list(ep) for w, ep in self.endpoints.items()},
             "control_port": self.control_port,
+            "incarnation": self.incarnation,
         }
         if self.observe is not None:
             raw["observe"] = self.observe
@@ -118,6 +126,7 @@ class WorkerSpec:
                 },
                 control_port=int(raw["control_port"]),
                 observe=raw.get("observe"),
+                incarnation=int(raw.get("incarnation", 0)),
             )
         except (KeyError, TypeError, ValueError, IndexError) as exc:
             raise NeptuneError(f"bad worker spec: {exc}") from exc

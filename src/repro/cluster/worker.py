@@ -67,7 +67,11 @@ def _build_observability(
             interval=float(cfg.get("scan_interval", 0.25)),
         )
     worker.delta_source = DeltaSource(
-        observer, spec.worker_id, worker=worker, health=health
+        observer,
+        spec.worker_id,
+        worker=worker,
+        health=health,
+        incarnation=spec.incarnation,
     )
     recorder = None
     flight_path = cfg.get("flight_path")

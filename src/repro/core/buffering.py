@@ -87,6 +87,9 @@ class StreamBuffer:
         self._count = 0
         self._first_append_at: float | None = None
         self._lock = threading.Lock()
+        # Back-reference set by FlushTimerService.register so a live
+        # retune that shrinks max_delay can wake the scan thread.
+        self._service: "FlushTimerService | None" = None
         # Serializes (take, sink) pairs across the worker thread
         # (capacity flush) and the timer thread, so batches reach the
         # transport in take-order — required for per-link in-order
@@ -101,6 +104,8 @@ class StreamBuffer:
         # Double-buffer pool statistics (observe bridge scrapes these).
         self.buffers_recycled = 0
         self.spare_allocs = 0
+        # Live-reconfiguration count (policy engine retunes).
+        self.retunes = 0
 
     def append(
         self, payload: bytes | bytearray | memoryview, note: Any = None
@@ -172,6 +177,44 @@ class StreamBuffer:
             )
         return body is not None
 
+    def retune(
+        self, *, max_delay: float | None = None, capacity: int | None = None
+    ) -> dict[str, tuple[float, float] | tuple[int, int]]:
+        """Live-adjust the flush bounds (policy reconfigure path).
+
+        Either bound may be changed while the buffer is in service; the
+        new values apply to data already accumulated.  A ``max_delay``
+        that *shrinks* pokes the owning :class:`FlushTimerService` so
+        the tighter deadline is honored immediately rather than after
+        the sleep computed against the old bound.  A smaller
+        ``capacity`` takes effect on the next append (the capacity
+        check runs on the appending thread).
+
+        Returns a dict of applied changes, ``field -> (old, new)``;
+        empty when every requested value matched the current one.
+        """
+        changed: dict[str, tuple[float, float] | tuple[int, int]] = {}
+        shrunk = False
+        with self._lock:
+            if max_delay is not None:
+                if max_delay <= 0:
+                    raise ValueError(f"max_delay must be positive: {max_delay}")
+                if float(max_delay) != self.max_delay:
+                    changed["max_delay"] = (self.max_delay, float(max_delay))
+                    shrunk = float(max_delay) < self.max_delay
+                    self.max_delay = float(max_delay)
+            if capacity is not None:
+                if capacity <= 0:
+                    raise ValueError(f"capacity must be positive: {capacity}")
+                if int(capacity) != self.capacity:
+                    changed["capacity"] = (self.capacity, int(capacity))
+                    self.capacity = int(capacity)
+        if changed:
+            self.retunes += 1
+        if shrunk and self._service is not None:
+            self._service.poke()
+        return changed
+
     def next_deadline(self) -> float | None:
         """When the timer service must revisit this buffer (None = idle)."""
         with self._lock:
@@ -239,6 +282,43 @@ class StreamBuffer:
             return self._count
 
 
+def retune_matching(
+    buffers: "list[StreamBuffer]",
+    operator: str,
+    *,
+    where: str = "into",
+    max_delay: float | None = None,
+    capacity: int | None = None,
+) -> list[dict[str, Any]]:
+    """Retune every buffer on the legs into/out of ``operator``.
+
+    Buffer names follow ``[w{id}:]{from}[{s}]->{to}[{r}]/{stream}``;
+    ``where="into"`` matches legs whose *destination* is ``operator``
+    (the usual healing direction: the batches a struggling operator
+    receives), ``where="from"`` matches legs it sends on.  Returns one
+    entry per buffer actually changed — the policy engine's applied
+    report.
+    """
+    if where not in ("into", "from"):
+        raise ValueError(f"where must be 'into' or 'from': {where!r}")
+    out: list[dict[str, Any]] = []
+    for buf in buffers:
+        name = buf.name
+        if where == "into":
+            matched = f"->{operator}[" in name
+        else:
+            head = name.split("->", 1)[0]
+            matched = head.split(":", 1)[-1].startswith(f"{operator}[")
+        if not matched:
+            continue
+        applied = buf.retune(max_delay=max_delay, capacity=capacity)
+        if applied:
+            entry: dict[str, Any] = {"buffer": name}
+            entry.update({k: list(v) for k, v in applied.items()})
+            out.append(entry)
+    return out
+
+
 class FlushTimerService:
     """IO-tier thread guaranteeing buffer latency bounds.
 
@@ -252,6 +332,12 @@ class FlushTimerService:
     under backpressure one slow sink would otherwise make a
     scan-global timestamp stale for every later buffer — silently
     exceeding their ``max_delay`` bound and mis-sizing the next sleep.
+
+    The sleep is interruptible: the delay is computed from the nearest
+    deadline *at scan time*, so a deadline that shrinks mid-sleep (a
+    live :meth:`StreamBuffer.retune`, or a config reload) would
+    otherwise be missed by up to the stale sleep.  :meth:`poke` wakes
+    the scan thread immediately; ``register`` and ``retune`` call it.
     """
 
     def __init__(self, clock: Clock = SYSTEM_CLOCK, max_poll: float = 0.002) -> None:
@@ -261,11 +347,16 @@ class FlushTimerService:
         self._lock = threading.Lock()
         self._running = False
         self._thread: threading.Thread | None = None
+        self._wake = threading.Event()
+        # Observability: how often the sleep was cut short by a poke.
+        self.pokes = 0
 
     def register(self, buffer: StreamBuffer) -> None:
         """Track a buffer for timer-driven flushes."""
         with self._lock:
             self._buffers.append(buffer)
+            buffer._service = self
+        self.poke()
 
     def unregister(self, buffer: StreamBuffer) -> None:
         """Stop tracking a buffer (no-op when unknown)."""
@@ -274,6 +365,19 @@ class FlushTimerService:
                 self._buffers.remove(buffer)
             except ValueError:
                 pass
+            if buffer._service is self:
+                buffer._service = None
+
+    def poke(self) -> None:
+        """Interrupt the current sleep so the next scan runs now.
+
+        Called when a deadline may have moved *earlier* than the sleep
+        in progress assumed — buffer registration and live retunes that
+        shrink ``max_delay``.  Cheap and thread-safe; spurious pokes
+        only cost one extra scan.
+        """
+        self.pokes += 1
+        self._wake.set()
 
     def start(self) -> None:
         """Start background threads/services. Idempotent."""
@@ -290,6 +394,7 @@ class FlushTimerService:
         """Stop and release resources. Idempotent."""
         with self._lock:
             self._running = False
+        self._wake.set()  # cut any in-progress sleep short
         if self._thread is not None:
             self._thread.join(timeout)
             self._thread = None
@@ -323,11 +428,16 @@ class FlushTimerService:
         return min(max(remaining, 0.0002), self._max_poll)
 
     def _loop(self) -> None:
-        import time as _time
-
+        # Real-time paced (see Resource._timer_loop), but the wait is an
+        # Event so poke() can cut a sleep short when a deadline shrinks.
         while True:
             with self._lock:
                 if not self._running:
                     return
             delay = self.scan_once()
-            _time.sleep(delay)  # real-time paced; see Resource._timer_loop
+            if self._wake.wait(delay):
+                # Clear under the lock: a poke landing between wait()
+                # and clear() is swallowed, but the scan_once() that
+                # follows re-reads every deadline, so no wake is lost.
+                with self._lock:
+                    self._wake.clear()

@@ -138,6 +138,13 @@ class ControlServer:
                 "ok": True,
                 "path": None if recorder is None else recorder.dump("request"),
             }
+        if cmd == "reconfigure":
+            # Live elasticity action (policy engine): retune buffer
+            # bounds / resize the scheduler pool without a restart.
+            return {
+                "ok": True,
+                "result": worker.reconfigure(dict(request.get("changes") or {})),
+            }
         if cmd == "failures":
             return {
                 "ok": True,
@@ -230,6 +237,12 @@ class RemoteWorker:
     def collect_info(self) -> dict | None:
         """Cheap DeltaSource status (last-collection age, counters)."""
         return self._call({"cmd": "collect_info"})["info"]
+
+    def reconfigure(self, changes: dict) -> dict:
+        """Apply a live reconfiguration on the worker (see
+        :meth:`~repro.core.distributed.DistributedWorker.reconfigure`);
+        returns the worker's applied-changes report."""
+        return self._call({"cmd": "reconfigure", "changes": changes})["result"]
 
     def flight_dump(self) -> str | None:
         """Request an immediate flight-recorder dump; returns its path

@@ -30,7 +30,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.compression import CompressionPolicy
-from repro.core.buffering import FlushTimerService, StreamBuffer
+from repro.core.buffering import FlushTimerService, StreamBuffer, retune_matching
 from repro.core.graph import StreamProcessingGraph
 from repro.core.job import JobState
 from repro.core.runtime import (
@@ -507,6 +507,41 @@ class DistributedWorker:
     def metrics(self) -> dict:
         """Aggregated per-operator counters."""
         return self.job.metrics.snapshot()
+
+    def reconfigure(self, changes: dict) -> dict:
+        """Apply a live reconfiguration to this shard (control-plane
+        ``reconfigure`` command; see the policy engine's act path).
+
+        ``changes`` mirrors :meth:`NeptuneRuntime.reconfigure`:
+        ``retune`` adjusts the StreamBuffers on the legs into/out of an
+        operator this worker sends on (a shrinking deadline pokes the
+        flush-timer service so the tighter bound applies immediately);
+        ``scale`` resizes this worker's Granules thread pool.  Returns
+        a JSON-able report of what was applied — an empty ``applied``
+        list when this shard owns none of the named operator's legs.
+        """
+        report: dict = {"worker": self.worker_id, "applied": []}
+        retune = changes.get("retune")
+        if retune:
+            md = retune.get("max_delay")
+            cap = retune.get("capacity")
+            applied = retune_matching(
+                self.job.buffers,
+                str(retune.get("operator", "")),
+                where=str(retune.get("where", "into")),
+                max_delay=None if md is None else float(md),
+                capacity=None if cap is None else int(cap),
+            )
+            for entry in applied:
+                report["applied"].append({"kind": "retune", **entry})
+        scale = changes.get("scale")
+        if scale and self._resource is not None:
+            old = self._resource.workers
+            delta = scale.get("workers_delta")
+            target = old + int(delta) if delta is not None else int(scale.get("workers", old))
+            new = self._resource.resize(max(1, target))
+            report["applied"].append({"kind": "scale", "from": old, "to": new})
+        return report
 
     def stop(self, timeout: float = 10.0) -> None:
         """Stop and release resources. Idempotent."""

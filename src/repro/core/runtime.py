@@ -762,13 +762,53 @@ class NeptuneRuntime:
         """Add worker threads to the live pool (submissions while running)."""
         res = self._resource
         assert res is not None
-        for i in range(res.workers, workers):
-            t = threading.Thread(
-                target=res._worker_loop, name=f"{res.name}-worker-{i}", daemon=True
+        res.resize(workers)
+
+    # -- live reconfiguration ----------------------------------------------
+    def reconfigure(self, changes: dict) -> dict:
+        """Apply a live reconfiguration (the policy engine's act path).
+
+        ``changes`` is a JSON-able dict with any of:
+
+        - ``retune``: ``{"operator": name, "max_delay": s, "capacity":
+          bytes, "where": "into"|"from"}`` — retune every
+          :class:`StreamBuffer` on the legs into (default) or out of
+          the named operator, across all hosted jobs.  A shrinking
+          deadline pokes the flush-timer service automatically.
+        - ``scale``: ``{"workers": n}`` or ``{"workers_delta": d}`` —
+          resize the Granules worker-thread pool to ``n`` (or by ``d``
+          relative to the current size, floored at 1 thread; up or
+          down, running tasks finish first).
+
+        Returns a JSON-able report of what was actually applied.
+        """
+        from repro.core.buffering import retune_matching
+
+        report: dict = {"applied": []}
+        retune = changes.get("retune")
+        if retune:
+            with self._lock:
+                jobs = list(self._jobs)
+            buffers = [buf for job in jobs for buf in job.buffers]
+            md = retune.get("max_delay")
+            cap = retune.get("capacity")
+            applied = retune_matching(
+                buffers,
+                str(retune.get("operator", "")),
+                where=str(retune.get("where", "into")),
+                max_delay=None if md is None else float(md),
+                capacity=None if cap is None else int(cap),
             )
-            t.start()
-            res._threads.append(t)
-        res.workers = workers
+            for entry in applied:
+                report["applied"].append({"kind": "retune", **entry})
+        scale = changes.get("scale")
+        if scale and self._resource is not None:
+            old = self._resource.workers
+            delta = scale.get("workers_delta")
+            target = old + int(delta) if delta is not None else int(scale.get("workers", old))
+            new = self._resource.resize(max(1, target))
+            report["applied"].append({"kind": "scale", "from": old, "to": new})
+        return report
 
     # -- link failures ------------------------------------------------------
     def notify_link_failure(self, exc: BaseException, link: str = "link") -> None:

@@ -84,6 +84,10 @@ class Resource:
         self._threads: list[threading.Thread] = []
         self._timer_thread: threading.Thread | None = None
         self._running = False
+        # Worker threads asked to retire at their next wakeup (live
+        # scale-down); monotonically named via _thread_seq.
+        self._retire = 0
+        self._thread_seq = 0
         self.task_failures: dict[str, BaseException] = {}
 
     # -- task management ----------------------------------------------------
@@ -131,12 +135,8 @@ class Resource:
             if self._running:
                 return
             self._running = True
-        for i in range(self.workers):
-            t = threading.Thread(
-                target=self._worker_loop, name=f"{self.name}-worker-{i}", daemon=True
-            )
-            t.start()
-            self._threads.append(t)
+        for _ in range(self.workers):
+            self._spawn_worker()
         self._timer_thread = threading.Thread(
             target=self._timer_loop, name=f"{self.name}-timer", daemon=True
         )
@@ -166,6 +166,46 @@ class Resource:
     def __exit__(self, *exc) -> None:
         self.stop()
 
+    def _spawn_worker(self) -> None:
+        seq = self._thread_seq
+        self._thread_seq += 1
+        t = threading.Thread(
+            target=self._worker_loop, name=f"{self.name}-worker-{seq}", daemon=True
+        )
+        t.start()
+        self._threads.append(t)
+
+    def resize(self, workers: int) -> int:
+        """Live-resize the worker-thread pool (elastic parallelism).
+
+        Growing spawns threads immediately; shrinking marks that many
+        threads for retirement at their next wakeup — a thread running
+        a task finishes it first, so no execution is interrupted and
+        no queued work is dropped.  Before :meth:`start` this only
+        records the new size.  Returns the new pool size.
+        """
+        if workers <= 0:
+            raise ValueError(f"workers must be positive: {workers}")
+        grow = 0
+        with self._work_available:
+            delta = workers - self.workers
+            self.workers = workers
+            if not self._running:
+                return workers
+            if delta < 0:
+                self._retire += -delta
+                self._work_available.notify_all()
+            else:
+                # Growing cancels pending retirements first: the net
+                # effect is the requested size either way.
+                cancel = min(self._retire, delta)
+                self._retire -= cancel
+                grow = delta - cancel
+        for _ in range(grow):
+            self._spawn_worker()
+        self._threads = [t for t in self._threads if t.is_alive()]
+        return workers
+
     # -- dispatch -------------------------------------------------------------
     def _on_data(self, entry: _TaskEntry) -> None:
         self._maybe_enqueue(entry)
@@ -188,9 +228,12 @@ class Resource:
     def _worker_loop(self) -> None:
         while True:
             with self._work_available:
-                while self._running and not self._ready:
+                while self._running and not self._ready and not self._retire:
                     self._work_available.wait(0.1)
                 if not self._running:
+                    return
+                if self._retire:
+                    self._retire -= 1  # scale-down: this thread retires
                     return
                 entry = self._ready.popleft()
                 entry.state = _SchedState.RUNNING

@@ -19,9 +19,9 @@ exactly as the paper describes; in-process links block directly.
 from __future__ import annotations
 
 import threading
-import time
 from typing import Any, Callable
 
+from repro.util.clock import Clock, SYSTEM_CLOCK
 from repro.util.errors import NeptuneError
 
 
@@ -42,6 +42,11 @@ class WatermarkChannel:
         Byte level at which writers stop being admitted.
     low_watermark:
         Byte level the queue must drain to before writers resume.
+    clock:
+        Time source for gate-episode durations (``gated_seconds`` /
+        ``last_gate_seconds``).  Chaos and policy tests run on a
+        :class:`~repro.util.clock.ManualClock`; wall-clock reads here
+        would make sim-time gate attribution flake.
     """
 
     def __init__(
@@ -50,6 +55,7 @@ class WatermarkChannel:
         low_watermark: int | None = None,
         injector=None,
         site: str = "channel.put",
+        clock: Clock = SYSTEM_CLOCK,
     ) -> None:
         if high_watermark <= 0:
             raise ValueError(f"high_watermark must be positive: {high_watermark}")
@@ -65,6 +71,7 @@ class WatermarkChannel:
         # (delay faults stall the writer, modelling a slow IO thread).
         self._injector = injector
         self._site = site
+        self._clock = clock
         self._items: list[tuple[int, Any]] = []
         self._bytes = 0
         self._gated = False  # True between high trip and low drain
@@ -111,9 +118,9 @@ class WatermarkChannel:
         self._gated = gated
         if gated:
             self.gate_trips += 1
-            self._gated_since = time.monotonic()
+            self._gated_since = self._clock.now()
         else:
-            duration = time.monotonic() - self._gated_since
+            duration = self._clock.now() - self._gated_since
             self.last_gate_seconds = duration
             self.gated_seconds += duration
         return self._on_gate

@@ -29,6 +29,11 @@ visible without bespoke probes:
 - :mod:`repro.observe.doctor` — root-cause correlation: breach
   episodes ranked against backpressure cascades, injected faults, and
   transport stalls; the ``repro doctor`` CLI front-end.
+- :mod:`repro.observe.policy` — the elasticity policy engine: a
+  deterministic breach → reconfiguration decision table (retune the
+  buffer bound, scale the thread pool, migrate an operator) over the
+  health engine's transitions and the doctor's root cause, closing the
+  SLO loop without a restart.
 - :mod:`repro.observe.collector` — the cluster observability plane:
   worker-side :class:`DeltaSource` deltas over the control channel,
   coordinator-side :class:`ClusterCollector` merge (worker-labeled
@@ -73,6 +78,13 @@ from repro.observe.instruments import (
     TelemetryRegistry,
 )
 from repro.observe.observer import RuntimeObserver
+from repro.observe.policy import (
+    PolicyConfig,
+    PolicyEngine,
+    ReconfigAction,
+    action_to_changes,
+    apply_action,
+)
 from repro.observe.timeline import EventTimeline, RuntimeEvent
 from repro.observe.tracing import (
     STAGES,
@@ -107,8 +119,13 @@ __all__ = [
     "Histogram",
     "TelemetryRegistry",
     "EventTimeline",
+    "PolicyConfig",
+    "PolicyEngine",
+    "ReconfigAction",
     "RuntimeEvent",
     "RuntimeObserver",
+    "action_to_changes",
+    "apply_action",
     "STAGES",
     "SpanRecord",
     "TraceCollector",

@@ -89,11 +89,16 @@ class DeltaSource:
         worker_id: int,
         worker: Any = None,
         health: Optional[HealthEngine] = None,
+        incarnation: int = 0,
     ) -> None:
         self.observer = observer
         self.worker_id = int(worker_id)
         self.worker = worker
         self.health = health
+        #: Process (re)spawn count of this shard; stamped on every
+        #: delta so the coordinator can fence a dead incarnation's
+        #: in-flight telemetry after a restart.
+        self.incarnation = int(incarnation)
         self.collects = 0
         self.build_seconds = 0.0
         #: CPU seconds of the building thread (``time.thread_time``).
@@ -158,6 +163,7 @@ class DeltaSource:
             "schema": COLLECT_SCHEMA,
             "worker": self.worker_id,
             "seq": seq,
+            "incarnation": self.incarnation,
             "series": series,
             "spans": span_dicts,
             "events": [dict(e.as_dict()) for e in events],
@@ -173,6 +179,7 @@ class DeltaSource:
             return {
                 "worker": self.worker_id,
                 "seq": self._seq,
+                "incarnation": self.incarnation,
                 "collects": self.collects,
                 "build_seconds": self.build_seconds,
                 "build_cpu_seconds": self.build_cpu_seconds,
@@ -231,6 +238,12 @@ class ClusterCollector:
         self._max_span_keys = max_span_keys
         self._fetch: Dict[int, Callable[[], Optional[Mapping[str, Any]]]] = {}
         self._last_seq: Dict[int, int] = {}
+        # Expected incarnation per worker.  Absent → learn from the
+        # first delta seen (in-process harnesses never restart); set by
+        # reset_worker so a dead incarnation's in-flight delta cannot
+        # be absorbed under the fresh worker's label.
+        self._incarnation: Dict[int, int] = {}
+        self.fenced = 0
         self._last_at: Dict[int, float] = {}
         self._seen_spans: Set[_SpanKey] = set()
         self._monitors: Dict[Tuple[int, str], Dict[str, Any]] = {}
@@ -239,6 +252,12 @@ class ClusterCollector:
         self._lock = threading.Lock()
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
+        #: Optional hook called after each health scan with
+        #: ``(scan_index, transitions)`` — the policy engine's tap.  Runs
+        #: on the poll thread; exceptions are swallowed into
+        #: ``fetch_errors`` (observability must never kill the poll
+        #: loop, and neither may policy).
+        self.on_scan: Optional[Callable[[int, List[Tuple[str, str]]], None]] = None
 
     # -- wiring ------------------------------------------------------------
     def attach(
@@ -258,7 +277,7 @@ class ClusterCollector:
         with self._lock:
             self._fetch.pop(int(worker_id), None)
 
-    def reset_worker(self, worker_id: int) -> None:
+    def reset_worker(self, worker_id: int, incarnation: Optional[int] = None) -> None:
         """Forget a worker's delta sequence cursor.
 
         Call after restarting a worker process: the fresh process
@@ -266,9 +285,23 @@ class ClusterCollector:
         stale re-delivery and be dropped forever.  Span dedup (by span
         identity) still protects against the restart re-shipping hops
         the dead incarnation already shipped.
+
+        ``incarnation`` (the new process's spawn count) arms the fence:
+        a delta still in flight from the *old* incarnation — fetched
+        before the kill, absorbed after this reset — would otherwise
+        land under the new worker label with a high ``seq``, silently
+        burying the new incarnation's restarted sequence.  With the
+        fence armed, any delta whose incarnation differs from the
+        expected one is dropped (counted in ``fenced``).  Call this
+        *before* splicing in the fresh control proxy so no window
+        exists in which an old delta can slip through.
         """
         with self._lock:
             self._last_seq.pop(int(worker_id), None)
+            if incarnation is None:
+                self._incarnation.pop(int(worker_id), None)
+            else:
+                self._incarnation[int(worker_id)] = int(incarnation)
 
     # -- merging -----------------------------------------------------------
     def absorb(self, delta: Mapping[str, Any]) -> bool:
@@ -280,10 +313,23 @@ class ClusterCollector:
         payloads are *deltas* and would double-count if replayed
         (series would not — they are absorbed never-backwards — but
         the check makes the whole message idempotent, not just part).
+
+        A delta whose ``incarnation`` does not match the expected one
+        for that worker (armed by :meth:`reset_worker` after a
+        restart) is fenced: it was built by a process that no longer
+        exists, and absorbing it would poison the fresh incarnation's
+        sequence cursor.
         """
         worker = int(delta.get("worker", -1))
         seq = int(delta.get("seq", 0))
+        incarnation = int(delta.get("incarnation", 0))
         with self._lock:
+            expected = self._incarnation.get(worker)
+            if expected is None:
+                self._incarnation[worker] = incarnation
+            elif incarnation != expected:
+                self.fenced += 1
+                return False
             if seq <= self._last_seq.get(worker, 0):
                 self.stale += 1
                 return False
@@ -361,10 +407,18 @@ class ClusterCollector:
                 absorbed += 1
         if self.health is not None:
             try:
-                self.health.scan_once()
+                transitions = self.health.scan_once()
             except Exception:
                 with self._lock:
                     self.fetch_errors += 1
+            else:
+                hook = self.on_scan
+                if hook is not None:
+                    try:
+                        hook(self.health.scans, transitions)
+                    except Exception:
+                        with self._lock:
+                            self.fetch_errors += 1
         with self._lock:
             self.polls += 1
             self.poll_seconds += time.perf_counter() - t0
@@ -402,6 +456,7 @@ class ClusterCollector:
                 "polls": self.polls,
                 "absorbed": self.absorbed,
                 "stale": self.stale,
+                "fenced": self.fenced,
                 "fetch_errors": self.fetch_errors,
                 "poll_seconds": self.poll_seconds,
                 "fetch_seconds": self.fetch_seconds,

@@ -13,6 +13,7 @@
 from repro.workloads.operators import (
     KEYED_SCHEMA,
     RELAY_SCHEMA,
+    BatchOverheadSink,
     CollectingSink,
     CountingSource,
     ExclusiveServiceProcessor,
@@ -36,6 +37,7 @@ from repro.workloads.stdlib import (
 __all__ = [
     "KEYED_SCHEMA",
     "RELAY_SCHEMA",
+    "BatchOverheadSink",
     "CountingSource",
     "KeyedSource",
     "KeyedRelayProcessor",

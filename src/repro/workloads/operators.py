@@ -288,6 +288,56 @@ class CollectingSink(StreamProcessor):
         raise KeyError(stream)
 
 
+class BatchOverheadSink(StreamProcessor):
+    """Terminal stage paying a fixed cost per *batch*, not per packet.
+
+    Models a sink whose expensive step is per-delivery (an fsync, an
+    HTTP round-trip, a transaction commit): ``overhead`` seconds on
+    every batch start, then each packet is free.  Under NEPTUNE's
+    flush bound (§III-B) a small ``max_delay`` produces many tiny
+    batches, so the per-batch cost dominates and the sink drowns —
+    while a live retune of the legs feeding it ("batch up": larger
+    capacity, longer deadline) amortizes the same cost over many
+    packets and the backlog drains.  This is the healable breach the
+    elasticity policy bench and the live self-healing test inject:
+    unlike :class:`SlowSink`'s per-packet stall, the stall here is
+    *caused by the batching regime* and reconfiguration genuinely
+    cures it.  ``path`` (optional) appends one line per packet, FileSink
+    style, so exactly-once survives audit across process boundaries.
+    """
+
+    def __init__(self, overhead: float = 0.01, path: str = "", field: str = "seq") -> None:
+        super().__init__()
+        self.overhead = float(overhead)
+        self.batches = 0
+        self.seen = 0
+        self.fields = [name.strip() for name in field.split(",")]
+        self._fh = open(path, "a", encoding="utf-8") if path else None
+        self._lock = threading.Lock()
+
+    def on_batch_start(self, size: int, ctx) -> None:
+        """Pay the per-delivery overhead before the batch's packets."""
+        with self._lock:
+            self.batches += 1
+        if self.overhead > 0:
+            time.sleep(self.overhead)
+
+    def process(self, packet: StreamPacket, ctx) -> None:
+        """Handle one stream packet (StreamProcessor contract)."""
+        line = None
+        if self._fh is not None:
+            line = ",".join(str(packet.get(name)) for name in self.fields) + "\n"
+        with self._lock:
+            self.seen += 1
+            if self._fh is not None and line is not None:
+                self._fh.write(line)
+                self._fh.flush()
+
+    def output_schema(self, stream: str) -> PacketSchema:
+        """Declare the schema of the named outgoing stream."""
+        raise KeyError(stream)
+
+
 class SlowSink(StreamProcessor):
     """Terminal stage that stalls after a warm-up — a backpressure seed.
 

@@ -72,6 +72,7 @@ def live_cluster(
     observe=None,
     slos=None,
     collect_interval: float = 0.25,
+    policy=None,
 ) -> Iterator[ClusterCoordinator]:
     """Launch a real-process cluster; terminate it no matter what.
 
@@ -79,8 +80,8 @@ def live_cluster(
     Worker stdout/stderr goes to per-worker files under ``log_dir``
     (a fresh temp dir by default) and is attached to the launch error
     when the cluster fails to come up.  ``observe``/``slos``/
-    ``collect_interval`` pass straight through to the coordinator
-    (cluster observability plane).
+    ``collect_interval``/``policy`` pass straight through to the
+    coordinator (cluster observability + elasticity plane).
     """
     if log_dir is None:
         log_dir = tempfile.mkdtemp(prefix="neptune-test-logs-")
@@ -93,6 +94,7 @@ def live_cluster(
         observe=observe,
         slos=slos,
         collect_interval=collect_interval,
+        policy=policy,
     )
     try:
         try:

@@ -111,3 +111,75 @@ class TestRunDuration:
         assert main(["run", str(path), "--duration", "0.5", "--drain-timeout", "30"]) == 0
         out = capsys.readouterr().out
         assert "drained" in out
+
+
+class TestPolicyCommand:
+    """`policy status|log`: file-read attach to a cluster's action log."""
+
+    @pytest.fixture
+    def policy_state(self, tmp_path):
+        log = tmp_path / "policy-actions.log"
+        lines = [
+            json.dumps(
+                {
+                    "scan": 7,
+                    "kind": "retune",
+                    "operator": "sink",
+                    "slo": "sink-backlog",
+                    "cause": "backpressure_cascade",
+                    "reason": "batch_up",
+                    "worker": None,
+                    "params": {"where": "into", "max_delay": 0.05},
+                },
+                sort_keys=True,
+                separators=(",", ":"),
+            ),
+            json.dumps(
+                {"scan": 31, "kind": "scale", "operator": "svc"},
+                sort_keys=True,
+                separators=(",", ":"),
+            ),
+        ]
+        log.write_text("\n".join(lines) + "\n")
+        state = tmp_path / "cluster.json"
+        state.write_text(
+            json.dumps(
+                {
+                    "workers": [],
+                    "policy": {"enabled": True, "log": str(log)},
+                }
+            )
+        )
+        return str(state), lines
+
+    def test_status_counts_actions_by_kind(self, policy_state, capsys):
+        state, _ = policy_state
+        assert main(["policy", "status", "--state", state]) == 0
+        out = capsys.readouterr().out
+        assert "policy: enabled" in out
+        assert "actions: 2" in out
+        assert "retune=1" in out and "scale=1" in out
+
+    def test_log_prints_canonical_lines_verbatim(self, policy_state, capsys):
+        state, lines = policy_state
+        assert main(["policy", "log", "--state", state]) == 0
+        assert capsys.readouterr().out.splitlines() == lines
+
+    def test_not_enabled_is_an_error(self, tmp_path, capsys):
+        state = tmp_path / "cluster.json"
+        state.write_text(json.dumps({"workers": []}))
+        assert main(["policy", "status", "--state", str(state)]) == 1
+        assert "not enabled" in capsys.readouterr().out
+
+    def test_missing_log_file_reports_zero_actions(self, tmp_path, capsys):
+        state = tmp_path / "cluster.json"
+        state.write_text(
+            json.dumps(
+                {
+                    "workers": [],
+                    "policy": {"enabled": True, "log": str(tmp_path / "gone.log")},
+                }
+            )
+        )
+        assert main(["policy", "status", "--state", str(state)]) == 0
+        assert "actions: 0" in capsys.readouterr().out

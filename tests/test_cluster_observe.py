@@ -188,6 +188,11 @@ def test_restart_and_replay_do_not_double_count_telemetry(tmp_path):
             lambda: _sink_packets(survivor) >= KILL_AT, timeout=90.0
         ), "sink never reached the kill threshold"
 
+        # Simulate an in-flight collect: a delta fetched from the doomed
+        # incarnation just before the kill, absorbed only after restart.
+        in_flight = coordinator.handles[0].proxy.collect()
+        assert in_flight["incarnation"] == 0
+
         # Pure SIGKILL (dump=False: no flight-dump request first), then
         # respawn with the identical spec.  restart_worker resets the
         # collector's seq cursor so the fresh incarnation's deltas are
@@ -195,6 +200,13 @@ def test_restart_and_replay_do_not_double_count_telemetry(tmp_path):
         coordinator.kill_worker(0, dump=False)
         coordinator.restart_worker(0)
         assert coordinator.handles[0].restarts == 1
+        assert coordinator.handles[0].spec.incarnation == 1
+
+        # The dead incarnation's delta must be fenced, not absorbed
+        # under the new worker label (it would bury the restarted seq).
+        fenced_before = coordinator.collector.fenced
+        assert coordinator.collector.absorb(in_flight) is False
+        assert coordinator.collector.fenced == fenced_before + 1
 
         assert wait_until(
             lambda: coordinator.handles[0]

@@ -91,6 +91,40 @@ class TestControlServerInProcess:
         finally:
             server.close()
 
+    def test_reconfigure_retunes_buffers_and_resizes_pool(self):
+        graph, store = relay_graph(300)
+        workers, servers, proxies = self._workers_with_control(graph)
+        try:
+            for w in workers:
+                w.start()
+            report = proxies[0].reconfigure(
+                {
+                    "retune": {
+                        "operator": "receiver",
+                        "max_delay": 0.05,
+                        "where": "into",
+                    },
+                    "scale": {"workers": 3},
+                }
+            )
+            assert report["worker"] == 0
+            kinds = [a["kind"] for a in report["applied"]]
+            assert "scale" in kinds
+            scale = next(a for a in report["applied"] if a["kind"] == "scale")
+            assert scale["to"] == 3
+            for a in report["applied"]:
+                if a["kind"] == "retune":
+                    assert "->receiver[" in a["buffer"]
+                    assert a["max_delay"][1] == 0.05
+            # A no-op reconfigure applies nothing.
+            assert proxies[1].reconfigure({})["applied"] == []
+            job = RemoteDistributedJob(proxies)
+            assert job.await_completion(timeout=90)
+        finally:
+            for s in servers:
+                s.close()
+        assert store == list(range(300))
+
     def test_unknown_command_rejected(self):
         graph, _ = relay_graph(10)
         plan = round_robin_plan(graph, 1)

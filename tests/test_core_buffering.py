@@ -289,6 +289,83 @@ class TestStaleClockScan:
         assert delay == pytest.approx(10.0 - 0.6)
 
 
+class TestDeadlineShrinkWakeup:
+    """Regression: the service computed its sleep from the nearest
+    deadline at scan time only, so a deadline that *shrinks* mid-sleep
+    (live retune / config reload) was missed by up to the stale sleep.
+    retune() now pokes the service, which wakes immediately."""
+
+    def test_retune_applies_and_counts(self):
+        buf = StreamBuffer(
+            capacity=100, sink=Sink(), max_delay=1.0, clock=ManualClock()
+        )
+        changed = buf.retune(max_delay=0.5, capacity=200)
+        assert changed == {"max_delay": (1.0, 0.5), "capacity": (100, 200)}
+        assert buf.max_delay == 0.5
+        assert buf.capacity == 200
+        assert buf.retunes == 1
+        assert buf.retune(max_delay=0.5) == {}  # no-op: values unchanged
+        assert buf.retunes == 1
+        with pytest.raises(ValueError):
+            buf.retune(max_delay=0)
+        with pytest.raises(ValueError):
+            buf.retune(capacity=-1)
+
+    def test_retune_shrink_pokes_registered_service(self):
+        svc = FlushTimerService(clock=ManualClock())
+        buf = StreamBuffer(
+            capacity=100, sink=Sink(), max_delay=1.0, clock=ManualClock()
+        )
+        svc.register(buf)
+        before = svc.pokes
+        buf.retune(max_delay=0.2)  # shrinks: must wake the scan thread
+        assert svc.pokes == before + 1
+        buf.retune(max_delay=0.5)  # grows: the old sleep is still safe
+        assert svc.pokes == before + 1
+
+    def test_shrunk_deadline_flushes_on_next_scan(self):
+        clk = ManualClock()
+        sink = Sink()
+        svc = FlushTimerService(clock=clk, max_poll=100.0)
+        buf = StreamBuffer(capacity=1 << 20, sink=sink, max_delay=50.0, clock=clk)
+        svc.register(buf)
+        buf.append(b"x")
+        assert svc.scan_once() == pytest.approx(50.0)  # sleep vs old bound
+        buf.retune(max_delay=0.5)
+        clk.advance(1.0)  # past the NEW deadline, far from the old one
+        svc.scan_once()
+        assert sink.flushes == [(b"x", 1)]
+
+    def test_retune_shrink_wakes_sleeping_service(self):
+        """Real-time: the service sleeps toward a 30s deadline; a live
+        retune to 10ms must flush promptly, not after the stale sleep."""
+        sink = Sink()
+        buf = StreamBuffer(capacity=1 << 20, sink=sink, max_delay=30.0)
+        svc = FlushTimerService(max_poll=30.0)
+        svc.register(buf)
+        svc.start()
+        try:
+            buf.append(b"parked")
+            time.sleep(0.05)  # let the service go to sleep
+            start = time.monotonic()
+            buf.retune(max_delay=0.01)  # already overdue → flush now
+            deadline = time.monotonic() + 5
+            while not sink.flushes and time.monotonic() < deadline:
+                time.sleep(0.002)
+            elapsed = time.monotonic() - start
+            assert sink.flushes == [(b"parked", 1)]
+            assert elapsed < 2.0, "shrunk deadline was missed by the old sleep"
+        finally:
+            svc.stop()
+
+    def test_stop_interrupts_long_sleep(self):
+        svc = FlushTimerService(max_poll=30.0)
+        svc.start()
+        start = time.monotonic()
+        svc.stop()
+        assert time.monotonic() - start < 5.0
+
+
 class TestSwapStress:
     def test_capacity_flush_racing_timer_thread_loses_nothing(self):
         """Worker-thread capacity flushes race the real timer thread

@@ -304,3 +304,51 @@ class TestResource:
     def test_worker_validation(self):
         with pytest.raises(ValueError):
             Resource("r", workers=0)
+
+
+class TestResize:
+    def _live_workers(self, res):
+        return sum(1 for t in res._threads if t.is_alive())
+
+    def test_resize_grows_pool_live(self):
+        q = QueueDataset("in")
+        task = CollectTask("c", q)
+        with Resource("r", workers=1) as res:
+            res.launch(task, DataDrivenStrategy())
+            assert res.resize(3) == 3
+            assert res.workers == 3
+            assert wait_for(lambda: self._live_workers(res) == 3)
+            for i in range(50):
+                q.put(i)
+            assert wait_for(lambda: len(task.seen) == 50)
+
+    def test_resize_shrinks_pool_without_dropping_work(self):
+        q = QueueDataset("in")
+        task = CollectTask("c", q)
+        with Resource("r", workers=4) as res:
+            res.launch(task, DataDrivenStrategy())
+            assert res.resize(1) == 1
+            # Retiring threads exit at their next wakeup.
+            assert wait_for(lambda: self._live_workers(res) == 1)
+            for i in range(50):
+                q.put(i)
+            assert wait_for(lambda: len(task.seen) == 50)
+        assert task.seen == list(range(50))
+
+    def test_resize_grow_cancels_pending_retirements(self):
+        with Resource("r", workers=4) as res:
+            res.resize(1)
+            res.resize(4)  # net zero: cancels retirements and/or respawns
+            assert res.workers == 4
+            assert wait_for(lambda: self._live_workers(res) == 4)
+
+    def test_resize_before_start_records_size(self):
+        res = Resource("r", workers=1)
+        assert res.resize(3) == 3
+        with res:
+            assert wait_for(lambda: self._live_workers(res) == 3)
+
+    def test_resize_validation(self):
+        with Resource("r", workers=1) as res:
+            with pytest.raises(ValueError):
+                res.resize(0)

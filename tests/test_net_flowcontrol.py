@@ -6,6 +6,7 @@ import time
 import pytest
 
 from repro.net import ChannelClosed, WatermarkChannel
+from repro.util import ManualClock
 
 
 class TestBasics:
@@ -175,3 +176,40 @@ class TestConcurrency:
         for p in range(n_producers):
             seq = [i for pid, i in received if pid == p]
             assert seq == list(range(per_producer))
+
+
+class TestInjectedClock:
+    """Regression: gate-episode durations read ``time.monotonic()``
+    directly, so sim-time tests (SimClock/ManualClock) saw wall-clock
+    noise in ``gated_seconds`` — the doctor's backpressure attribution
+    input.  Durations must follow the injected clock exactly."""
+
+    def test_gate_durations_follow_manual_clock(self):
+        clk = ManualClock(start=100.0)
+        ch = WatermarkChannel(high_watermark=10, low_watermark=1, clock=clk)
+        ch.put(10, "a")  # gate closes at t=100
+        assert ch.gated
+        clk.advance(2.5)
+        ch.get()  # drains to 0 <= low: gate opens at t=102.5
+        assert not ch.gated
+        assert ch.last_gate_seconds == pytest.approx(2.5)
+        assert ch.gated_seconds == pytest.approx(2.5)
+        ch.put(10, "b")
+        clk.advance(1.0)
+        ch.get()
+        assert ch.last_gate_seconds == pytest.approx(1.0)
+        assert ch.gated_seconds == pytest.approx(3.5)
+
+    def test_no_wall_clock_reads_in_gate_path(self):
+        """Source guard: flowcontrol must never import time for gate
+        accounting, and observe/ must stay free of time.time()."""
+        import pathlib
+
+        import repro.net.flowcontrol as fc
+        import repro.observe as obs
+
+        src = pathlib.Path(fc.__file__).read_text()
+        assert "time.monotonic()" not in src
+        assert "time.time()" not in src
+        for path in pathlib.Path(obs.__path__[0]).glob("*.py"):
+            assert "time.time()" not in path.read_text(), path.name

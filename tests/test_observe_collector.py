@@ -190,6 +190,52 @@ def test_collector_reset_worker_accepts_fresh_seq():
     assert collector.absorb(restarted2.collect()) is True
 
 
+def test_incarnation_fence_drops_old_incarnation_after_restart():
+    """Regression: a delta built by the *dead* incarnation — fetched
+    before the kill, absorbed after restart_worker's reset — landed
+    under the new worker label with a high seq, burying the fresh
+    incarnation's restarted sequence forever."""
+    obs = RuntimeObserver()
+    source = DeltaSource(obs, 3, incarnation=0)
+    collector = ClusterCollector()
+    for _ in range(56):
+        source.collect()
+    in_flight = source.collect()  # seq 57, built just before the kill
+    # Coordinator restarts worker 3 and arms the fence first.
+    collector.reset_worker(3, incarnation=1)
+    assert collector.absorb(in_flight) is False  # fenced, not absorbed
+    assert collector.fenced == 1
+    assert collector.stale == 0
+    # The new incarnation's restarted sequence is accepted from seq 1.
+    fresh = DeltaSource(RuntimeObserver(), 3, incarnation=1)
+    assert collector.absorb(fresh.collect()) is True
+    assert collector.absorb(fresh.collect()) is True
+
+
+def test_incarnation_learned_from_first_delta_fences_regressions():
+    """Without an explicit reset the collector learns the incarnation
+    from the first delta and fences anything from a different one."""
+    collector = ClusterCollector()
+    new = DeltaSource(RuntimeObserver(), 0, incarnation=2)
+    old = DeltaSource(RuntimeObserver(), 0, incarnation=1)
+    for _ in range(9):
+        old.collect()
+    assert collector.absorb(new.collect()) is True  # learn incarnation 2
+    assert collector.absorb(old.collect()) is False  # inc 1, seq 10: fenced
+    assert collector.fenced == 1
+
+
+def test_reset_without_incarnation_accepts_any_incarnation():
+    """Back-compat: reset_worker with no incarnation clears the fence
+    (in-process harnesses that never track restarts keep working)."""
+    collector = ClusterCollector()
+    a = DeltaSource(RuntimeObserver(), 0, incarnation=0)
+    assert collector.absorb(a.collect())
+    collector.reset_worker(0)
+    b = DeltaSource(RuntimeObserver(), 0, incarnation=5)
+    assert collector.absorb(b.collect()) is True
+
+
 def test_collector_events_keep_origin_timestamp_and_worker():
     obs = RuntimeObserver()
     event = obs.timeline.record("chaos", "kill_worker", target="w1")

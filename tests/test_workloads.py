@@ -158,3 +158,38 @@ class TestReferenceOperators:
             src.generate(ctx)
         assert len(ctx.emitted) == 3
         assert getattr(ctx, "finished", False)
+
+
+class TestBatchOverheadSink:
+    def test_pays_per_batch_not_per_packet(self, monkeypatch):
+        from repro.workloads import BatchOverheadSink
+
+        sleeps = []
+        sink = BatchOverheadSink(overhead=0.25)
+        monkeypatch.setattr(
+            "repro.workloads.operators.time.sleep", lambda s: sleeps.append(s)
+        )
+        pkt = RELAY_SCHEMA.new_packet(seq=0, emitted_at=0.0, payload=b"")
+        # Two batches of very different sizes cost the same overhead.
+        sink.on_batch_start(1, None)
+        sink.process(pkt, None)
+        sink.on_batch_start(500, None)
+        for _ in range(3):
+            sink.process(pkt, None)
+        assert sleeps == [0.25, 0.25]
+        assert sink.batches == 2
+        assert sink.seen == 4
+
+    def test_audit_file_records_selected_fields(self, tmp_path):
+        from repro.workloads import BatchOverheadSink
+
+        path = tmp_path / "audit.txt"
+        sink = BatchOverheadSink(overhead=0.0, path=str(path), field="seq,emitted_at")
+        for i in range(3):
+            pkt = RELAY_SCHEMA.new_packet(seq=i, emitted_at=float(i), payload=b"")
+            sink.process(pkt, None)
+        assert path.read_text().splitlines() == [
+            "0,0.0",
+            "1,1.0",
+            "2,2.0",
+        ]
