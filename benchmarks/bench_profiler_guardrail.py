@@ -1,0 +1,145 @@
+"""Guardrail: the sampling profiler must cost < 3% of a job.
+
+Runs the relay workload A/B in-process — a :class:`SamplingProfiler`
+*installed but dormant* (attached to the observer, ownership hook
+compiled into the execute path, never started) vs the same profiler
+sampling at its default rate — interleaved over several trials.
+
+Two verdicts, the same scheme as ``bench_collector_guardrail``:
+
+- **Duty cycle** (asserted at ``PROFILER_GUARDRAIL_PCT``, default 3%):
+  the sampler's own attributable compute (``sample_seconds``, the
+  per-sweep ``perf_counter`` cost of walking ``sys._current_frames``
+  and folding stacks) over the sampled run's wall time.  This is the
+  budget the duty-discipline throttle enforces at runtime
+  (``max_duty``), so the guardrail is checking the throttle's math
+  against reality.  Min-of-N across trials: duty is a property of the
+  code, its jitter belongs to the runner.
+- **A/B wall clock** (asserted at ``PROFILER_GUARDRAIL_AB_PCT``,
+  default 25%): min-of-N sampled vs dormant-installed wall time.  Its
+  noise floor sits far above the duty budget, so it only backstops
+  catastrophic regressions — per-execute ownership-hook cost, or GIL
+  pressure from the sampler leaking onto the data plane's hot path.
+
+Tunables via environment:
+
+- ``PROFILER_GUARDRAIL_PACKETS`` (default 60000)
+- ``PROFILER_GUARDRAIL_TRIALS``  (default 3)
+- ``PROFILER_GUARDRAIL_PCT``     (default 3.0)
+- ``PROFILER_GUARDRAIL_AB_PCT``  (default 25.0)
+- ``PROFILER_GUARDRAIL_HZ``      (default 50.0)
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+from repro.core import NeptuneConfig, NeptuneRuntime, StreamProcessingGraph
+from repro.observe import RuntimeObserver
+from repro.observe.profiler import SamplingProfiler
+from repro.workloads import CollectingSink, CountingSource, RelayProcessor
+
+PACKETS = int(os.environ.get("PROFILER_GUARDRAIL_PACKETS", "60000"))
+TRIALS = int(os.environ.get("PROFILER_GUARDRAIL_TRIALS", "3"))
+MAX_DUTY_PCT = float(os.environ.get("PROFILER_GUARDRAIL_PCT", "3.0"))
+MAX_AB_PCT = float(os.environ.get("PROFILER_GUARDRAIL_AB_PCT", "25.0"))
+HZ = float(os.environ.get("PROFILER_GUARDRAIL_HZ", "50.0"))
+
+
+def build_graph() -> StreamProcessingGraph:
+    g = StreamProcessingGraph(
+        "profiler-guardrail",
+        config=NeptuneConfig(buffer_capacity=4096, buffer_max_delay=0.005),
+    )
+    g.add_source("source", lambda: CountingSource(total=PACKETS, payload_size=32))
+    g.add_processor("relay", RelayProcessor)
+    g.add_processor("sink", CollectingSink)
+    g.link("source", "relay").link("relay", "sink")
+    return g
+
+
+def run_once(sampling: bool) -> tuple[float, float, int]:
+    """One relay run; returns (wall, sampler cost seconds, sweeps).
+
+    Both arms construct and attach the profiler, so the dormant arm
+    carries exactly what production carries when nobody is profiling:
+    the module-level ``_ACTIVE`` test on every execute.
+    """
+    obs = RuntimeObserver()
+    profiler = SamplingProfiler(hz=HZ)
+    obs.profiler = profiler
+    with NeptuneRuntime(observer=obs) as runtime:
+        if sampling:
+            profiler.start()
+        t0 = time.perf_counter()
+        handle = runtime.submit(build_graph())
+        if not handle.await_completion(timeout=300):
+            raise RuntimeError("guardrail run did not drain")
+        elapsed = time.perf_counter() - t0
+        if sampling:
+            profiler.stop()
+    count = handle.metrics().get("sink", {}).get("packets_in", 0)
+    if count != PACKETS:
+        raise RuntimeError(f"guardrail run lost packets: {count}/{PACKETS}")
+    if not sampling:
+        return elapsed, 0.0, 0
+    if profiler.samples == 0:
+        raise RuntimeError("profiler took no samples: run too short to compare")
+    if profiler.errors:
+        raise RuntimeError(f"profiler sweep errors: {profiler.errors}")
+    return elapsed, profiler.sample_seconds, profiler.samples
+
+
+def main() -> int:
+    # Warm both arms so import/JIT-warmup costs hit neither.
+    run_once(False)
+    run_once(True)
+
+    dormant: list[float] = []
+    sampled: list[float] = []
+    duties: list[float] = []
+    total_sweeps = 0
+    for trial in range(TRIALS):
+        # Interleave so slow machine drift penalizes both arms equally.
+        base_wall, _, _ = run_once(False)
+        obs_wall, cost_secs, sweeps = run_once(True)
+        dormant.append(base_wall)
+        sampled.append(obs_wall)
+        duty = cost_secs / obs_wall
+        duties.append(duty)
+        total_sweeps += sweeps
+        print(
+            f"trial {trial + 1}/{TRIALS}: dormant={base_wall:.3f}s "
+            f"sampling={obs_wall:.3f}s sweeps={sweeps} "
+            f"duty={duty * 100:.2f}%",
+            flush=True,
+        )
+
+    best_base = min(dormant)
+    best_obs = min(sampled)
+    ab_pct = (best_obs - best_base) / best_base * 100.0
+    best_duty = min(duties)
+    print(
+        f"min-of-{TRIALS}: dormant={best_base:.3f}s sampling={best_obs:.3f}s "
+        f"A/B={ab_pct:+.2f}% (backstop {MAX_AB_PCT:.0f}%) "
+        f"duty cycle={best_duty * 100:.2f}% (budget {MAX_DUTY_PCT:.1f}%, "
+        f"worst {max(duties) * 100:.2f}%) over {total_sweeps} sweeps"
+    )
+    if best_duty * 100.0 > MAX_DUTY_PCT:
+        print("FAIL: profiler sampling duty cycle exceeds budget", file=sys.stderr)
+        return 1
+    if ab_pct > MAX_AB_PCT:
+        print(
+            "FAIL: sampled wall time collapsed — profiling work is "
+            "leaking onto the data plane",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK: profiler overhead within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

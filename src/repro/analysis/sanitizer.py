@@ -373,7 +373,7 @@ class LockOrderSanitizer:
             self._toggle_thread = threading.Thread(
                 target=self._toggle_loop,
                 args=(self._toggle_stop,),
-                name="lock-sanitizer-toggle",
+                name="neptune-lock-sanitizer-toggle",
                 daemon=True,
             )
             self._toggle_thread.start()

@@ -76,7 +76,7 @@ class RecoveryCoordinator:
             raise JobStateError("coordinator already started")
         self.handle = self.runtime.submit(self.graph)
         self._ckpt_thread = threading.Thread(
-            target=self._checkpoint_loop, name="recovery-checkpoint", daemon=True
+            target=self._checkpoint_loop, name="neptune-recovery-checkpoint", daemon=True
         )
         self._ckpt_thread.start()
         return self.handle

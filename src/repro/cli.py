@@ -325,6 +325,8 @@ def _render_top(collector, entries, title: str, frame: int) -> str:
     per_out: dict = {}
     gates = set()
     stage_hists: dict = {}
+    prof_cpu: dict = {}
+    prof_off: dict = {}
     for s in samples:
         labels = dict(s.labels)
         worker = labels.get("worker")
@@ -336,6 +338,18 @@ def _render_top(collector, entries, title: str, frame: int) -> str:
             gates.add(labels.get("operator", "?"))
         elif s.name == "neptune_trace_stage_seconds" and s.histogram is not None:
             stage_hists.setdefault(labels.get("stage", "?"), []).append(s.histogram)
+        elif (
+            s.name == "neptune_profile_cpu_seconds_total"
+            and labels.get("kind") == "operator"
+        ):
+            op = labels.get("operator", "?")
+            prof_cpu[op] = prof_cpu.get(op, 0.0) + s.value
+        elif (
+            s.name == "neptune_profile_off_cpu_seconds_total"
+            and labels.get("kind") == "operator"
+        ):
+            op = labels.get("operator", "?")
+            prof_off[op] = prof_off.get(op, 0.0) + s.value
     stats = collector.status()
     lines = [
         f"=== repro top — {title} frame {frame} "
@@ -361,6 +375,13 @@ def _render_top(collector, entries, title: str, frame: int) -> str:
         count = sum(h.count for h in hists)
         p99_s = f"<= {p99 * 1e3:.3g}ms" if p99 is not None else "n/a"
         lines.append(f"  stage {stage:12s} p99 {p99_s:>14s}  n={count}")
+    total_cpu = sum(prof_cpu.values())
+    for op in sorted(prof_cpu, key=lambda o: -prof_cpu[o]):
+        share = 100.0 * prof_cpu[op] / total_cpu if total_cpu > 0 else 0.0
+        lines.append(
+            f"  cpu {op:14s} {share:5.1f}%  on={prof_cpu[op]:.2f}s "
+            f"off={prof_off.get(op, 0.0):.2f}s"
+        )
     lines.append(
         "  gates open: " + (", ".join(sorted(gates)) if gates else "none")
     )
@@ -636,6 +657,191 @@ def _print_doctor(report: dict, as_json: bool) -> None:
         print(render_report(report))
 
 
+def _load_profile_dump(path: str) -> dict:
+    """Resolve ``profile --from-dump``: a profile snapshot, one flight
+    dump, or a directory of flight dumps (profiles merged)."""
+    import os
+
+    from repro.observe.flightrec import (
+        FLIGHT_SCHEMA,
+        load_flight_dump,
+        merge_flight_dumps,
+    )
+    from repro.observe.profiler import PROFILE_SCHEMA, merge_profile_snapshots
+
+    if os.path.isdir(path):
+        dumps = []
+        for name in sorted(os.listdir(path)):
+            if not name.endswith(".json"):
+                continue
+            try:
+                dump = load_flight_dump(os.path.join(path, name))
+            except (OSError, ValueError):
+                continue
+            if dump.get("schema") == FLIGHT_SCHEMA:
+                dumps.append(dump)
+        profiles = merge_flight_dumps(dumps).get("profiles") or {}
+        if not profiles:
+            raise SystemExit(
+                f"repro.cli profile: error: no profile sections under {path!r}"
+            )
+        return merge_profile_snapshots(profiles)
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict):
+        raise SystemExit(f"repro.cli profile: error: {path!r} is not a JSON object")
+    if data.get("schema") == PROFILE_SCHEMA:
+        return data
+    if data.get("schema") == FLIGHT_SCHEMA:
+        profiles = merge_flight_dumps([data]).get("profiles") or {}
+        if not profiles:
+            raise SystemExit(
+                f"repro.cli profile: error: flight dump {path!r} carries no "
+                "profile section"
+            )
+        return merge_profile_snapshots(profiles)
+    raise SystemExit(
+        f"repro.cli profile: error: {path!r} is neither a profile snapshot "
+        "nor a flight dump"
+    )
+
+
+def _print_profile_summary(snap: dict, top: int) -> None:
+    operators = snap.get("operators") or {}
+    op_total = sum(
+        float(i.get("cpu_seconds", 0.0))
+        for i in operators.values()
+        if i.get("kind") == "operator"
+    )
+    print(
+        f"profile: state={snap.get('state')} cpu_mode={snap.get('cpu_mode')} "
+        f"sweeps={snap.get('samples')} operators={len(operators)}"
+    )
+    ranked = sorted(
+        operators.items(),
+        key=lambda kv: (-float(kv[1].get("cpu_seconds", 0.0)), kv[0]),
+    )
+    for label, info in ranked[: max(1, top)]:
+        cpu = float(info.get("cpu_seconds", 0.0))
+        off = float(info.get("off_cpu_seconds", 0.0))
+        kind = str(info.get("kind", "?"))
+        share = (
+            f"{100.0 * cpu / op_total:5.1f}%"
+            if kind == "operator" and op_total > 0
+            else "     -"
+        )
+        frames = info.get("top_frames") or {}
+        hottest = max(frames.items(), key=lambda kv: kv[1])[0] if frames else "-"
+        print(
+            f"  {label:22s} {kind:8s} cpu={share} on={cpu:8.2f}s "
+            f"off={off:8.2f}s top={hottest}"
+        )
+
+
+def _write_profile_snap(snap: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(snap, fh, indent=2, sort_keys=True)
+    print(f"wrote {path}", file=sys.stderr)
+
+
+def _write_profile_dump(snap: dict, path: str, fmt: str, name: str) -> None:
+    from repro.observe.profiler import collapsed, speedscope
+
+    operators = snap.get("operators") or {}
+    if fmt == "collapsed":
+        text = collapsed(operators)
+    else:
+        text = json.dumps(speedscope(operators, name=name), indent=2, sort_keys=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    print(f"wrote {path}", file=sys.stderr)
+
+
+def _profile_cluster(args: argparse.Namespace, graph) -> int:
+    """``profile --cluster``: sample every worker, merge over control."""
+    from repro.cluster import ClusterCoordinator
+    from repro.observe.profiler import merge_profile_snapshots
+
+    coordinator = ClusterCoordinator(
+        graph,
+        n_workers=max(2, args.workers),
+        observe={"sample_every": 1, "profile": {"hz": args.hz}},
+    )
+    profiles: dict = {}
+
+    def grab() -> None:
+        # Runs after the cluster quiesces but before the workers are
+        # stopped (stopping severs the control sockets).
+        for handle in coordinator.handles:
+            proxy = getattr(handle, "proxy", None)
+            if proxy is None:
+                continue
+            try:
+                snap = proxy.profile()
+            except Exception:
+                continue
+            if snap:
+                profiles[str(handle.worker_id)] = snap
+
+    try:
+        job = coordinator.launch()
+        job.pre_stop_hooks.append(grab)
+        ok = coordinator.await_completion(timeout=args.drain_timeout)
+    finally:
+        coordinator.terminate()
+    if not profiles:
+        print("repro.cli profile: no worker returned a profile", file=sys.stderr)
+        return 1
+    snap = merge_profile_snapshots(profiles)
+    if args.snap:
+        _write_profile_snap(snap, args.snap)
+    if args.dump:
+        _write_profile_dump(snap, args.dump, args.format, graph.name)
+    _print_profile_summary(snap, args.top)
+    return 0 if ok else 1
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """`profile` subcommand: run a graph under the sampling profiler.
+
+    Prints the per-operator CPU attribution (on/off-CPU split where
+    ``/proc`` allows) and optionally writes collapsed-stack or
+    speedscope-JSON dumps for flamegraph tooling.  ``--cluster``
+    profiles every worker process and merges the snapshots over the
+    control plane; ``--from-dump`` renders a profile recovered from
+    flight-recorder dumps post-mortem.
+    """
+    if args.from_dump:
+        snap = _load_profile_dump(args.from_dump)
+        if args.dump:
+            _write_profile_dump(snap, args.dump, args.format, "from-dump")
+        _print_profile_summary(snap, args.top)
+        return 0
+
+    from repro.core import NeptuneRuntime
+    from repro.observe import RuntimeObserver
+    from repro.observe.profiler import SamplingProfiler
+
+    graph = _observed_graph(args)
+    if args.cluster:
+        return _profile_cluster(args, graph)
+    obs = RuntimeObserver()
+    profiler = SamplingProfiler(hz=args.hz)
+    obs.profiler = profiler
+    with NeptuneRuntime(observer=obs) as runtime:
+        profiler.start()
+        handle = runtime.submit(graph)
+        ok = handle.await_completion(timeout=args.drain_timeout)
+        profiler.stop()
+    snap = profiler.snapshot()
+    if args.snap:
+        _write_profile_snap(snap, args.snap)
+    if args.dump:
+        _write_profile_dump(snap, args.dump, args.format, graph.name)
+    _print_profile_summary(snap, args.top)
+    return 0 if ok else 1
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     """`experiment` subcommand: regenerate a paper artefact."""
     from repro.sim import experiments as exp
@@ -890,8 +1096,18 @@ def cmd_cluster_status(args: argparse.Namespace) -> int:
             age = collect_info.get("last_collect_age")
             age_s = f"{age:.2f}s" if isinstance(age, float) else "never"
             collect_s = f" collect_age={age_s} seq={collect_info.get('seq')}"
-        else:
-            collect_s = ""
+            prof = collect_info.get("profiler")
+            if prof:
+                wage = prof.get("window_age_seconds")
+                wage_s = (
+                    f"{wage:.2f}s"
+                    if isinstance(wage, (int, float)) and wage >= 0
+                    else "never"
+                )
+                collect_s += (
+                    f" sampler={prof.get('state')}({prof.get('cpu_mode')})"
+                    f" profile_window_age={wage_s}"
+                )
         print(
             f"worker {entry['worker_id']} pid={pid}: up "
             f"quiet={quiet} failures={n_fail} packets_in={sink_in}{collect_s}"
@@ -1239,6 +1455,73 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_doc.add_argument("--drain-timeout", type=float, default=60.0)
     p_doc.set_defaults(fn=cmd_doctor)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="run a graph under the sampling profiler: per-operator CPU "
+        "attribution, flamegraph dumps",
+    )
+    p_prof.add_argument(
+        "descriptor", nargs="?", default=None, help="JSON graph descriptor"
+    )
+    p_prof.add_argument(
+        "--example",
+        default="quickstart",
+        help="examples/<NAME>.py exposing build_graph() (default: quickstart)",
+    )
+    p_prof.add_argument(
+        "--hz",
+        type=float,
+        default=50.0,
+        help="target sampling rate (duty-cycled down under load; default: 50)",
+    )
+    p_prof.add_argument(
+        "--cluster",
+        action="store_true",
+        help="profile every worker process and merge the snapshots over "
+        "the control plane (uses --workers, min 2)",
+    )
+    p_prof.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker processes with --cluster (default: 2)",
+    )
+    p_prof.add_argument(
+        "--dump",
+        default=None,
+        metavar="FILE",
+        help="write the profile as speedscope JSON (or collapsed stacks "
+        "with --format collapsed)",
+    )
+    p_prof.add_argument(
+        "--format",
+        choices=["speedscope", "collapsed"],
+        default="speedscope",
+        help="--dump format (default: speedscope)",
+    )
+    p_prof.add_argument(
+        "--from-dump",
+        default=None,
+        metavar="PROFILE.json|FLIGHT.json|DIR",
+        help="render a profile snapshot, a flight dump's profile section, "
+        "or a directory of flight dumps (merged) instead of running",
+    )
+    p_prof.add_argument(
+        "--snap",
+        default=None,
+        metavar="FILE",
+        help="also write the raw profile snapshot for post-hoc rendering "
+        "with --from-dump",
+    )
+    p_prof.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="rows in the printed summary (default: 10)",
+    )
+    p_prof.add_argument("--drain-timeout", type=float, default=60.0)
+    p_prof.set_defaults(fn=cmd_profile)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p_exp.add_argument(

@@ -44,8 +44,23 @@ def _build_observability(
     observer = worker.observer
     if observer is None:
         return None, None
-    from repro.observe.bridge import scrape_worker, worker_series
+    from repro.observe.bridge import registry_series, scrape_worker, worker_series
     from repro.observe.collector import DeltaSource
+
+    # Continuous profiler: on by default with an observer attached
+    # (``"profile": false`` disables, a dict overrides knobs).
+    prof_cfg = cfg.get("profile") if "profile" in cfg else {}
+    if prof_cfg is not None and prof_cfg is not False:
+        from repro.observe.profiler import SamplingProfiler
+
+        overrides = prof_cfg if isinstance(prof_cfg, dict) else {}
+        profiler = SamplingProfiler(
+            hz=float(overrides.get("hz", 50.0)),
+            window_seconds=float(overrides.get("window_seconds", 5.0)),
+        )
+        observer.profiler = profiler
+        worker.profiler = profiler
+        profiler.start()
 
     health = None
     slo_cfg = cfg.get("slos")
@@ -83,7 +98,10 @@ def _build_observability(
             str(flight_path),
             worker_id=spec.worker_id,
             every=float(cfg.get("flight_every", 1.0)),
-            series_fn=lambda: worker_series(worker),
+            # Job metrics plus the observer registry (profiler and
+            # trace/timeline series), mirroring what DeltaSource ships.
+            series_fn=lambda: worker_series(worker)
+            + registry_series(observer.registry, {"worker": str(spec.worker_id)}),
             monitors_fn=(
                 (lambda: [dict(m.as_dict()) for m in health.monitors])
                 if health is not None
@@ -134,6 +152,9 @@ def run_worker(spec: WorkerSpec) -> int:
     finally:
         if health is not None:
             health.stop()
+        profiler = getattr(worker, "profiler", None)
+        if profiler is not None:
+            profiler.stop()
         if recorder is not None:
             recorder.stop()
             recorder.dump("shutdown")

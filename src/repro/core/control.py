@@ -50,7 +50,7 @@ class ControlServer:
         self._running = True
         self.stop_requested = threading.Event()
         self._thread = threading.Thread(
-            target=self._accept_loop, name=f"ctl-{self.port}", daemon=True
+            target=self._accept_loop, name=f"neptune-ctl-{self.port}", daemon=True
         )
         self._thread.start()
 
@@ -61,7 +61,10 @@ class ControlServer:
             except OSError:
                 return
             threading.Thread(
-                target=self._serve, args=(conn,), daemon=True
+                target=self._serve,
+                args=(conn,),
+                name=f"neptune-ctl-conn-{self.port}",
+                daemon=True,
             ).start()
 
     def _serve(self, conn: socket.socket) -> None:
@@ -129,6 +132,14 @@ class ControlServer:
             return {
                 "ok": True,
                 "info": None if source is None else source.info(),
+            }
+        if cmd == "profile":
+            # Full sampling-profiler snapshot (collapsed stacks and
+            # on/off-CPU totals) for `repro profile --cluster`.
+            profiler = getattr(worker, "profiler", None)
+            return {
+                "ok": True,
+                "profile": None if profiler is None else profiler.snapshot(),
             }
         if cmd == "flight_dump":
             # Coordinator-requested black-box dump (kill_worker asks
@@ -248,6 +259,11 @@ class RemoteWorker:
         """Request an immediate flight-recorder dump; returns its path
         on the worker's filesystem (None without a recorder)."""
         return self._call({"cmd": "flight_dump"})["path"]
+
+    def profile(self) -> dict | None:
+        """Full profiler snapshot (None when the worker runs without a
+        sampling profiler)."""
+        return self._call({"cmd": "profile"})["profile"]
 
     @property
     def failures(self) -> dict:

@@ -49,6 +49,7 @@ from repro.granules.scheduler import DataDrivenStrategy, SchedulingStrategy
 from repro.granules.task import ComputationalTask, TaskState
 from repro.net.flowcontrol import ChannelClosed, WatermarkChannel
 from repro.net.framing import Frame, FrameHeader
+from repro.observe import profiler as _profiler
 from repro.observe.tracing import (
     LegTrace,
     TraceNote,
@@ -191,11 +192,24 @@ class _InstanceRuntime(ComputationalTask):
     # -- execution -----------------------------------------------------------
     def execute(self, context: Any = None) -> None:
         """One scheduled execution (ComputationalTask contract)."""
-        if self.spec.is_source:
-            if not self.finished:
-                self.operator.generate(self.ctx)  # type: ignore[union-attr]
+        # Thread-ownership window for the sampling profiler: a dormant
+        # profiler costs exactly this one flag test per execution.
+        if not _profiler._ACTIVE:
+            if self.spec.is_source:
+                if not self.finished:
+                    self.operator.generate(self.ctx)  # type: ignore[union-attr]
+                return
+            self._process_available()
             return
-        self._process_available()
+        _profiler.set_thread_owner(self.op_label)
+        try:
+            if self.spec.is_source:
+                if not self.finished:
+                    self.operator.generate(self.ctx)  # type: ignore[union-attr]
+                return
+            self._process_available()
+        finally:
+            _profiler.clear_thread_owner()
 
     def _process_available(self) -> None:
         assert self.channel is not None

@@ -69,6 +69,25 @@ class PacketCodec:
         self.packets_encoded = 0
         self.packets_decoded = 0
 
+    def _clear_scratch(self) -> bytearray:
+        """Reset the scratch buffer, surviving live memoryview exports.
+
+        ``encode_view`` hands out a view of the scratch; its contract
+        says the caller copies it out before the next encode, but a
+        frame holder — the sampling profiler walking
+        ``sys._current_frames``, a debugger, a stored traceback — can
+        keep the previous emit's frame (and with it the view) alive
+        past that window, and a bytearray with live exports cannot be
+        resized.  Retire the old buffer to its view holder and start a
+        fresh one instead of failing the data plane.
+        """
+        scratch = self._scratch
+        try:
+            scratch.clear()
+        except BufferError:
+            scratch = self._scratch = bytearray()
+        return scratch
+
     # -- encoding -----------------------------------------------------------
     def encode_into(self, packet: StreamPacket, out: bytearray) -> int:
         """Append ``packet``'s wire form to ``out``; return bytes written.
@@ -108,9 +127,9 @@ class PacketCodec:
 
     def encode(self, packet: StreamPacket) -> bytes:
         """Encode one packet standalone (reusing the internal scratch)."""
-        self._scratch.clear()
-        self.encode_into(packet, self._scratch)
-        return bytes(self._scratch)
+        scratch = self._clear_scratch()
+        self.encode_into(packet, scratch)
+        return bytes(scratch)
 
     def encode_view(self, packet: StreamPacket) -> memoryview:
         """Encode one packet and return a view of the internal scratch.
@@ -122,16 +141,16 @@ class PacketCodec:
         before encoding again.  One codec belongs to one sender
         instance, whose executions are serialized — no locking needed.
         """
-        self._scratch.clear()
-        self.encode_into(packet, self._scratch)
-        return memoryview(self._scratch)
+        scratch = self._clear_scratch()
+        self.encode_into(packet, scratch)
+        return memoryview(scratch)
 
     def encode_batch(self, packets: list[StreamPacket]) -> bytes:
         """Encode a batch into one body (reusing the internal scratch)."""
-        self._scratch.clear()
+        scratch = self._clear_scratch()
         for pkt in packets:
-            self.encode_into(pkt, self._scratch)
-        return bytes(self._scratch)
+            self.encode_into(pkt, scratch)
+        return bytes(scratch)
 
     # -- decoding -----------------------------------------------------------
     def decode_one(self, buf: bytes | memoryview, offset: int = 0) -> tuple[StreamPacket, int]:

@@ -69,7 +69,10 @@ class Resource:
     ) -> None:
         import os
 
-        self.name = name
+        # Thread names carry this; force the stable runtime-wide prefix
+        # so profiler / flight-recorder output never shows bare pool
+        # names ("worker-0-timer" → "neptune-worker-0-timer").
+        self.name = name if name.startswith("neptune") else f"neptune-{name}"
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
         if self.workers <= 0:
             raise ValueError(f"workers must be positive: {workers}")

@@ -321,7 +321,7 @@ class TcpTransport(Transport):
         t = threading.Thread(
             target=self._ack_loop,
             args=(sock, gen),
-            name=f"tcp-ack-reader-{self._port}",
+            name=f"neptune-tcp-ack-reader-{self._port}",
             daemon=True,
         )
         t.start()
@@ -737,7 +737,7 @@ class TcpListener:
         self.corruption_resets = 0
         self.injected_resets = 0
         self._accept_thread = threading.Thread(
-            target=self._accept_loop, name=f"tcp-listener-{self.port}", daemon=True
+            target=self._accept_loop, name=f"neptune-tcp-listener-{self.port}", daemon=True
         )
         self._accept_thread.start()
 
@@ -762,7 +762,7 @@ class TcpListener:
                 t = threading.Thread(
                     target=self._reader_loop,
                     args=(conn,),
-                    name=f"tcp-reader-{self.port}",
+                    name=f"neptune-tcp-reader-{self.port}",
                     daemon=True,
                 )
                 self._threads.append(t)

@@ -412,3 +412,8 @@ def scrape_observer(observer: Any) -> None:
     registry.counter(
         "neptune_trace_spans_dropped_total", None, "Spans dropped past the trace cap"
     ).set_total(float(observer.collector.dropped))
+    profiler = getattr(observer, "profiler", None)
+    if profiler is not None:
+        # neptune_profile_* series ride every scrape path for free:
+        # DeltaSource deltas, flight dumps, metrics/doctor snapshots.
+        profiler.export(registry)

@@ -172,6 +172,7 @@ class DeltaSource:
 
     def info(self) -> Dict[str, Any]:
         """Cheap status summary (``repro cluster status``)."""
+        profiler = getattr(self.observer, "profiler", None)
         with self._lock:
             last_age: Optional[float] = None
             if self._last_ts is not None:
@@ -186,6 +187,7 @@ class DeltaSource:
                 "spans_shipped": self.spans_shipped,
                 "events_shipped": self.events_shipped,
                 "last_collect_age": last_age,
+                "profiler": None if profiler is None else profiler.info(),
             }
 
 

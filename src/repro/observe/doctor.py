@@ -12,6 +12,11 @@ the causal events the runtime now emits:
   connections) stamped on the same clock as the breach events.
 - ``transport.send_stall`` / ``reconnect`` / ``link_failed`` — the
   TCP-level face of backpressure and recovery.
+- ``neptune_profile_*`` — the sampling profiler's per-operator CPU
+  series: a breach with no gate episode, an execute-dominant stage,
+  and one operator holding most of the sampled CPU is diagnosed
+  **compute_bound**, naming the operator, its worker, and its hottest
+  frame.
 
 Every candidate cause is scored by temporal overlap/proximity with the
 breach episode and by how direct the mechanism is (injected fault >
@@ -24,7 +29,7 @@ live (against an in-memory observer) and post-hoc (``--from-dump``).
 from __future__ import annotations
 
 import re
-from typing import Any, Dict, List, Mapping, Optional, Set
+from typing import Any, Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.observe.export import snapshot as observer_snapshot
 from repro.observe.observer import RuntimeObserver
@@ -35,6 +40,10 @@ DOCTOR_SCHEMA = "neptune-doctor/1"
 
 #: How far before a breach's onset a cause may lie and still count (s).
 _LOOKBACK = 30.0
+
+#: One operator must hold at least this share of all sampled operator
+#: CPU for a breach to be attributed as compute-bound.
+_COMPUTE_SHARE = 0.6
 
 _INSTANCE_SUFFIX = re.compile(r"\[\d+\]\Z")
 _WORKER_PREFIX = re.compile(r"\Aw(\d+):")
@@ -163,6 +172,55 @@ def _dominant_stage(
     return {"stage": stage, "seconds": seconds, "fraction": seconds / total}
 
 
+def _profile_attribution(snap: Mapping[str, Any]) -> Dict[str, Any]:
+    """Per-operator sampled CPU from the ``neptune_profile_*`` series.
+
+    Merged flight dumps can carry the same worker's series several
+    times (periodic + on-request dumps of one worker); the counters are
+    cumulative, so the *max* per (worker, operator) is the true total —
+    summing duplicates would double-count.
+    """
+    cpu: Dict[Tuple[str, str], float] = {}
+    frames: Dict[Tuple[str, str, str], float] = {}
+    for series in snap.get("instruments", []) or []:
+        name = series.get("name")
+        labels = series.get("labels") or {}
+        worker = str(labels.get("worker", ""))
+        operator = str(labels.get("operator", ""))
+        if (
+            name == "neptune_profile_cpu_seconds_total"
+            and labels.get("kind") == "operator"
+        ):
+            key = (worker, operator)
+            cpu[key] = max(cpu.get(key, 0.0), _f(series.get("value")))
+        elif name == "neptune_profile_top_frame_samples_total":
+            fkey = (worker, operator, str(labels.get("frame", "")))
+            frames[fkey] = max(frames.get(fkey, 0.0), _f(series.get("value")))
+    by_op: Dict[str, float] = {}
+    worker_of: Dict[str, Optional[str]] = {}
+    worker_cpu: Dict[str, float] = {}
+    for (worker, operator), seconds in cpu.items():
+        by_op[operator] = by_op.get(operator, 0.0) + seconds
+        if seconds >= worker_cpu.get(operator, -1.0):
+            worker_cpu[operator] = seconds
+            worker_of[operator] = worker or None
+    frame_of: Dict[str, str] = {}
+    frame_samples: Dict[str, float] = {}
+    for (worker, operator, frame), count in frames.items():
+        hottest = worker_of.get(operator)
+        if hottest is not None and worker and worker != hottest:
+            continue
+        if count > frame_samples.get(operator, 0.0):
+            frame_samples[operator] = count
+            frame_of[operator] = frame
+    return {
+        "total": sum(by_op.values()),
+        "by_op": by_op,
+        "worker_of": worker_of,
+        "frame_of": frame_of,
+    }
+
+
 def diagnose(snap: Mapping[str, Any], max_causes: int = 3) -> Dict[str, Any]:
     """Correlate a snapshot into a ranked root-cause report.
 
@@ -196,6 +254,7 @@ def diagnose(snap: Mapping[str, Any], max_causes: int = 3) -> Dict[str, Any]:
         and e.get("name") in ("send_stall", "reconnect", "link_failed")
     ]
     traces: Mapping[str, List[Dict[str, Any]]] = snap.get("traces", {})
+    profile = _profile_attribution(snap)
 
     episodes: List[Dict[str, Any]] = []
     for breach in breaches:
@@ -276,6 +335,47 @@ def diagnose(snap: Mapping[str, Any], max_causes: int = 3) -> Dict[str, Any]:
                     f"at t={ts:.3f}s",
                 }
             )
+        # Compute-bound attribution: queueing explanations always win
+        # (a gate episode anywhere near the breach suppresses this),
+        # but a breach with *no* gate and one operator monopolizing the
+        # sampled CPU is a hot operator, not a stalled one.  The stage
+        # check is a suppressor, not a requirement: emit-side dominance
+        # (serialize/enqueue/flush) says the time went into batching or
+        # a blocked emit, while "execute" is the compute itself and
+        # "wire"/"deserialize" is where a compute-bound *receiver's*
+        # backlog accrues (wire spans close at drain time).
+        gated_nearby = any(
+            gate.overlap(b_start - _LOOKBACK, b_end) > 0.0 for gate in gates
+        )
+        if profile["total"] > 0.0 and not gated_nearby:
+            top_prof_op, op_cpu = max(
+                profile["by_op"].items(), key=lambda kv: (kv[1], kv[0])
+            )
+            share = op_cpu / profile["total"]
+            if share >= _COMPUTE_SHARE:
+                dom = _dominant_stage(traces, b_start, b_end, top_prof_op)
+                if dom is None or dom.get("stage") not in (
+                    "serialize",
+                    "enqueue",
+                    "flush",
+                ):
+                    worker = profile["worker_of"].get(top_prof_op)
+                    detail = (
+                        f"operator {top_prof_op!r} held {share * 100.0:.0f}% of "
+                        f"sampled CPU ({op_cpu:.2f}s) with no gate episode"
+                    )
+                    frame = profile["frame_of"].get(top_prof_op)
+                    if frame:
+                        detail += f"; top frame {frame}"
+                    causes.append(
+                        {
+                            "type": "compute_bound",
+                            "operator": top_prof_op,
+                            "worker": worker,
+                            "score": 2.0 + share,
+                            "detail": detail,
+                        }
+                    )
         causes.sort(key=lambda c: (-float(c["score"]), str(c["operator"])))
         causes = causes[:max_causes]
         for rank, cause in enumerate(causes, start=1):

@@ -163,6 +163,13 @@ class FlightRecorder:
             attrs.setdefault("worker", wid)
             d["attrs"] = attrs
             event_dicts.append(d)
+        profile: Optional[Dict[str, Any]] = None
+        profiler = getattr(self.observer, "profiler", None)
+        if profiler is not None:
+            try:
+                profile = profiler.flight_section()
+            except Exception:
+                profile = None
         return {
             "schema": FLIGHT_SCHEMA,
             "worker": self.worker_id,
@@ -173,6 +180,7 @@ class FlightRecorder:
             "spans": span_dicts,
             "instruments": instruments,
             "monitors": monitors,
+            "profile": profile,
             "timeline_dropped": self.observer.timeline.dropped,
         }
 
@@ -254,6 +262,7 @@ def merge_flight_dumps(dumps: List[Mapping[str, Any]]) -> Dict[str, Any]:
     seen_spans: set[Tuple[Any, Any, Any, Any]] = set()
     workers: List[int] = []
     reasons: Dict[str, str] = {}
+    profiles: Dict[str, Dict[str, Any]] = {}
     dropped = 0
     for dump in dumps:
         if dump.get("schema") != FLIGHT_SCHEMA:
@@ -261,6 +270,9 @@ def merge_flight_dumps(dumps: List[Mapping[str, Any]]) -> Dict[str, Any]:
         wid = int(dump.get("worker", -1))
         workers.append(wid)
         reasons[str(wid)] = str(dump.get("reason", ""))
+        profile = dump.get("profile")
+        if isinstance(profile, Mapping):
+            profiles[str(wid)] = dict(profile)
         dropped += int(dump.get("timeline_dropped", 0) or 0)
         for raw in dump.get("events") or []:
             timeline.append(dict(raw))
@@ -292,4 +304,5 @@ def merge_flight_dumps(dumps: List[Mapping[str, Any]]) -> Dict[str, Any]:
         "traces": traces,
         "traces_dropped_spans": 0,
         "flight": {"workers": sorted(workers), "reasons": reasons},
+        "profiles": profiles,
     }

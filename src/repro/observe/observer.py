@@ -9,7 +9,10 @@ pays exactly that check on its hot paths.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.observe.instruments import TelemetryRegistry
+from repro.observe.profiler import SamplingProfiler
 from repro.observe.timeline import EventTimeline
 from repro.observe.tracing import TraceCollector, Tracer
 from repro.util.clock import SYSTEM_CLOCK, Clock
@@ -41,6 +44,9 @@ class RuntimeObserver:
         self.collector = TraceCollector(max_traces=max_traces)
         self.registry = TelemetryRegistry(max_instruments=max_instruments)
         self.timeline = EventTimeline(capacity=timeline_capacity, clock=clock)
+        # Attached by whoever builds a SamplingProfiler for this
+        # runtime; scrape_observer exports its series when present.
+        self.profiler: Optional[SamplingProfiler] = None
 
     @property
     def tracing_enabled(self) -> bool:

@@ -309,6 +309,26 @@ class PolicyEngine:
                     "capacity": self.config.retune_capacity,
                 },
             )
+        if cause_type == "compute_bound":
+            # The profiler already established the operator is burning
+            # CPU (not queueing, not blocked): more worker threads is
+            # the only reconfiguration that adds compute.
+            action = ReconfigAction(
+                scan=scan,
+                kind="scale",
+                operator=operator,
+                slo=slo,
+                cause=cause_type,
+                reason=(
+                    f"compute-bound breach of {slo}: {operator} dominates "
+                    f"sampled CPU; add {self.config.scale_step} worker "
+                    "thread(s)"
+                ),
+                worker=worker,
+                params={"workers_delta": self.config.scale_step},
+            )
+            self._scaled_for[slo] = action
+            return action
         if cause_type == "injected_fault":
             if worker is None:
                 self._warn(

@@ -31,6 +31,8 @@ class CountingSource(StreamSource):
 
     ``payload_size`` controls the message size (the paper sweeps 50 B
     to 10 KB).  With ``total=None`` it emits until the job stops it.
+    ``interval`` paces emission (seconds between packets) for workloads
+    that must stay below a downstream stage's service rate.
     """
 
     def __init__(
@@ -38,11 +40,13 @@ class CountingSource(StreamSource):
         total: int | None = 1000,
         payload_size: int = 50,
         stream: str | None = None,
+        interval: float = 0.0,
     ) -> None:
         super().__init__()
         self.total = total
         self.payload = bytes(payload_size)
         self.stream = stream
+        self.interval = interval
         self.emitted = 0
 
     def generate(self, ctx) -> None:
@@ -50,6 +54,8 @@ class CountingSource(StreamSource):
         if self.total is not None and self.emitted >= self.total:
             ctx.finish()
             return
+        if self.interval > 0.0:
+            time.sleep(self.interval)
         pkt = ctx.new_packet(self.stream)
         pkt.set("seq", self.emitted)
         pkt.set("emitted_at", time.monotonic())
@@ -159,6 +165,44 @@ class RelayProcessor(StreamProcessor):
         out.copy_from(packet)
         ctx.emit(out)
         self.relayed += 1
+
+    def output_schema(self, stream: str) -> PacketSchema:
+        """Declare the schema of the named outgoing stream."""
+        return RELAY_SCHEMA
+
+
+class SpinProcessor(StreamProcessor):
+    """A compute-hog relay: burns ``spin_seconds`` of CPU per packet.
+
+    Unlike :class:`VariableRateProcessor` (which *sleeps*, parking its
+    worker off-CPU), this stage busy-loops — the workload the sampling
+    profiler exists to expose.  Fed below its service rate it never
+    fills its inbound buffer, so no backpressure gate ever opens: the
+    only honest diagnosis for the latency it adds is compute_bound.
+    """
+
+    def __init__(self, spin_seconds: float = 0.02) -> None:
+        super().__init__()
+        self.spin_seconds = spin_seconds
+        self.processed = 0
+
+    def process(self, packet: StreamPacket, ctx) -> None:
+        """Handle one stream packet (StreamProcessor contract)."""
+        self._spin(self.spin_seconds)
+        out = ctx.new_packet()
+        out.copy_from(packet)
+        ctx.emit(out)
+        self.processed += 1
+
+    @staticmethod
+    def _spin(seconds: float) -> None:
+        # perf_counter-bounded arithmetic loop: pure user CPU, no
+        # syscalls a scheduler could park the thread on.
+        deadline = time.perf_counter() + seconds
+        acc = 0
+        while time.perf_counter() < deadline:
+            for i in range(256):
+                acc += i * i
 
     def output_schema(self, stream: str) -> PacketSchema:
         """Declare the schema of the named outgoing stream."""

@@ -183,3 +183,157 @@ class TestPolicyCommand:
         )
         assert main(["policy", "status", "--state", str(state)]) == 0
         assert "actions: 0" in capsys.readouterr().out
+
+
+SPIN_DESCRIPTOR = {
+    "name": "cli-spin",
+    "operators": [
+        {
+            "name": "src",
+            "type": "source",
+            "class": "repro.workloads.operators:CountingSource",
+            "kwargs": {"total": 250, "payload_size": 64},
+        },
+        {
+            "name": "spin",
+            "type": "processor",
+            "class": "repro.workloads.operators:SpinProcessor",
+            "kwargs": {"spin_seconds": 0.003},
+        },
+        {
+            "name": "sink",
+            "type": "processor",
+            "class": "repro.workloads.operators:CollectingSink",
+        },
+    ],
+    "links": [
+        {"from": "src", "to": "spin"},
+        {"from": "spin", "to": "sink"},
+    ],
+}
+
+
+class TestProfileCommand:
+    """`repro profile`: run under the sampler, dump flamegraph formats,
+    and render recovered profiles post-mortem (`--from-dump`)."""
+
+    @pytest.fixture
+    def spin_descriptor(self, tmp_path):
+        path = tmp_path / "spin.json"
+        path.write_text(json.dumps(SPIN_DESCRIPTOR))
+        return str(path)
+
+    def test_profile_writes_valid_speedscope(self, spin_descriptor, tmp_path, capsys):
+        out = tmp_path / "prof.speedscope.json"
+        assert main(["profile", spin_descriptor, "--dump", str(out)]) == 0
+        summary = capsys.readouterr().out
+        assert "profile:" in summary
+        assert "spin" in summary
+        doc = json.loads(out.read_text())
+        assert doc["$schema"] == "https://www.speedscope.app/file-format-schema.json"
+        frames = doc["shared"]["frames"]
+        assert doc["profiles"], "sampler took no samples over a ~1s spin run"
+        names = [p["name"] for p in doc["profiles"]]
+        assert "spin" in names
+        for p in doc["profiles"]:
+            assert p["type"] == "sampled" and p["unit"] == "seconds"
+            assert len(p["samples"]) == len(p["weights"])
+            for stack in p["samples"]:
+                assert all(0 <= i < len(frames) for i in stack)
+
+    def test_profile_collapsed_format(self, spin_descriptor, tmp_path, capsys):
+        out = tmp_path / "prof.collapsed"
+        assert main(
+            ["profile", spin_descriptor, "--dump", str(out), "--format", "collapsed"]
+        ) == 0
+        text = out.read_text()
+        assert text
+        for line in text.splitlines():
+            label, _, count = line.rpartition(" ")
+            assert label and count.isdigit(), f"bad collapsed line: {line!r}"
+        assert any(line.startswith("spin;") for line in text.splitlines())
+
+    def test_from_dump_renders_a_profile_snapshot(self, tmp_path, capsys):
+        snap = {
+            "schema": "neptune-profile/1",
+            "state": "dormant",
+            "cpu_mode": "task-stat",
+            "samples": 42,
+            "operators": {
+                "spin": {
+                    "kind": "operator",
+                    "samples": 40,
+                    "cpu_seconds": 1.5,
+                    "wall_seconds": 1.6,
+                    "off_cpu_seconds": 0.1,
+                    "stacks": {"operators.py:_spin": 40},
+                    "top_frames": {"operators.py:_spin": 40},
+                }
+            },
+        }
+        path = tmp_path / "profile.json"
+        path.write_text(json.dumps(snap))
+        out = tmp_path / "out.speedscope.json"
+        assert main(["profile", "--from-dump", str(path), "--dump", str(out)]) == 0
+        summary = capsys.readouterr().out
+        assert "spin" in summary and "100.0%" in summary
+        doc = json.loads(out.read_text())
+        assert [p["name"] for p in doc["profiles"]] == ["spin"]
+        assert sum(doc["profiles"][0]["weights"]) == pytest.approx(1.5)
+
+    def test_from_dump_rejects_non_profile_json(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text(json.dumps({"schema": "something-else"}))
+        with pytest.raises(SystemExit, match="neither a profile snapshot"):
+            main(["profile", "--from-dump", str(path)])
+
+
+class TestTopProfileColumns:
+    """`repro top` renders per-operator CPU share and on/off-CPU from
+    the merged ``neptune_profile_*`` series."""
+
+    def test_render_top_shows_cpu_lines(self):
+        from repro.cli import _render_top
+        from repro.observe import RuntimeObserver
+
+        class _StubCollector:
+            def __init__(self):
+                self.observer = RuntimeObserver()
+                self.health = None
+
+            def status(self):
+                return {"polls": 1, "absorbed": 1, "stale": 0, "fetch_errors": 0}
+
+            def stitched(self):
+                return []
+
+        collector = _StubCollector()
+        reg = collector.observer.registry
+        reg.counter(
+            "neptune_profile_cpu_seconds_total",
+            {"operator": "spin", "kind": "operator", "worker": "1"},
+            "h",
+        ).set_total(3.0)
+        reg.counter(
+            "neptune_profile_off_cpu_seconds_total",
+            {"operator": "spin", "kind": "operator", "worker": "1"},
+            "h",
+        ).set_total(0.5)
+        reg.counter(
+            "neptune_profile_cpu_seconds_total",
+            {"operator": "relay", "kind": "operator", "worker": "0"},
+            "h",
+        ).set_total(1.0)
+        reg.counter(
+            "neptune_profile_cpu_seconds_total",
+            {"operator": "neptune-flush", "kind": "runtime", "worker": "0"},
+            "h",
+        ).set_total(9.0)  # runtime kind: excluded from the cpu table
+        text = _render_top(
+            collector, [{"worker_id": 0, "alive": True}], "test", frame=1
+        )
+        assert "cpu spin" in text
+        assert "75.0%" in text
+        assert "on=3.00s" in text and "off=0.50s" in text
+        assert "cpu relay" in text and "25.0%" in text
+        assert "neptune-flush" not in text

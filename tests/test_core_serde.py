@@ -97,6 +97,35 @@ class TestEncodeDecode:
         for pkt in (make(1, "", 0.0), make(2, "日本語", 1.5), make(3, "x" * 100, -2.0)):
             assert codec.encoded_size(pkt) == len(codec.encode(pkt))
 
+    def test_encode_view_roundtrip(self):
+        codec = PacketCodec(SCHEMA)
+        pkt = make(7, "v", 0.25)
+        view = codec.encode_view(pkt)
+        assert bytes(view) == codec.encode(pkt)
+
+    def test_encode_survives_a_held_view(self):
+        # A frame holder (the sampling profiler walking
+        # sys._current_frames, a debugger, a stored traceback) can keep
+        # a previous encode_view() result alive past its contract
+        # window.  A bytearray with live exports cannot be resized, so
+        # the codec must retire the old scratch instead of raising
+        # BufferError on the data plane.
+        codec = PacketCodec(SCHEMA)
+        first = make(1, "held", 0.5)
+        held = codec.encode_view(first)
+        expected_held = bytes(held)
+        second = make(2, "next", 1.5)
+        for encode_again in (
+            codec.encode_view,
+            codec.encode,
+            lambda p: codec.encode_batch([p]),
+        ):
+            out = encode_again(second)  # must not raise BufferError
+            assert bytes(out) == codec.encode(second)
+        # The retired buffer stays alive through the export: the held
+        # view still reads the bytes it was handed.
+        assert bytes(held) == expected_held
+
 
 LIST_SCHEMA = PacketSchema(
     [("vals", FieldType.FLOAT64_LIST), ("tags", FieldType.INT64_LIST), ("blob", FieldType.BYTES)]

@@ -273,6 +273,149 @@ class TestStalledSinkAcceptance:
         assert dumped["root_cause"] == live["root_cause"]
 
 
+class TestComputeBound:
+    """The profiler-backed cause class: a breach with no overlapping
+    gate episode and one operator dominating sampled CPU is diagnosed
+    compute_bound, naming operator, worker, and hottest frame."""
+
+    def _profile_series(self, rows, frames=()):
+        series = [
+            {
+                "name": "neptune_profile_cpu_seconds_total",
+                "kind": "counter",
+                "help": "h",
+                "labels": {"operator": op, "kind": "operator", "worker": worker},
+                "value": cpu,
+            }
+            for worker, op, cpu in rows
+        ]
+        series += [
+            {
+                "name": "neptune_profile_top_frame_samples_total",
+                "kind": "counter",
+                "help": "h",
+                "labels": {"operator": op, "frame": frame, "worker": worker},
+                "value": count,
+            }
+            for worker, op, frame, count in frames
+        ]
+        return series
+
+    def _breach_events(self, operator="spin"):
+        return [
+            _event(
+                6.0, "health", "slo_breach",
+                slo=f"{operator}.p99_latency", kind="p99_latency",
+                operator=operator, value=0.04, threshold=0.01,
+            ),
+            _event(
+                9.0, "health", "slo_recover",
+                slo=f"{operator}.p99_latency", kind="p99_latency",
+                operator=operator, value=0.001, duration=3.0,
+            ),
+        ]
+
+    def test_hot_operator_without_gate_is_compute_bound(self):
+        snap = _snap(
+            self._breach_events(),
+            instruments=self._profile_series(
+                [("1", "spin", 5.0), ("0", "relay", 0.5)],
+                frames=[("1", "spin", "operators.py:SpinProcessor._spin", 120)],
+            ),
+        )
+        report = diagnose(snap)
+        (ep,) = report["breaches"]
+        (cause,) = [c for c in ep["causes"] if c["type"] == "compute_bound"]
+        assert cause["operator"] == "spin"
+        assert cause["worker"] == "1"
+        assert "91% of sampled CPU" in cause["detail"]
+        assert "top frame operators.py:SpinProcessor._spin" in cause["detail"]
+        assert report["root_cause"]["type"] == "compute_bound"
+
+    def test_overlapping_gate_suppresses_compute_bound(self):
+        events = self._breach_events() + [
+            _event(5.5, "flowcontrol", "gate_closed", operator="spin[0]",
+                   throttles=["src"]),
+            _event(8.5, "flowcontrol", "gate_opened", operator="spin[0]",
+                   gated_seconds=3.0),
+        ]
+        snap = _snap(
+            events, instruments=self._profile_series([("1", "spin", 5.0)])
+        )
+        (ep,) = diagnose(snap)["breaches"]
+        assert all(c["type"] != "compute_bound" for c in ep["causes"])
+
+    def test_share_below_threshold_is_not_compute_bound(self):
+        snap = _snap(
+            self._breach_events(),
+            instruments=self._profile_series(
+                [("1", "spin", 1.0), ("0", "relay", 1.0)]
+            ),
+        )
+        (ep,) = diagnose(snap)["breaches"]
+        assert all(c["type"] != "compute_bound" for c in ep["causes"])
+
+    def test_duplicate_worker_series_use_max_not_sum(self):
+        # Merged flight dumps repeat one worker's cumulative counters
+        # (periodic + on-request dump); summing would double-count.
+        snap = _snap(
+            self._breach_events(),
+            instruments=self._profile_series(
+                [("1", "spin", 5.0), ("1", "spin", 5.0), ("0", "relay", 2.0)]
+            ),
+        )
+        (ep,) = diagnose(snap)["breaches"]
+        (cause,) = [c for c in ep["causes"] if c["type"] == "compute_bound"]
+        # max() keeps spin at 5.0 of 7.0 total = 71%; a sum would have
+        # reported 10.0 of 12.0 = 83%.
+        assert "71% of sampled CPU (5.00s)" in cause["detail"]
+
+    def test_non_execute_dominant_stage_suppresses(self):
+        traces = {
+            "t1": [
+                {"operator": "spin[0]", "stage": "flush", "start": 6.0, "end": 8.0},
+                {"operator": "spin[0]", "stage": "execute", "start": 6.0, "end": 6.1},
+            ]
+        }
+        snap = _snap(
+            self._breach_events(),
+            instruments=self._profile_series([("1", "spin", 5.0)]),
+        )
+        snap["traces"] = traces
+        (ep,) = diagnose(snap)["breaches"]
+        assert all(c["type"] != "compute_bound" for c in ep["causes"])
+
+    def test_runtime_kind_series_do_not_count(self):
+        # Only kind="operator" CPU participates: a busy transport reader
+        # must not be promoted to a compute-bound operator diagnosis.
+        series = self._profile_series([("1", "spin", 0.1)])
+        series.append(
+            {
+                "name": "neptune_profile_cpu_seconds_total",
+                "kind": "counter",
+                "help": "h",
+                "labels": {
+                    "operator": "neptune-tcp-reader",
+                    "kind": "runtime",
+                    "worker": "1",
+                },
+                "value": 50.0,
+            }
+        )
+        (ep,) = diagnose(_snap(self._breach_events(), instruments=series))["breaches"]
+        causes = [c for c in ep["causes"] if c["type"] == "compute_bound"]
+        # spin holds 100% of *operator* CPU; the runtime series is inert.
+        assert causes and causes[0]["operator"] == "spin"
+
+    def test_render_names_compute_bound(self):
+        snap = _snap(
+            self._breach_events(),
+            instruments=self._profile_series([("1", "spin", 5.0)]),
+        )
+        text = render_report(diagnose(snap))
+        assert "compute_bound" in text
+
+
 class TestChaosClockUnification:
     """Satellite 6: injected faults and SLO breaches share one clock."""
 

@@ -158,6 +158,23 @@ class TestDecisionTable:
         actions = PolicyEngine().observe(5, [("s.p99_latency", "breach")], report)
         assert [a.kind for a in actions] == ["retune"]
 
+    def test_compute_bound_breach_scales_then_reverts_on_recover(self):
+        # The profiler's attribution is direct evidence the operator is
+        # burning CPU, so the policy scales without needing a dominant
+        # execute stage from the traces.
+        report = self._report("compute_bound", operator="spin", worker="1")
+        engine = PolicyEngine()
+        actions = engine.observe(5, [("s.p99_latency", "breach")], report)
+        assert [a.kind for a in actions] == ["scale"]
+        assert actions[0].operator == "spin"
+        assert actions[0].worker == 1  # engine normalizes worker ids to int
+        assert actions[0].params["workers_delta"] == engine.config.scale_step
+        assert "dominates sampled CPU" in actions[0].reason
+        revert = engine.observe(40, [("s.p99_latency", "recover")], report)
+        assert [a.kind for a in revert] == ["scale"]
+        assert revert[0].params["workers_delta"] == -engine.config.scale_step
+        assert revert[0].cause == "recovered"
+
     def test_injected_fault_with_worker_migrates(self):
         report = self._report("injected_fault", worker="2")
         actions = PolicyEngine().observe(5, [("s.p99_latency", "breach")], report)
